@@ -1,0 +1,14 @@
+//! Baseline peer-to-peer lookup schemes for comparison with Pastry.
+//!
+//! The PAST paper's related-work section positions Pastry against Chord
+//! ("no explicit effort to achieve good network locality") and CAN
+//! ("the number of routing hops grows faster than log N"). Both are
+//! implemented here on the same deterministic simulator and the same
+//! topologies so experiment E11 compares hop counts and locality on equal
+//! footing.
+
+pub mod can;
+pub mod chord;
+
+pub use can::{id_to_point, CanDelivery, CanSim};
+pub use chord::{ChordDelivery, ChordSim};

@@ -1,0 +1,229 @@
+//! Criterion microbenchmarks of the hot primitives underlying the
+//! experiments: hashing, signatures, identifier arithmetic, routing-step
+//! selection, leaf-set maintenance, and cache operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use past_core::{Broker, ContentRef};
+use past_crypto::sha1::sha1;
+use past_crypto::sha256::sha256;
+use past_crypto::KeyPair;
+use past_pastry::{next_hop, Config, Id, NodeHandle, PastryState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto/hash");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha256/{size}"), |b| {
+            b.iter(|| black_box(sha256(black_box(&data))))
+        });
+        g.bench_function(format!("sha1/{size}"), |b| {
+            b.iter(|| black_box(sha1(black_box(&data))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto/schnorr");
+    g.sample_size(20);
+    let kp = KeyPair::from_seed(b"bench");
+    let msg = b"a store receipt-sized message for signing benchmarks";
+    g.bench_function("sign", |b| b.iter(|| black_box(kp.sign(black_box(msg)))));
+    let sig = kp.sign(msg);
+    g.bench_function("verify", |b| {
+        b.iter(|| black_box(kp.public.verify(black_box(msg), black_box(&sig))))
+    });
+    g.finish();
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("past/certificates");
+    g.sample_size(20);
+    let mut broker = Broker::new(b"bench");
+    let card = broker.issue_card(b"user", u64::MAX / 2, 0);
+    let content = ContentRef::synthetic(0, "bench", 1 << 20);
+    g.bench_function("issue_file_certificate", |b| {
+        let mut card = broker.issue_card(b"issuer", u64::MAX / 2, 0);
+        let mut salt = 0u64;
+        b.iter(|| {
+            salt += 1;
+            black_box(
+                card.issue_file_certificate("bench", &content, 3, salt, 0)
+                    .expect("quota"),
+            )
+        })
+    });
+    let mut card2 = broker.issue_card(b"user2", u64::MAX / 2, 0);
+    let cert = card2
+        .issue_file_certificate("bench", &content, 3, 0, 0)
+        .expect("quota");
+    g.bench_function("verify_file_certificate", |b| {
+        b.iter(|| black_box(cert.verify(black_box(&broker.public()))))
+    });
+    let _ = card;
+    g.finish();
+}
+
+fn bench_id_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pastry/id");
+    let a = Id(0x0123_4567_89ab_cdef_0f1e_2d3c_4b5a_6978);
+    let b_ = Id(0x0123_4567_89ab_cde0_0000_0000_0000_0000);
+    g.bench_function("prefix_len", |b| {
+        b.iter(|| black_box(black_box(a).prefix_len(black_box(&b_), 4)))
+    });
+    g.bench_function("ring_dist", |b| {
+        b.iter(|| black_box(black_box(a).ring_dist(black_box(&b_))))
+    });
+    g.bench_function("digit", |b| {
+        b.iter(|| black_box(black_box(a).digit(black_box(17), 4)))
+    });
+    g.finish();
+}
+
+fn routing_state(n: usize, seed: u64) -> PastryState {
+    let cfg = Config::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut st = PastryState::new(cfg, NodeHandle::new(Id(rng.random()), 0));
+    for i in 1..n {
+        st.add_node(
+            NodeHandle::new(Id(rng.random()), i),
+            rng.random_range(1..50_000),
+        );
+    }
+    st
+}
+
+fn bench_routing_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pastry/route");
+    let st = routing_state(1_000, 7);
+    let mut rng = StdRng::seed_from_u64(9);
+    g.bench_function("next_hop", |b| {
+        b.iter_batched(
+            || Id(rng.random()),
+            |key| black_box(next_hop(&st, &key, &mut StdRng::seed_from_u64(1))),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut st_rand = routing_state(1_000, 8);
+    st_rand.cfg.route_randomization = 0.5;
+    g.bench_function("next_hop_randomized", |b| {
+        b.iter_batched(
+            || Id(rng.random()),
+            |key| black_box(next_hop(&st_rand, &key, &mut StdRng::seed_from_u64(1))),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_state_maintenance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pastry/state");
+    let mut rng = StdRng::seed_from_u64(11);
+    g.bench_function("add_node", |b| {
+        b.iter_batched(
+            || {
+                (
+                    routing_state(200, 12),
+                    NodeHandle::new(Id(rng.random()), 999),
+                    rng.random_range(1..50_000u64),
+                )
+            },
+            |(mut st, h, d)| {
+                black_box(st.add_node(h, d));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("remove_addr", |b| {
+        b.iter_batched(
+            || routing_state(200, 13),
+            |mut st| {
+                black_box(st.remove_addr(100));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("past/cache");
+    let mut broker = Broker::new(b"cache-bench");
+    let mut card = broker.issue_card(b"u", u64::MAX / 2, 0);
+    let certs: Vec<_> = (0..256u64)
+        .map(|i| {
+            let name = format!("c{i}");
+            let content = ContentRef::synthetic(0, &name, 1 + (i * 37) % 10_000);
+            card.issue_file_certificate(&name, &content, 1, i, 0)
+                .expect("quota")
+        })
+        .collect();
+    g.bench_function("offer_evict_cycle", |b| {
+        b.iter(|| {
+            let mut cache = past_core::cache::Cache::new();
+            for cert in &certs {
+                black_box(cache.offer(cert, 100_000));
+            }
+            cache.len()
+        })
+    });
+    let mut warm = past_core::cache::Cache::new();
+    for cert in &certs {
+        warm.offer(cert, 1 << 30);
+    }
+    let probe = certs[17].file_id;
+    g.bench_function("lookup_hit", |b| {
+        b.iter(|| black_box(warm.lookup(black_box(&probe))))
+    });
+    g.finish();
+}
+
+fn bench_whole_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pastry/end_to_end");
+    g.sample_size(10);
+    use past_netsim::Sphere;
+    use past_pastry::{random_ids, static_build, NullApp};
+    let n = 10_000;
+    let mut rng = StdRng::seed_from_u64(21);
+    let ids = random_ids(n, &mut rng);
+    let mut sim = static_build(
+        Sphere::new(n, 21),
+        Config::default(),
+        21,
+        &ids,
+        |_| NullApp,
+        2,
+    );
+    g.bench_function("route_10k_nodes", |b| {
+        b.iter(|| {
+            let key = Id(rng.random());
+            let from = rng.random_range(0..n);
+            sim.route(from, key, ());
+            black_box(sim.drain_deliveries().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets =
+    bench_hashes,
+    bench_signatures,
+    bench_certificates,
+    bench_id_ops,
+    bench_routing_step,
+    bench_state_maintenance,
+    bench_cache,
+    bench_whole_route
+}
+criterion_main!(benches);

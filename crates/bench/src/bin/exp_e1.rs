@@ -1,0 +1,13 @@
+//! Paper-scale run of experiment E1: routing hops vs network size.
+//!
+//! `cargo run --release -p past-bench --bin exp_e1`
+
+use past_sim::experiments::hops;
+
+fn main() {
+    let params = hops::Params::paper();
+    println!("Running E1 at paper scale: {params:?}\n");
+    let result = hops::run(&params);
+    println!("{}", result.table());
+    println!("{}", result.distribution_table());
+}

@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E10: files-per-node balance.
+//!
+//! `cargo run --release -p past-bench --bin exp_e10`
+
+use past_sim::experiments::balance;
+
+fn main() {
+    let params = balance::Params::paper();
+    println!("Running E10 at paper scale: {params:?}\n");
+    let result = balance::run(&params);
+    println!("{}", result.table());
+}

@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E11: Pastry vs Chord vs CAN.
+//!
+//! `cargo run --release -p past-bench --bin exp_e11`
+
+use past_sim::experiments::baselines_cmp;
+
+fn main() {
+    let params = baselines_cmp::Params::paper();
+    println!("Running E11 at paper scale: {params:?}\n");
+    let result = baselines_cmp::run(&params);
+    println!("{}", result.table());
+}

@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E12: smartcard quota lifecycle.
+//!
+//! `cargo run --release -p past-bench --bin exp_e12`
+
+use past_sim::experiments::quota;
+
+fn main() {
+    let params = quota::Params::paper();
+    println!("Running E12 at paper scale: {params:?}\n");
+    let result = quota::run(&params);
+    println!("{}", result.table());
+}

@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E13: security fault injection.
+//!
+//! `cargo run --release -p past-bench --bin exp_e13`
+
+use past_sim::experiments::security;
+
+fn main() {
+    let params = security::Params::paper();
+    println!("Running E13 at paper scale: {params:?}\n");
+    let result = security::run(&params);
+    println!("{}", result.table());
+}

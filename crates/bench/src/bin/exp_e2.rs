@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E2: per-node routing state.
+//!
+//! `cargo run --release -p past-bench --bin exp_e2`
+
+use past_sim::experiments::state_size;
+
+fn main() {
+    let params = state_size::Params::paper();
+    println!("Running E2 at paper scale: {params:?}\n");
+    let result = state_size::run(&params);
+    println!("{}", result.table());
+}

@@ -1,0 +1,19 @@
+//! Paper-scale run of experiment E3: route-distance penalty.
+//!
+//! `cargo run --release -p past-bench --bin exp_e3`
+
+use past_sim::experiments::locality;
+
+fn main() {
+    let params = locality::Params::paper();
+    println!("Running E3 at paper scale: {params:?}\n");
+    let result = locality::run(&params);
+    println!("{}", result.table());
+    let ablation = locality::run_ablation(
+        1_000,
+        600,
+        63,
+        past_sim::experiments::pastry_config_default(),
+    );
+    println!("{}", ablation.table());
+}

@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E4: nearest-replica retrieval.
+//!
+//! `cargo run --release -p past-bench --bin exp_e4`
+
+use past_sim::experiments::replicas;
+
+fn main() {
+    let params = replicas::Params::paper();
+    println!("Running E4 at paper scale: {params:?}\n");
+    let result = replicas::run(&params);
+    println!("{}", result.table());
+}

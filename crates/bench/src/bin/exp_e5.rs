@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E5: delivery under failures.
+//!
+//! `cargo run --release -p past-bench --bin exp_e5`
+
+use past_sim::experiments::failure;
+
+fn main() {
+    let params = failure::Params::paper();
+    println!("Running E5 at paper scale: {params:?}\n");
+    let result = failure::run(&params);
+    println!("{}", result.table());
+}

@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E6: node-arrival cost.
+//!
+//! `cargo run --release -p past-bench --bin exp_e6`
+
+use past_sim::experiments::join_cost;
+
+fn main() {
+    let params = join_cost::Params::paper();
+    println!("Running E6 at paper scale: {params:?}\n");
+    let result = join_cost::run(&params);
+    println!("{}", result.table());
+}

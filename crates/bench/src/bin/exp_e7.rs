@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E7: storage utilization vs rejections.
+//!
+//! `cargo run --release -p past-bench --bin exp_e7`
+
+use past_sim::experiments::storage_util;
+
+fn main() {
+    let params = storage_util::Params::paper();
+    println!("Running E7 at paper scale: {params:?}\n");
+    let result = storage_util::run(&params);
+    println!("{}", result.table());
+}

@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E8: caching effect.
+//!
+//! `cargo run --release -p past-bench --bin exp_e8`
+
+use past_sim::experiments::caching;
+
+fn main() {
+    let params = caching::Params::paper();
+    println!("Running E8 at paper scale: {params:?}\n");
+    let result = caching::run(&params);
+    println!("{}", result.table());
+}

@@ -1,0 +1,12 @@
+//! Paper-scale run of experiment E9: routing around malicious nodes.
+//!
+//! `cargo run --release -p past-bench --bin exp_e9`
+
+use past_sim::experiments::malicious;
+
+fn main() {
+    let params = malicious::Params::paper();
+    println!("Running E9 at paper scale: {params:?}\n");
+    let result = malicious::run(&params);
+    println!("{}", result.table());
+}

@@ -1,0 +1,7 @@
+//! Benchmark harness for the PAST reproduction.
+//!
+//! - `benches/paper_tables.rs` regenerates every experiment table
+//!   (E1–E13) at bench scale; run with `cargo bench -p past-bench`.
+//! - `benches/micro.rs` holds criterion microbenchmarks of the hot
+//!   primitives (hashing, signatures, routing steps, cache ops).
+//! - `src/bin/exp_*.rs` run individual experiments at paper scale.

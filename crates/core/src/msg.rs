@@ -1,0 +1,221 @@
+//! PAST application messages, carried by Pastry as routed or direct
+//! payloads.
+
+use crate::cert::{FileCertificate, ReclaimCertificate, ReclaimReceipt, StoreReceipt};
+use crate::fileid::{ContentRef, FileId};
+use past_crypto::Digest256;
+use past_netsim::Addr;
+use past_pastry::PayloadSize;
+
+/// Why an insertion response was negative.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NackReason {
+    /// Certificate or content failed verification (fatal for the attempt).
+    BadCertificate,
+    /// Local policy refused the copy and diversion failed.
+    StoreRefused,
+    /// The target replica holder is dead.
+    TargetDead,
+    /// The network has fewer nodes than requested replicas.
+    InsufficientNodes,
+}
+
+impl NackReason {
+    /// Fatal reasons abort the attempt immediately (no point counting the
+    /// remaining responses).
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, NackReason::BadCertificate)
+    }
+}
+
+/// The PAST protocol message set.
+#[derive(Clone, Debug)]
+pub enum PastMsg {
+    // --- Routed toward the fileId's root -------------------------------
+    /// Insert request: certificate plus the content as transferred (the
+    /// hash may be corrupted en route; the certificate exposes that).
+    Insert {
+        /// The owner-signed file certificate.
+        cert: FileCertificate,
+        /// The content as it arrives (subject to en-route corruption).
+        content: ContentRef,
+        /// The requesting client.
+        client: Addr,
+    },
+    /// Lookup request; accumulates the route path for cache placement.
+    Lookup {
+        /// The requested file.
+        file_id: FileId,
+        /// The requesting client.
+        client: Addr,
+        /// Nodes traversed (bounded), nearest-to-client first.
+        path: Vec<Addr>,
+        /// Set once a covering node has redirected the lookup to its
+        /// proximity-nearest replica holder (at most one redirect).
+        redirected: bool,
+    },
+    /// Reclaim request.
+    Reclaim {
+        /// The owner-signed reclaim certificate.
+        rcert: ReclaimCertificate,
+        /// The requesting client.
+        client: Addr,
+    },
+
+    // --- Direct node-to-node -------------------------------------------
+    /// Root → k-set member: store a replica. `client: None` marks
+    /// maintenance replication (no receipts expected).
+    Replicate {
+        /// The file certificate.
+        cert: FileCertificate,
+        /// The content as held by the sender.
+        content: ContentRef,
+        /// The client awaiting receipts, if any.
+        client: Option<Addr>,
+    },
+    /// Full primary → leaf neighbor: hold this replica for me
+    /// (replica diversion).
+    DivertStore {
+        /// The file certificate.
+        cert: FileCertificate,
+        /// The content.
+        content: ContentRef,
+        /// The diverting primary (receives the ack/nack).
+        primary: Addr,
+        /// The client awaiting a receipt.
+        client: Addr,
+    },
+    /// Diversion accepted; sender now holds the replica.
+    DivertAck {
+        /// The diverted file.
+        file_id: FileId,
+    },
+    /// Diversion refused.
+    DivertNack {
+        /// The refused file.
+        file_id: FileId,
+    },
+    /// Storage node → client: copy stored, receipt enclosed.
+    StoreAck {
+        /// The signed store receipt.
+        receipt: StoreReceipt,
+    },
+    /// Storage node → client: copy not stored.
+    InsertNack {
+        /// The file.
+        file_id: FileId,
+        /// Why.
+        reason: NackReason,
+    },
+    /// Root → replica holder: answer this lookup if you can.
+    LookupHop {
+        /// The requested file.
+        file_id: FileId,
+        /// The client awaiting the file.
+        client: Addr,
+        /// Path recorded by the routed phase.
+        path: Vec<Addr>,
+        /// Terminal hops answer miss directly; non-terminal ones
+        /// (nearest-replica redirects) re-route toward the root instead.
+        terminal: bool,
+    },
+    /// Storage node → client: the file (certificate stands in for content).
+    FileReply {
+        /// The certificate, "returned along with the file".
+        cert: FileCertificate,
+        /// Whether a cached copy served the request.
+        from_cache: bool,
+    },
+    /// Storage node → client: file not found here.
+    LookupMiss {
+        /// The file.
+        file_id: FileId,
+    },
+    /// Root → k-set member / pointer holder: free this file.
+    ReclaimFree {
+        /// The reclaim certificate.
+        rcert: ReclaimCertificate,
+        /// The client awaiting receipts.
+        client: Addr,
+    },
+    /// Storage node → client: storage freed, receipt enclosed.
+    ReclaimAck {
+        /// The signed reclaim receipt.
+        receipt: ReclaimReceipt,
+    },
+    /// Storage node → client: reclaim refused (not the owner).
+    ReclaimDenied {
+        /// The file.
+        file_id: FileId,
+    },
+    /// Push a file into a nearby node's cache (sent to route-path nodes).
+    CachePush {
+        /// The certificate of the cached file.
+        cert: FileCertificate,
+    },
+    /// Random storage audit: prove you hold the file.
+    AuditChallenge {
+        /// The audited file.
+        file_id: FileId,
+        /// Fresh challenge nonce.
+        nonce: u64,
+    },
+    /// Audit answer: `None` means "cannot prove".
+    AuditProof {
+        /// The audited file.
+        file_id: FileId,
+        /// H(nonce ‖ content), if the prover holds the content.
+        proof: Option<Digest256>,
+    },
+}
+
+impl PayloadSize for PastMsg {
+    fn payload_size(&self) -> u64 {
+        const CERT: u64 = 180;
+        const RECEIPT: u64 = 150;
+        match self {
+            // Content bytes travel with inserts, replications, and replies.
+            PastMsg::Insert { cert, .. } => CERT + cert.size,
+            PastMsg::Replicate { cert, .. } => CERT + cert.size,
+            PastMsg::DivertStore { cert, .. } => CERT + cert.size,
+            PastMsg::FileReply { cert, .. } => CERT + cert.size,
+            PastMsg::CachePush { cert } => CERT + cert.size,
+            PastMsg::Lookup { path, .. } => 40 + 8 * path.len() as u64,
+            PastMsg::LookupHop { path, .. } => 40 + 8 * path.len() as u64,
+            PastMsg::Reclaim { .. } | PastMsg::ReclaimFree { .. } => CERT,
+            PastMsg::StoreAck { .. } | PastMsg::ReclaimAck { .. } => RECEIPT,
+            _ => 40,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fatality() {
+        assert!(NackReason::BadCertificate.is_fatal());
+        assert!(!NackReason::StoreRefused.is_fatal());
+        assert!(!NackReason::TargetDead.is_fatal());
+    }
+
+    #[test]
+    fn payload_sizes_track_content() {
+        use crate::broker::Broker;
+        let mut broker = Broker::new(b"b");
+        let mut card = broker.issue_card(b"u", u64::MAX / 2, 0);
+        let content = ContentRef::synthetic(0, "f", 10_000);
+        let cert = card.issue_file_certificate("f", &content, 1, 0, 0).unwrap();
+        let insert = PastMsg::Insert {
+            cert,
+            content,
+            client: 0,
+        };
+        assert!(insert.payload_size() > 10_000);
+        let miss = PastMsg::LookupMiss {
+            file_id: cert.file_id,
+        };
+        assert!(miss.payload_size() < 100);
+    }
+}

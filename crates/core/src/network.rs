@@ -1,0 +1,223 @@
+//! High-level PAST network API: the entry point examples and experiments
+//! drive.
+//!
+//! Wraps a Pastry overlay whose application is [`PastApp`] plus the broker
+//! that issued every node's smartcard, and exposes the three client
+//! operations of the paper (insert / lookup / reclaim) along with audits
+//! and whole-system accounting.
+
+use crate::broker::Broker;
+use crate::fileid::{ContentRef, FileId};
+use crate::msg::PastMsg;
+use crate::node::{PastApp, PastConfig, PastOut};
+use crate::smartcard::CardError;
+use past_crypto::Digest256;
+use past_netsim::{Addr, SimTime, Topology};
+use past_pastry::{static_build, Config as PastryConfig, Id, PastryMsg, PastrySim};
+
+/// A timestamped application event.
+pub type PastEvent = (SimTime, Addr, PastOut);
+
+/// A complete PAST deployment: overlay + broker.
+pub struct PastNetwork<T: Topology> {
+    /// The underlying overlay simulation.
+    pub sim: PastrySim<PastApp, T>,
+    /// The broker that issued all smartcards.
+    pub broker: Broker,
+    past_cfg: PastConfig,
+}
+
+/// How to construct the overlay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildMode {
+    /// Sequential protocol joins (accurate; O(N log N) messages).
+    ProtocolJoins,
+    /// Static state construction (fast; for very large networks).
+    Static,
+}
+
+impl<T: Topology> PastNetwork<T> {
+    /// Builds an `n`-node PAST network.
+    ///
+    /// Node `i` gets id `ids[i]`, storage capacity `capacities[i]`, and a
+    /// smartcard with usage quota `quotas[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length or are empty.
+    pub fn build(
+        topo: T,
+        pastry_cfg: PastryConfig,
+        past_cfg: PastConfig,
+        seed: u64,
+        ids: &[Id],
+        capacities: &[u64],
+        quotas: &[u64],
+        mode: BuildMode,
+    ) -> PastNetwork<T> {
+        assert!(!ids.is_empty());
+        assert_eq!(ids.len(), capacities.len());
+        assert_eq!(ids.len(), quotas.len());
+        let mut broker = Broker::new(&seed.to_be_bytes());
+        let mk_app = |broker: &mut Broker, i: usize| {
+            let card =
+                broker.issue_card(format!("card-{i:08}").as_bytes(), quotas[i], capacities[i]);
+            PastApp::new(past_cfg, card, capacities[i], broker)
+        };
+        let sim = match mode {
+            BuildMode::ProtocolJoins => {
+                let mut sim = PastrySim::new(topo, pastry_cfg, seed);
+                sim.build_by_joins(ids, |i| mk_app(&mut broker, i), 8);
+                sim
+            }
+            BuildMode::Static => {
+                static_build(topo, pastry_cfg, seed, ids, |i| mk_app(&mut broker, i), 4)
+            }
+        };
+        PastNetwork {
+            sim,
+            broker,
+            past_cfg,
+        }
+    }
+
+    /// The PAST parameters in force.
+    pub fn past_cfg(&self) -> PastConfig {
+        self.past_cfg
+    }
+
+    /// Client operation: insert a file with replication `k`.
+    ///
+    /// Returns the request id; completion arrives as
+    /// [`PastOut::InsertOk`] / [`PastOut::InsertFailed`] from [`Self::run`].
+    pub fn insert(
+        &mut self,
+        client: Addr,
+        name: &str,
+        content: ContentRef,
+        k: u8,
+    ) -> Result<u64, CardError> {
+        let now = self.sim.engine.now().as_micros();
+        let (request_id, cert) = self
+            .sim
+            .engine
+            .node_mut(client)
+            .app
+            .begin_insert(name, content, k, now)?;
+        self.sim.route(
+            client,
+            cert.file_id.routing_id(),
+            PastMsg::Insert {
+                cert,
+                content,
+                client,
+            },
+        );
+        Ok(request_id)
+    }
+
+    /// Client operation: look up a file.
+    pub fn lookup(&mut self, client: Addr, file_id: FileId) {
+        let now = self.sim.engine.now().as_micros();
+        self.sim
+            .engine
+            .node_mut(client)
+            .app
+            .begin_lookup(file_id, now);
+        self.sim.route(
+            client,
+            file_id.routing_id(),
+            PastMsg::Lookup {
+                file_id,
+                client,
+                path: Vec::new(),
+                redirected: false,
+            },
+        );
+    }
+
+    /// Client operation: reclaim a file's storage.
+    pub fn reclaim(&mut self, client: Addr, file_id: FileId) {
+        let rcert = self.sim.engine.node_mut(client).app.begin_reclaim(file_id);
+        self.sim.route(
+            client,
+            file_id.routing_id(),
+            PastMsg::Reclaim { rcert, client },
+        );
+    }
+
+    /// Audits `target`'s possession of `file_id` (challenge–response).
+    ///
+    /// `content_hash` is the expected content commitment from the file's
+    /// certificate.
+    pub fn audit(
+        &mut self,
+        auditor: Addr,
+        target: Addr,
+        file_id: FileId,
+        content_hash: Digest256,
+        nonce: u64,
+    ) {
+        self.sim
+            .engine
+            .node_mut(auditor)
+            .app
+            .begin_audit(file_id, content_hash, nonce);
+        self.sim.engine.inject(
+            auditor,
+            target,
+            PastryMsg::AppDirect {
+                payload: PastMsg::AuditChallenge { file_id, nonce },
+            },
+            0,
+        );
+    }
+
+    /// Runs the network to quiescence and returns application events.
+    pub fn run(&mut self) -> Vec<PastEvent> {
+        self.sim.engine.run_until_quiet(50_000_000);
+        self.sim.drain_app_outputs()
+    }
+
+    /// Global storage accounting: `(used, capacity, utilization)` over
+    /// live nodes.
+    pub fn utilization(&self) -> (u64, u64, f64) {
+        let mut used = 0;
+        let mut cap = 0;
+        for a in self.sim.engine.live_addrs() {
+            let st = &self.sim.engine.node(a).app.store;
+            used += st.used();
+            cap += st.capacity();
+        }
+        let frac = if cap == 0 {
+            0.0
+        } else {
+            used as f64 / cap as f64
+        };
+        (used, cap, frac)
+    }
+
+    /// Live nodes currently holding a replica of `file_id` (ground truth
+    /// for tests; not a protocol operation).
+    pub fn replica_holders(&self, file_id: &FileId) -> Vec<Addr> {
+        self.sim
+            .engine
+            .live_addrs()
+            .into_iter()
+            .filter(|&a| self.sim.engine.node(a).app.store.get(file_id).is_some())
+            .collect()
+    }
+
+    /// Live nodes holding `file_id` in cache only.
+    pub fn cache_holders(&self, file_id: &FileId) -> Vec<Addr> {
+        self.sim
+            .engine
+            .live_addrs()
+            .into_iter()
+            .filter(|&a| {
+                let st = &self.sim.engine.node(a).app.store;
+                st.get(file_id).is_none() && st.cache.contains(file_id)
+            })
+            .collect()
+    }
+}

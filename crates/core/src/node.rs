@@ -1,0 +1,1022 @@
+//! The PAST node application: storage protocol logic on top of Pastry.
+//!
+//! Implements the paper's three operations — insert (k replicas on the k
+//! nodes with nodeIds numerically closest to the fileId), lookup (answered
+//! by the first node along the route holding a copy, including cached
+//! copies), reclaim (owner-verified storage release) — plus replica
+//! diversion for full nodes, file diversion (client re-salting), replica
+//! maintenance under churn, cache management, storage audits, and the
+//! fault-injection behaviors the security experiments need.
+
+use crate::broker::Broker;
+use crate::cert::{FileCertificate, ReclaimCertificate};
+use crate::fileid::{audit_proof, ContentRef, FileId};
+use crate::msg::{NackReason, PastMsg};
+use crate::smartcard::{CardError, Smartcard};
+use crate::storage::{ReplicaKind, Store};
+use past_crypto::{Digest256, PublicKey};
+use past_netsim::Addr;
+use past_pastry::{App, AppCtx, Id, NodeHandle, PastryState, RouteEnvelope, RouteInfo};
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Tunable PAST parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PastConfig {
+    /// Default replication factor `k` (the paper's replica-locality
+    /// experiment uses 5).
+    pub default_k: u8,
+    /// Primary-replica acceptance threshold `t_pri`.
+    pub t_pri: f64,
+    /// Diverted-replica acceptance threshold `t_div`.
+    pub t_div: f64,
+    /// Insert attempts including the original (file diversion retries
+    /// with a fresh salt; "the client retries with a different salt").
+    pub max_insert_attempts: u32,
+    /// Leaf-set nodes probed during replica diversion before giving up.
+    pub divert_candidates: usize,
+    /// Master switch for caching.
+    pub cache_enabled: bool,
+    /// Fraction of a node's free space the cache may occupy.
+    pub cache_fraction: f64,
+    /// Route-path nodes a serving node pushes a cache copy to.
+    pub cache_push: usize,
+    /// Cache files passing through on the insert path.
+    pub cache_on_insert_path: bool,
+    /// Verify signatures end to end. Large storage/caching experiments
+    /// (E7, E8) disable this to measure storage policy rather than
+    /// big-integer arithmetic; structural checks (content hash vs
+    /// certificate, sizes) always run.
+    pub crypto_checks: bool,
+}
+
+impl Default for PastConfig {
+    fn default() -> PastConfig {
+        PastConfig {
+            default_k: 5,
+            t_pri: 0.1,
+            t_div: 0.05,
+            max_insert_attempts: 4,
+            divert_candidates: 3,
+            cache_enabled: true,
+            cache_fraction: 1.0,
+            cache_push: 1,
+            cache_on_insert_path: true,
+            crypto_checks: true,
+        }
+    }
+}
+
+/// Client-visible protocol outcomes, emitted to the harness.
+#[derive(Clone, Debug)]
+pub enum PastOut {
+    /// All `k` receipts collected.
+    InsertOk {
+        /// The client-local request id.
+        request_id: u64,
+        /// The final fileId (may differ from the first attempt's after
+        /// file diversion).
+        file_id: FileId,
+        /// Attempts used (1 = no diversion needed).
+        attempts: u32,
+        /// Receipts collected.
+        receipts: u8,
+    },
+    /// The insert failed after all attempts.
+    InsertFailed {
+        /// The client-local request id.
+        request_id: u64,
+        /// Size of the rejected file.
+        size: u64,
+        /// Attempts used.
+        attempts: u32,
+    },
+    /// A lookup returned a verified file.
+    LookupOk {
+        /// The file.
+        file_id: FileId,
+        /// The node that served it.
+        server: Addr,
+        /// Whether a cached copy answered.
+        from_cache: bool,
+        /// When the lookup started (simulated µs).
+        started_us: u64,
+    },
+    /// A lookup failed (miss or bad certificate).
+    LookupFailed {
+        /// The file.
+        file_id: FileId,
+    },
+    /// A reclaim receipt was credited against the quota.
+    ReclaimCredited {
+        /// The file.
+        file_id: FileId,
+        /// Bytes credited.
+        freed: u64,
+    },
+    /// A reclaim was refused (requester is not the owner).
+    ReclaimDenied {
+        /// The file.
+        file_id: FileId,
+    },
+    /// An audited node proved possession.
+    AuditPassed {
+        /// The audited file.
+        file_id: FileId,
+        /// The prover.
+        prover: Addr,
+    },
+    /// An audited node failed to prove possession.
+    AuditFailed {
+        /// The audited file.
+        file_id: FileId,
+        /// The prover.
+        prover: Addr,
+    },
+}
+
+/// An in-flight client insertion.
+struct PendingInsert {
+    request_id: u64,
+    name: String,
+    content: ContentRef,
+    k: u8,
+    attempts: u32,
+    salt: u64,
+    receipts: u8,
+    receipt_keys: HashSet<[u8; 32]>,
+    nacks: u32,
+    fatal: bool,
+}
+
+/// Replica-diversion state at a full primary.
+struct DivertState {
+    cert: FileCertificate,
+    content: ContentRef,
+    client: Addr,
+    candidates: Vec<Addr>,
+}
+
+/// The PAST application state of one node.
+pub struct PastApp {
+    /// PAST parameters.
+    pub cfg: PastConfig,
+    /// This node's smartcard (storage-node and client roles).
+    pub card: Smartcard,
+    /// The local store.
+    pub store: Store,
+    /// The broker's public key (trust anchor).
+    pub broker_key: PublicKey,
+    /// Fault injection: corrupt insert contents passing through.
+    pub corrupts_content: bool,
+    /// Fault injection: acknowledge stores without keeping the data
+    /// (exposed by random audits).
+    pub drops_stored_files: bool,
+    /// Fault injection: a malicious root that stores its own copy but
+    /// suppresses the k−1 replica fan-out (exposed by missing store
+    /// receipts at the client, §2.1).
+    pub suppresses_replicas: bool,
+    pending_inserts: HashMap<FileId, PendingInsert>,
+    pending_lookups: HashMap<FileId, u64>,
+    pending_audits: HashMap<FileId, (Digest256, u64)>,
+    pending_diverts: HashMap<FileId, DivertState>,
+    next_request_id: u64,
+}
+
+type Cx<'a, 'b> = AppCtx<'a, 'b, PastMsg, PastOut>;
+
+impl PastApp {
+    /// Creates a node application with the given card and capacity.
+    pub fn new(cfg: PastConfig, card: Smartcard, capacity: u64, broker: &Broker) -> PastApp {
+        PastApp {
+            store: Store::new(capacity, cfg.t_pri, cfg.t_div),
+            cfg,
+            card,
+            broker_key: broker.public(),
+            corrupts_content: false,
+            drops_stored_files: false,
+            suppresses_replicas: false,
+            pending_inserts: HashMap::new(),
+            pending_lookups: HashMap::new(),
+            pending_audits: HashMap::new(),
+            pending_diverts: HashMap::new(),
+            next_request_id: 0,
+        }
+    }
+
+    // --- Client-side entry points (invoked by the harness) -------------
+
+    /// Issues a certificate and registers the pending insert.
+    ///
+    /// Returns `(request_id, certificate)`; the caller routes the
+    /// [`PastMsg::Insert`] toward the fileId.
+    pub fn begin_insert(
+        &mut self,
+        name: &str,
+        content: ContentRef,
+        k: u8,
+        now_us: u64,
+    ) -> Result<(u64, FileCertificate), CardError> {
+        let salt = 0;
+        let cert = self
+            .card
+            .issue_file_certificate(name, &content, k, salt, now_us)?;
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        self.pending_inserts.insert(
+            cert.file_id,
+            PendingInsert {
+                request_id,
+                name: name.to_string(),
+                content,
+                k,
+                attempts: 1,
+                salt,
+                receipts: 0,
+                receipt_keys: HashSet::new(),
+                nacks: 0,
+                fatal: false,
+            },
+        );
+        Ok((request_id, cert))
+    }
+
+    /// Registers a pending lookup (for latency measurement).
+    pub fn begin_lookup(&mut self, file_id: FileId, now_us: u64) {
+        self.pending_lookups.insert(file_id, now_us);
+    }
+
+    /// Issues a reclaim certificate for a file this card owns.
+    pub fn begin_reclaim(&mut self, file_id: FileId) -> ReclaimCertificate {
+        self.card.issue_reclaim_certificate(&file_id)
+    }
+
+    /// Registers an expected audit answer before challenging a node.
+    pub fn begin_audit(&mut self, file_id: FileId, content_hash: Digest256, nonce: u64) {
+        self.pending_audits.insert(file_id, (content_hash, nonce));
+    }
+
+    /// Number of outstanding client inserts (for harness draining).
+    pub fn pending_insert_count(&self) -> usize {
+        self.pending_inserts.len()
+    }
+
+    // --- Internal helpers ----------------------------------------------
+
+    /// The k nodes (self + leaf members) numerically closest to `rid`.
+    fn kset(state: &PastryState, rid: Id, k: u8) -> Vec<NodeHandle> {
+        let mut v = state.leaf.sorted_by_dist(&rid);
+        v.push(state.me);
+        v.sort_by_key(|h| (h.id.ring_dist(&rid), h.id.0));
+        v.truncate(k.max(1) as usize);
+        v
+    }
+
+    /// Serves `fid` to `client` if held; optionally pushes cache copies to
+    /// route-path nodes. Returns true if served.
+    fn reply_file(&mut self, fid: &FileId, client: Addr, path: &[Addr], cx: &mut Cx) -> bool {
+        let me = cx.me();
+        let Some((cert, from_cache)) = self.store.serve(fid) else {
+            return false;
+        };
+        cx.send_direct(client, PastMsg::FileReply { cert, from_cache });
+        if self.cfg.cache_enabled && self.cfg.cache_push > 0 {
+            // "Caches copies of popular files close to interested
+            // clients": the earliest path entries are nearest the client.
+            for &p in path
+                .iter()
+                .filter(|&&p| p != client && p != me)
+                .take(self.cfg.cache_push)
+            {
+                cx.send_direct(p, PastMsg::CachePush { cert });
+            }
+        }
+        true
+    }
+
+    /// Validates an (insert-time) certificate + content pair.
+    fn insert_valid(&self, cert: &FileCertificate, content: &ContentRef) -> bool {
+        cert.replication >= 1
+            && content.hash == cert.content_hash
+            && content.size == cert.size
+            && (!self.cfg.crypto_checks || cert.verify(&self.broker_key))
+    }
+
+    /// Attempts to store a primary replica, diverting on refusal.
+    fn try_store_primary(
+        &mut self,
+        cert: FileCertificate,
+        content: ContentRef,
+        client: Option<Addr>,
+        state: &PastryState,
+        cx: &mut Cx,
+    ) {
+        if !self.insert_valid(&cert, &content) {
+            if let Some(c) = client {
+                cx.send_direct(
+                    c,
+                    PastMsg::InsertNack {
+                        file_id: cert.file_id,
+                        reason: NackReason::BadCertificate,
+                    },
+                );
+            }
+            return;
+        }
+        if self.drops_stored_files {
+            // Cheat: acknowledge without storing (random audits expose
+            // this).
+            if let Some(c) = client {
+                let receipt = self
+                    .card
+                    .issue_store_receipt(&cert.file_id, cert.size, false);
+                cx.send_direct(c, PastMsg::StoreAck { receipt });
+            }
+            return;
+        }
+        if self.store.get(&cert.file_id).is_some() {
+            // Idempotent: re-acknowledge.
+            if let Some(c) = client {
+                let receipt = self.card.issue_store_receipt(&cert.file_id, 0, false);
+                cx.send_direct(c, PastMsg::StoreAck { receipt });
+            }
+            return;
+        }
+        match self.store.insert(&cert, ReplicaKind::Primary) {
+            Ok(()) => {
+                if let Some(c) = client {
+                    let receipt = self
+                        .card
+                        .issue_store_receipt(&cert.file_id, cert.size, false);
+                    cx.send_direct(c, PastMsg::StoreAck { receipt });
+                }
+            }
+            Err(_) => {
+                if let Some(c) = client {
+                    self.start_diversion(cert, content, c, state, cx);
+                }
+                // Maintenance copies are best-effort: no diversion.
+            }
+        }
+    }
+
+    /// Begins replica diversion: probe leaf-set nodes outside the k-set.
+    fn start_diversion(
+        &mut self,
+        cert: FileCertificate,
+        content: ContentRef,
+        client: Addr,
+        state: &PastryState,
+        cx: &mut Cx,
+    ) {
+        let rid = cert.file_id.routing_id();
+        let kset: HashSet<Addr> = Self::kset(state, rid, cert.replication)
+            .iter()
+            .map(|h| h.addr)
+            .collect();
+        let mut candidates: Vec<Addr> = state
+            .leaf
+            .members()
+            .map(|h| h.addr)
+            .filter(|a| !kset.contains(a) && *a != cx.me())
+            .collect();
+        // Fisher-Yates shuffle so repeated diversions spread load.
+        for i in (1..candidates.len()).rev() {
+            let j = cx.rng().random_range(0..=i);
+            candidates.swap(i, j);
+        }
+        candidates.truncate(self.cfg.divert_candidates);
+        if candidates.is_empty() {
+            cx.send_direct(
+                client,
+                PastMsg::InsertNack {
+                    file_id: cert.file_id,
+                    reason: NackReason::StoreRefused,
+                },
+            );
+            return;
+        }
+        let first = candidates.remove(0);
+        self.pending_diverts.insert(
+            cert.file_id,
+            DivertState {
+                cert,
+                content,
+                client,
+                candidates,
+            },
+        );
+        cx.send_direct(
+            first,
+            PastMsg::DivertStore {
+                cert,
+                content,
+                primary: cx.me(),
+                client,
+            },
+        );
+    }
+
+    /// Probes the next diversion candidate, or gives up with a nack.
+    fn try_next_divert(&mut self, fid: FileId, cx: &mut Cx) {
+        let Some(st) = self.pending_diverts.get_mut(&fid) else {
+            return;
+        };
+        if st.candidates.is_empty() {
+            let st = self.pending_diverts.remove(&fid).expect("present");
+            cx.send_direct(
+                st.client,
+                PastMsg::InsertNack {
+                    file_id: fid,
+                    reason: NackReason::StoreRefused,
+                },
+            );
+            return;
+        }
+        let next = st.candidates.remove(0);
+        let (cert, content, client) = (st.cert, st.content, st.client);
+        let me = cx.me();
+        cx.send_direct(
+            next,
+            PastMsg::DivertStore {
+                cert,
+                content,
+                primary: me,
+                client,
+            },
+        );
+    }
+
+    /// Records an insert response at the client and decides the attempt.
+    fn note_insert_response(
+        &mut self,
+        fid: FileId,
+        receipt_key: Option<[u8; 32]>,
+        fatal: bool,
+        cx: &mut Cx,
+    ) {
+        let Some(p) = self.pending_inserts.get_mut(&fid) else {
+            return;
+        };
+        match receipt_key {
+            Some(key) => {
+                if p.receipt_keys.insert(key) {
+                    p.receipts += 1;
+                }
+            }
+            None => {
+                p.nacks += 1;
+                p.fatal |= fatal;
+            }
+        }
+        if p.receipts >= p.k {
+            let p = self.pending_inserts.remove(&fid).expect("present");
+            cx.emit(PastOut::InsertOk {
+                request_id: p.request_id,
+                file_id: fid,
+                attempts: p.attempts,
+                receipts: p.receipts,
+            });
+        } else if p.fatal || p.receipts as u32 + p.nacks >= p.k as u32 {
+            self.conclude_failed_attempt(fid, cx);
+        }
+    }
+
+    /// An attempt failed: credit unstored quota, reclaim partial copies,
+    /// and retry with a fresh salt (file diversion) or give up.
+    fn conclude_failed_attempt(&mut self, fid: FileId, cx: &mut Cx) {
+        let p = self.pending_inserts.remove(&fid).expect("pending exists");
+        // Unstored copies never consumed storage: credit their debit.
+        let unstored = (p.k - p.receipts) as u64 * p.content.size;
+        self.card.credit(unstored);
+        // Stored partial copies are reclaimed; their receipts credit later.
+        if p.receipts > 0 {
+            let rcert = self.card.issue_reclaim_certificate(&fid);
+            let me = cx.me();
+            cx.route(fid.routing_id(), PastMsg::Reclaim { rcert, client: me });
+        }
+        if p.attempts < self.cfg.max_insert_attempts {
+            let salt = p.salt + 1;
+            match self
+                .card
+                .issue_file_certificate(&p.name, &p.content, p.k, salt, cx.now_us())
+            {
+                Ok(cert) => {
+                    let new_fid = cert.file_id;
+                    self.pending_inserts.insert(
+                        new_fid,
+                        PendingInsert {
+                            request_id: p.request_id,
+                            name: p.name,
+                            content: p.content,
+                            k: p.k,
+                            attempts: p.attempts + 1,
+                            salt,
+                            receipts: 0,
+                            receipt_keys: HashSet::new(),
+                            nacks: 0,
+                            fatal: false,
+                        },
+                    );
+                    let me = cx.me();
+                    cx.route(
+                        new_fid.routing_id(),
+                        PastMsg::Insert {
+                            cert,
+                            content: p.content,
+                            client: me,
+                        },
+                    );
+                }
+                Err(_) => {
+                    cx.emit(PastOut::InsertFailed {
+                        request_id: p.request_id,
+                        size: p.content.size,
+                        attempts: p.attempts,
+                    });
+                }
+            }
+        } else {
+            cx.emit(PastOut::InsertFailed {
+                request_id: p.request_id,
+                size: p.content.size,
+                attempts: p.attempts,
+            });
+        }
+    }
+
+    /// Handles a reclaim at a holder; roots also propagate to the k-set.
+    fn handle_reclaim(
+        &mut self,
+        rcert: ReclaimCertificate,
+        client: Addr,
+        propagate: bool,
+        state: &PastryState,
+        cx: &mut Cx,
+    ) {
+        let fid = rcert.file_id;
+        if self.cfg.crypto_checks && !rcert.verify(&self.broker_key) {
+            cx.send_direct(client, PastMsg::ReclaimDenied { file_id: fid });
+            return;
+        }
+        let mut replication = self.cfg.default_k;
+        if let Some(f) = self.store.get(&fid) {
+            // "The smartcard of a storage node first verifies that the
+            // signature in the reclaim certificate matches that in the
+            // file certificate stored with the file."
+            if f.cert.owner.card_key != rcert.owner.card_key {
+                cx.send_direct(client, PastMsg::ReclaimDenied { file_id: fid });
+                return;
+            }
+            replication = f.cert.replication;
+            let freed = self.store.remove(&fid);
+            self.store.cache.invalidate(&fid);
+            let receipt = self.card.issue_reclaim_receipt(&fid, freed);
+            cx.send_direct(client, PastMsg::ReclaimAck { receipt });
+        }
+        if let Some(holder) = self.store.remove_pointer(&fid) {
+            cx.send_direct(holder, PastMsg::ReclaimFree { rcert, client });
+        }
+        if propagate {
+            let me = cx.me();
+            for h in Self::kset(state, fid.routing_id(), replication) {
+                if h.addr != me {
+                    cx.send_direct(h.addr, PastMsg::ReclaimFree { rcert, client });
+                }
+            }
+        }
+    }
+}
+
+impl App for PastApp {
+    type Payload = PastMsg;
+    type Out = PastOut;
+
+    fn deliver(
+        &mut self,
+        state: &PastryState,
+        _key: Id,
+        payload: PastMsg,
+        _info: RouteInfo,
+        cx: &mut Cx,
+    ) {
+        match payload {
+            PastMsg::Insert {
+                cert,
+                content,
+                client,
+            } => {
+                if !self.insert_valid(&cert, &content) {
+                    cx.send_direct(
+                        client,
+                        PastMsg::InsertNack {
+                            file_id: cert.file_id,
+                            reason: NackReason::BadCertificate,
+                        },
+                    );
+                    return;
+                }
+                let rid = cert.file_id.routing_id();
+                let kset = Self::kset(state, rid, cert.replication);
+                let me = cx.me();
+                let mut covered = 0u8;
+                let mut store_here = false;
+                for h in &kset {
+                    if h.addr == me {
+                        store_here = true;
+                    } else if !self.suppresses_replicas {
+                        cx.send_direct(
+                            h.addr,
+                            PastMsg::Replicate {
+                                cert,
+                                content,
+                                client: Some(client),
+                            },
+                        );
+                    }
+                    covered += 1;
+                }
+                // Network smaller than k: the client must learn of the
+                // shortfall to decide the attempt.
+                for _ in covered..cert.replication {
+                    cx.send_direct(
+                        client,
+                        PastMsg::InsertNack {
+                            file_id: cert.file_id,
+                            reason: NackReason::InsufficientNodes,
+                        },
+                    );
+                }
+                if store_here {
+                    self.try_store_primary(cert, content, Some(client), state, cx);
+                }
+            }
+            PastMsg::Lookup {
+                file_id,
+                client,
+                path,
+                redirected: _,
+            } => {
+                if self.reply_file(&file_id, client, &path, cx) {
+                    return;
+                }
+                if let Some(holder) = self.store.pointer(&file_id) {
+                    cx.send_direct(
+                        holder,
+                        PastMsg::LookupHop {
+                            file_id,
+                            client,
+                            path,
+                            terminal: true,
+                        },
+                    );
+                    return;
+                }
+                // The root may lack the file (e.g. it joined recently):
+                // ask the next-closest k-set member.
+                let kset = Self::kset(state, file_id.routing_id(), self.cfg.default_k);
+                let me = cx.me();
+                if let Some(other) = kset.iter().find(|h| h.addr != me) {
+                    cx.send_direct(
+                        other.addr,
+                        PastMsg::LookupHop {
+                            file_id,
+                            client,
+                            path,
+                            terminal: true,
+                        },
+                    );
+                } else {
+                    cx.send_direct(client, PastMsg::LookupMiss { file_id });
+                }
+            }
+            PastMsg::Reclaim { rcert, client } => {
+                self.handle_reclaim(rcert, client, true, state, cx);
+            }
+            // Direct-only messages routed here would be a logic error;
+            // ignore them defensively.
+            _ => {}
+        }
+    }
+
+    fn forward(
+        &mut self,
+        _state: &PastryState,
+        env: &mut RouteEnvelope<PastMsg>,
+        _next: NodeHandle,
+        cx: &mut Cx,
+    ) -> bool {
+        match &mut env.payload {
+            PastMsg::Insert { cert, content, .. } => {
+                if self.corrupts_content {
+                    // A faulty/malicious intermediate flips content bits;
+                    // the storing node detects the mismatch against the
+                    // certificate (§2.1).
+                    let mut h = content.hash;
+                    h.0[0] ^= 0xff;
+                    content.hash = h;
+                }
+                if self.cfg.cache_enabled && self.cfg.cache_on_insert_path {
+                    self.store.offer_cache(cert, self.cfg.cache_fraction);
+                }
+                true
+            }
+            PastMsg::Lookup {
+                file_id,
+                client,
+                path,
+                redirected,
+            } => {
+                let (fid, client) = (*file_id, *client);
+                if self.store.can_serve(&fid) {
+                    let path = path.clone();
+                    self.reply_file(&fid, client, &path, cx);
+                    return false;
+                }
+                // "Messages have a tendency to first reach a node, among
+                // the k nodes that store the requested file, that is near
+                // the client": once this node's leaf set covers the
+                // fileId it knows the whole k-set, and — being itself
+                // near the client thanks to route locality — it redirects
+                // to its proximity-nearest replica holder rather than
+                // letting the route terminate at the numeric root.
+                let rid = fid.routing_id();
+                if !*redirected && _state.leaf.covers(&rid) {
+                    let kset = Self::kset(_state, rid, self.cfg.default_k);
+                    let me = cx.me();
+                    let nearest = kset
+                        .iter()
+                        .filter(|h| h.addr != me)
+                        .min_by_key(|h| cx.delay_to(h.addr));
+                    if let Some(target) = nearest {
+                        let mut path = path.clone();
+                        if path.len() < 8 {
+                            path.push(me);
+                        }
+                        cx.send_direct(
+                            target.addr,
+                            PastMsg::LookupHop {
+                                file_id: fid,
+                                client,
+                                path,
+                                terminal: false,
+                            },
+                        );
+                        return false;
+                    }
+                }
+                if path.len() < 8 {
+                    path.push(cx.me());
+                }
+                true
+            }
+            _ => true,
+        }
+    }
+
+    fn on_direct(&mut self, state: &PastryState, from: Addr, payload: PastMsg, cx: &mut Cx) {
+        match payload {
+            PastMsg::Replicate {
+                cert,
+                content,
+                client,
+            } => {
+                self.try_store_primary(cert, content, client, state, cx);
+            }
+            PastMsg::DivertStore {
+                cert,
+                content,
+                primary,
+                client,
+            } => {
+                let valid = self.insert_valid(&cert, &content);
+                let admitted = valid
+                    && self.store.get(&cert.file_id).is_none()
+                    && !self.drops_stored_files
+                    && self.store.insert(&cert, ReplicaKind::Diverted).is_ok();
+                if admitted {
+                    let receipt = self
+                        .card
+                        .issue_store_receipt(&cert.file_id, cert.size, true);
+                    cx.send_direct(client, PastMsg::StoreAck { receipt });
+                    cx.send_direct(
+                        primary,
+                        PastMsg::DivertAck {
+                            file_id: cert.file_id,
+                        },
+                    );
+                } else {
+                    cx.send_direct(
+                        primary,
+                        PastMsg::DivertNack {
+                            file_id: cert.file_id,
+                        },
+                    );
+                }
+            }
+            PastMsg::DivertAck { file_id } => {
+                if self.pending_diverts.remove(&file_id).is_some() {
+                    self.store.add_pointer(file_id, from);
+                }
+            }
+            PastMsg::DivertNack { file_id } => {
+                self.try_next_divert(file_id, cx);
+            }
+            PastMsg::StoreAck { receipt } => {
+                if !self.cfg.crypto_checks || receipt.verify(&self.broker_key) {
+                    self.note_insert_response(
+                        receipt.file_id,
+                        Some(receipt.storer.card_key.to_bytes()),
+                        false,
+                        cx,
+                    );
+                }
+            }
+            PastMsg::InsertNack { file_id, reason } => {
+                self.note_insert_response(file_id, None, reason.is_fatal(), cx);
+            }
+            PastMsg::LookupHop {
+                file_id,
+                client,
+                path,
+                terminal,
+            } => {
+                if !self.reply_file(&file_id, client, &path, cx) {
+                    if terminal {
+                        cx.send_direct(client, PastMsg::LookupMiss { file_id });
+                    } else {
+                        // Not a holder after all (e.g. a just-joined k-set
+                        // member): continue the lookup toward the root.
+                        cx.route(
+                            file_id.routing_id(),
+                            PastMsg::Lookup {
+                                file_id,
+                                client,
+                                path,
+                                redirected: true,
+                            },
+                        );
+                    }
+                }
+            }
+            PastMsg::FileReply { cert, from_cache } => {
+                if let Some(started_us) = self.pending_lookups.remove(&cert.file_id) {
+                    // "The file certificate is returned along with the
+                    // file, and allows the client to verify that the
+                    // contents are authentic."
+                    if !self.cfg.crypto_checks || cert.verify(&self.broker_key) {
+                        cx.emit(PastOut::LookupOk {
+                            file_id: cert.file_id,
+                            server: from,
+                            from_cache,
+                            started_us,
+                        });
+                    } else {
+                        cx.emit(PastOut::LookupFailed {
+                            file_id: cert.file_id,
+                        });
+                    }
+                }
+            }
+            PastMsg::LookupMiss { file_id } => {
+                if self.pending_lookups.remove(&file_id).is_some() {
+                    cx.emit(PastOut::LookupFailed { file_id });
+                }
+            }
+            PastMsg::ReclaimFree { rcert, client } => {
+                self.handle_reclaim(rcert, client, false, state, cx);
+            }
+            PastMsg::ReclaimAck { receipt } => {
+                let fid = receipt.file_id;
+                let freed = receipt.freed;
+                let credited = if self.cfg.crypto_checks {
+                    self.card.credit_reclaim(&receipt, &self.broker_key).is_ok()
+                } else {
+                    self.card.credit(freed);
+                    true
+                };
+                if credited {
+                    cx.emit(PastOut::ReclaimCredited {
+                        file_id: fid,
+                        freed,
+                    });
+                }
+            }
+            PastMsg::ReclaimDenied { file_id } => {
+                cx.emit(PastOut::ReclaimDenied { file_id });
+            }
+            PastMsg::CachePush { cert } => {
+                if self.cfg.cache_enabled
+                    && (!self.cfg.crypto_checks || cert.verify(&self.broker_key))
+                {
+                    self.store.offer_cache(&cert, self.cfg.cache_fraction);
+                }
+            }
+            PastMsg::AuditChallenge { file_id, nonce } => {
+                let proof = if self.drops_stored_files {
+                    None
+                } else {
+                    self.store
+                        .serve(&file_id)
+                        .map(|(cert, _)| audit_proof(nonce, &cert.content_hash))
+                };
+                cx.send_direct(from, PastMsg::AuditProof { file_id, proof });
+            }
+            PastMsg::AuditProof { file_id, proof } => {
+                if let Some((expected_hash, nonce)) = self.pending_audits.remove(&file_id) {
+                    let expected = audit_proof(nonce, &expected_hash);
+                    if proof == Some(expected) {
+                        cx.emit(PastOut::AuditPassed {
+                            file_id,
+                            prover: from,
+                        });
+                    } else {
+                        cx.emit(PastOut::AuditFailed {
+                            file_id,
+                            prover: from,
+                        });
+                    }
+                }
+            }
+            // Routed-only messages arriving directly are ignored.
+            _ => {}
+        }
+    }
+
+    fn on_direct_failed(&mut self, _state: &PastryState, _to: Addr, payload: PastMsg, cx: &mut Cx) {
+        match payload {
+            PastMsg::Replicate {
+                cert,
+                client: Some(client),
+                ..
+            } => {
+                cx.send_direct(
+                    client,
+                    PastMsg::InsertNack {
+                        file_id: cert.file_id,
+                        reason: NackReason::TargetDead,
+                    },
+                );
+            }
+            PastMsg::DivertStore { cert, .. } => {
+                self.try_next_divert(cert.file_id, cx);
+            }
+            PastMsg::LookupHop {
+                file_id, client, ..
+            } => {
+                cx.send_direct(client, PastMsg::LookupMiss { file_id });
+            }
+            _ => {}
+        }
+    }
+
+    fn on_leafset_changed(
+        &mut self,
+        state: &PastryState,
+        added: &[NodeHandle],
+        removed: &[NodeHandle],
+        cx: &mut Cx,
+    ) {
+        if added.is_empty() && removed.is_empty() {
+            return;
+        }
+        // Replica maintenance: for every primary file whose root we are,
+        // make sure the current k-set holds copies ("the system
+        // automatically restores k copies of a file as part of a failure
+        // recovery procedure").
+        let me = state.me.addr;
+        let my_files: Vec<FileCertificate> = self
+            .store
+            .files()
+            .filter(|(_, f)| f.kind == ReplicaKind::Primary)
+            .map(|(_, f)| f.cert)
+            .collect();
+        let added_addrs: HashSet<Addr> = added.iter().map(|h| h.addr).collect();
+        for cert in my_files {
+            let rid = cert.file_id.routing_id();
+            let kset = Self::kset(state, rid, cert.replication);
+            if kset.first().map(|h| h.addr) != Some(me) {
+                continue;
+            }
+            let content = ContentRef {
+                hash: cert.content_hash,
+                size: cert.size,
+            };
+            for h in kset.iter().skip(1) {
+                // After a removal the whole k-set is refreshed (cheap and
+                // idempotent); after additions only the newcomers are.
+                if removed.is_empty() && !added_addrs.contains(&h.addr) {
+                    continue;
+                }
+                cx.send_direct(
+                    h.addr,
+                    PastMsg::Replicate {
+                        cert,
+                        content,
+                        client: None,
+                    },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Per-node storage management (§2.3, after the SOSP'01 companion paper).
+//!
+//! A node's disk holds *primary* replicas (the node is one of the k
+//! numerically closest to the fileId), *diverted* replicas (stored on
+//! behalf of a leaf-set neighbor that was full), *pointers* to replicas it
+//! diverted elsewhere, and — in whatever space is left — the cache.
+//!
+//! The acceptance policy is threshold-based: a file of size `s` is
+//! accepted as a primary replica only if `s / free ≤ t_pri`, and as a
+//! diverted replica only if `s / free ≤ t_div` with `t_div < t_pri`. The
+//! tighter diversion threshold keeps far-from-home replicas from crowding
+//! out local ones; both thresholds bias rejections toward large files,
+//! reproducing the paper's "failed insertions are heavily biased towards
+//! large files".
+
+use crate::cache::Cache;
+use crate::cert::FileCertificate;
+use crate::fileid::FileId;
+use past_netsim::Addr;
+use std::collections::HashMap;
+
+/// Why an insertion was refused by the local policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefuseReason {
+    /// The file does not fit in free space at all.
+    NoSpace,
+    /// The threshold test `size/free ≤ t` failed.
+    Threshold,
+    /// The node already holds this file.
+    AlreadyStored,
+}
+
+/// Where a held replica came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaKind {
+    /// One of the k numerically closest nodes.
+    Primary,
+    /// Held on behalf of a full leaf-set neighbor.
+    Diverted,
+}
+
+/// A stored replica.
+#[derive(Clone, Debug)]
+pub struct StoredFile {
+    /// The file's certificate (carries size and content hash).
+    pub cert: FileCertificate,
+    /// Primary or diverted.
+    pub kind: ReplicaKind,
+}
+
+/// The storage state of one PAST node.
+#[derive(Debug)]
+pub struct Store {
+    capacity: u64,
+    used: u64,
+    files: HashMap<FileId, StoredFile>,
+    /// fileId → node holding the replica this node diverted.
+    pointers: HashMap<FileId, Addr>,
+    /// The cache living in unused space.
+    pub cache: Cache,
+    /// Primary-replica acceptance threshold (`t_pri`).
+    pub t_pri: f64,
+    /// Diverted-replica acceptance threshold (`t_div`).
+    pub t_div: f64,
+}
+
+impl Store {
+    /// Creates a store with the given capacity and thresholds.
+    pub fn new(capacity: u64, t_pri: f64, t_div: f64) -> Store {
+        assert!(t_div <= t_pri, "t_div must not exceed t_pri");
+        Store {
+            capacity,
+            used: 0,
+            files: HashMap::new(),
+            pointers: HashMap::new(),
+            cache: Cache::new(),
+            t_pri,
+            t_div,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes committed to primary + diverted replicas.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Free bytes (cache space is reclaimable, so it counts as free).
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Utilization in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// Number of stored replicas.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The stored replica for `id`, if any.
+    pub fn get(&self, id: &FileId) -> Option<&StoredFile> {
+        self.files.get(id)
+    }
+
+    /// The diversion pointer for `id`, if this node diverted it.
+    pub fn pointer(&self, id: &FileId) -> Option<Addr> {
+        self.pointers.get(id).copied()
+    }
+
+    /// Iterates over stored replicas.
+    pub fn files(&self) -> impl Iterator<Item = (&FileId, &StoredFile)> {
+        self.files.iter()
+    }
+
+    /// Tests the acceptance policy without storing.
+    pub fn admits(&self, size: u64, kind: ReplicaKind) -> Result<(), RefuseReason> {
+        let free = self.free();
+        if size > free {
+            return Err(RefuseReason::NoSpace);
+        }
+        let t = match kind {
+            ReplicaKind::Primary => self.t_pri,
+            ReplicaKind::Diverted => self.t_div,
+        };
+        if free == 0 || size as f64 / free as f64 > t {
+            return Err(RefuseReason::Threshold);
+        }
+        Ok(())
+    }
+
+    /// Stores a replica if the policy admits it, shrinking the cache to
+    /// make room.
+    pub fn insert(
+        &mut self,
+        cert: &FileCertificate,
+        kind: ReplicaKind,
+    ) -> Result<(), RefuseReason> {
+        if self.files.contains_key(&cert.file_id) {
+            return Err(RefuseReason::AlreadyStored);
+        }
+        self.admits(cert.size, kind)?;
+        self.used += cert.size;
+        // The cache borrows free space only; give it back.
+        self.cache.shrink_to(self.free());
+        self.cache.invalidate(&cert.file_id);
+        self.files
+            .insert(cert.file_id, StoredFile { cert: *cert, kind });
+        Ok(())
+    }
+
+    /// Records that this node diverted `id` to `holder`.
+    pub fn add_pointer(&mut self, id: FileId, holder: Addr) {
+        self.pointers.insert(id, holder);
+    }
+
+    /// Removes a replica, returning the bytes freed (0 if absent).
+    pub fn remove(&mut self, id: &FileId) -> u64 {
+        match self.files.remove(id) {
+            Some(f) => {
+                self.used -= f.cert.size;
+                f.cert.size
+            }
+            None => 0,
+        }
+    }
+
+    /// Removes a diversion pointer, returning the holder if present.
+    pub fn remove_pointer(&mut self, id: &FileId) -> Option<Addr> {
+        self.pointers.remove(id)
+    }
+
+    /// True if the node can serve `id` from primary, diverted, or cache.
+    pub fn can_serve(&self, id: &FileId) -> bool {
+        self.files.contains_key(id) || self.cache.contains(id)
+    }
+
+    /// The certificate to serve for `id`, marking cache hits.
+    /// Returns `(certificate, from_cache)`.
+    pub fn serve(&mut self, id: &FileId) -> Option<(FileCertificate, bool)> {
+        if let Some(f) = self.files.get(id) {
+            return Some((f.cert, false));
+        }
+        self.cache.lookup(id).map(|c| (c, true))
+    }
+
+    /// Offers a passing file to the cache (bounded by current free space).
+    pub fn offer_cache(&mut self, cert: &FileCertificate, max_fraction: f64) -> bool {
+        if self.files.contains_key(&cert.file_id) {
+            return false;
+        }
+        let budget = (self.free() as f64 * max_fraction.clamp(0.0, 1.0)) as u64;
+        self.cache.offer(cert, budget.min(self.free()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::Broker;
+    use crate::fileid::ContentRef;
+
+    fn cert_of(size: u64, tag: u64) -> FileCertificate {
+        let mut broker = Broker::new(b"b");
+        let mut card = broker.issue_card(b"u", u64::MAX / 2, 0);
+        let content = ContentRef::synthetic(0, &format!("f{tag}"), size);
+        card.issue_file_certificate(&format!("f{tag}"), &content, 1, tag, 0)
+            .unwrap()
+    }
+
+    #[test]
+    fn threshold_policy() {
+        let s = Store::new(1000, 0.1, 0.05);
+        // Primary: up to 10% of free.
+        assert!(s.admits(100, ReplicaKind::Primary).is_ok());
+        assert_eq!(
+            s.admits(101, ReplicaKind::Primary),
+            Err(RefuseReason::Threshold)
+        );
+        // Diverted: tighter.
+        assert!(s.admits(50, ReplicaKind::Diverted).is_ok());
+        assert_eq!(
+            s.admits(51, ReplicaKind::Diverted),
+            Err(RefuseReason::Threshold)
+        );
+        assert_eq!(
+            s.admits(2000, ReplicaKind::Primary),
+            Err(RefuseReason::NoSpace)
+        );
+    }
+
+    #[test]
+    fn threshold_tightens_as_disk_fills() {
+        let mut s = Store::new(1000, 0.5, 0.25);
+        assert!(s.insert(&cert_of(400, 1), ReplicaKind::Primary).is_ok());
+        assert_eq!(s.free(), 600);
+        // 301/600 > 0.5 refused, 300/600 accepted.
+        assert_eq!(
+            s.admits(301, ReplicaKind::Primary),
+            Err(RefuseReason::Threshold)
+        );
+        assert!(s.insert(&cert_of(300, 2), ReplicaKind::Primary).is_ok());
+        assert_eq!(s.used(), 700);
+        assert!((s.utilization() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_insert_refused() {
+        let mut s = Store::new(1000, 1.0, 1.0);
+        let c = cert_of(100, 1);
+        assert!(s.insert(&c, ReplicaKind::Primary).is_ok());
+        assert_eq!(
+            s.insert(&c, ReplicaKind::Primary),
+            Err(RefuseReason::AlreadyStored)
+        );
+        assert_eq!(s.used(), 100);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut s = Store::new(1000, 1.0, 1.0);
+        let c = cert_of(100, 1);
+        s.insert(&c, ReplicaKind::Primary).unwrap();
+        assert_eq!(s.remove(&c.file_id), 100);
+        assert_eq!(s.used(), 0);
+        assert_eq!(s.remove(&c.file_id), 0);
+    }
+
+    #[test]
+    fn pointers_roundtrip() {
+        let mut s = Store::new(1000, 1.0, 1.0);
+        let c = cert_of(100, 1);
+        s.add_pointer(c.file_id, 42);
+        assert_eq!(s.pointer(&c.file_id), Some(42));
+        assert_eq!(s.remove_pointer(&c.file_id), Some(42));
+        assert_eq!(s.pointer(&c.file_id), None);
+    }
+
+    #[test]
+    fn cache_borrows_free_space_and_yields_it() {
+        let mut s = Store::new(1000, 1.0, 1.0);
+        let cached = cert_of(500, 1);
+        assert!(s.offer_cache(&cached, 1.0));
+        assert_eq!(s.cache.used(), 500);
+        // Primary insert still sees the full free space and evicts cache.
+        let primary = cert_of(900, 2);
+        assert!(s.insert(&primary, ReplicaKind::Primary).is_ok());
+        assert!(s.cache.used() <= s.free());
+        assert!(!s.cache.contains(&cached.file_id));
+    }
+
+    #[test]
+    fn serve_prefers_replica_over_cache() {
+        let mut s = Store::new(1000, 1.0, 1.0);
+        let c = cert_of(100, 1);
+        s.insert(&c, ReplicaKind::Primary).unwrap();
+        let (got, from_cache) = s.serve(&c.file_id).unwrap();
+        assert_eq!(got.file_id, c.file_id);
+        assert!(!from_cache);
+        let d = cert_of(50, 2);
+        assert!(s.offer_cache(&d, 1.0));
+        let (_, from_cache) = s.serve(&d.file_id).unwrap();
+        assert!(from_cache);
+        assert!(s.serve(&cert_of(10, 3).file_id).is_none());
+    }
+
+    #[test]
+    fn inserting_a_cached_file_drops_the_cache_copy() {
+        let mut s = Store::new(1000, 1.0, 1.0);
+        let c = cert_of(100, 1);
+        assert!(s.offer_cache(&c, 1.0));
+        assert!(s.insert(&c, ReplicaKind::Primary).is_ok());
+        assert!(!s.cache.contains(&c.file_id));
+        assert!(s.can_serve(&c.file_id));
+    }
+
+    #[test]
+    fn zero_capacity_store() {
+        let s = Store::new(0, 0.1, 0.05);
+        assert_eq!(
+            s.admits(1, ReplicaKind::Primary),
+            Err(RefuseReason::NoSpace)
+        );
+        assert_eq!(s.utilization(), 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Digest newtypes and hex formatting helpers.
+
+use std::fmt;
+
+/// A 256-bit digest (SHA-256 output).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest256(pub [u8; 32]);
+
+/// A 160-bit digest (SHA-1 output); the width of a PAST fileId.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest160(pub [u8; 20]);
+
+impl Digest256 {
+    /// Returns the 128 most-significant bits as a `u128`.
+    ///
+    /// PAST nodeIds are "derived from a cryptographic hash of the node's
+    /// public key"; we take the leading 128 bits of the SHA-256 digest.
+    pub fn high_u128(&self) -> u128 {
+        let mut raw = [0u8; 16];
+        raw.copy_from_slice(&self.0[..16]);
+        u128::from_be_bytes(raw)
+    }
+}
+
+impl Digest160 {
+    /// Returns the 128 most-significant bits as a `u128`.
+    ///
+    /// The paper: lookups route "towards the node whose nodeId is
+    /// numerically closest to the 128 most significant bits (msb) of the
+    /// fileId".
+    pub fn high_u128(&self) -> u128 {
+        let mut raw = [0u8; 16];
+        raw.copy_from_slice(&self.0[..16]);
+        u128::from_be_bytes(raw)
+    }
+}
+
+fn write_hex(f: &mut fmt::Formatter<'_>, bytes: &[u8]) -> fmt::Result {
+    for b in bytes {
+        write!(f, "{b:02x}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Digest256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_hex(f, &self.0)
+    }
+}
+
+impl fmt::Debug for Digest256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest256(")?;
+        write_hex(f, &self.0[..8])?;
+        write!(f, "…)")
+    }
+}
+
+impl fmt::Display for Digest160 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_hex(f, &self.0)
+    }
+}
+
+impl fmt::Debug for Digest160 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest160(")?;
+        write_hex(f, &self.0[..8])?;
+        write!(f, "…)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::sha1;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn high_bits_are_leading_bytes() {
+        let d = Digest256(sha256(b"x"));
+        let expect = u128::from_be_bytes(d.0[..16].try_into().unwrap());
+        assert_eq!(d.high_u128(), expect);
+        let d = Digest160(sha1(b"x"));
+        let expect = u128::from_be_bytes(d.0[..16].try_into().unwrap());
+        assert_eq!(d.high_u128(), expect);
+    }
+
+    #[test]
+    fn display_is_full_hex() {
+        let d = Digest160(sha1(b"abc"));
+        assert_eq!(d.to_string(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+}

@@ -1,0 +1,270 @@
+//! Modular arithmetic over 256-bit moduli.
+//!
+//! The reduction routine is a bit-serial long division: slow compared to
+//! Montgomery multiplication but simple, allocation-free and obviously
+//! correct, which matters more here — signatures are issued at simulation
+//! time, not on a hot path.
+
+use crate::u256::{U256, U512};
+
+/// Reduces a 512-bit value modulo a non-zero 256-bit modulus.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn rem512(x: &U512, m: &U256) -> U256 {
+    assert!(!m.is_zero(), "division by zero modulus");
+    let mut r = U256::ZERO;
+    let top = x.bits();
+    for i in (0..top).rev() {
+        let (shifted, carry) = r.shl1();
+        r = shifted;
+        if x.bit(i) {
+            r.0[0] |= 1;
+        }
+        // Invariant: before the shift r < m, so the true value 2r+bit < 2m;
+        // at most one subtraction restores r < m. If the shift carried out of
+        // 256 bits the true value exceeds 2^256 > m, so subtract (the wrapped
+        // result is exact because 2r + bit - m < m <= 2^256).
+        if carry || r >= *m {
+            let (d, _) = r.overflowing_sub(m);
+            r = d;
+        }
+    }
+    r
+}
+
+/// Reduces a 256-bit value modulo `m`.
+pub fn rem256(x: &U256, m: &U256) -> U256 {
+    rem512(&U512::from_u256(x), m)
+}
+
+/// Computes `(a + b) mod m` for `a, b < m`.
+pub fn addmod(a: &U256, b: &U256, m: &U256) -> U256 {
+    debug_assert!(a < m && b < m);
+    let (s, carry) = a.overflowing_add(b);
+    if carry || s >= *m {
+        let (d, _) = s.overflowing_sub(m);
+        d
+    } else {
+        s
+    }
+}
+
+/// Computes `(a - b) mod m` for `a, b < m`.
+pub fn submod(a: &U256, b: &U256, m: &U256) -> U256 {
+    debug_assert!(a < m && b < m);
+    if a >= b {
+        a.overflowing_sub(b).0
+    } else {
+        let (gap, _) = m.overflowing_sub(b);
+        a.overflowing_add(&gap).0
+    }
+}
+
+/// Computes `(a * b) mod m` for `a, b < m`.
+pub fn mulmod(a: &U256, b: &U256, m: &U256) -> U256 {
+    rem512(&a.widening_mul(b), m)
+}
+
+/// Computes `base^exp mod m` by square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn powmod(base: &U256, exp: &U256, m: &U256) -> U256 {
+    assert!(!m.is_zero(), "zero modulus");
+    if *m == U256::ONE {
+        return U256::ZERO;
+    }
+    let mut result = U256::ONE;
+    let mut b = rem256(base, m);
+    let top = exp.bits();
+    for i in 0..top {
+        if exp.bit(i) {
+            result = mulmod(&result, &b, m);
+        }
+        if i + 1 < top {
+            b = mulmod(&b, &b, m);
+        }
+    }
+    result
+}
+
+/// Computes the inverse of `a` modulo a prime `p` via Fermat's little
+/// theorem (`a^(p-2) mod p`).
+///
+/// Returns `None` if `a ≡ 0 (mod p)`.
+pub fn invmod_prime(a: &U256, p: &U256) -> Option<U256> {
+    let a = rem256(a, p);
+    if a.is_zero() {
+        return None;
+    }
+    let two = U256::from_u64(2);
+    let (pm2, _) = p.overflowing_sub(&two);
+    Some(powmod(&a, &pm2, p))
+}
+
+/// Miller–Rabin primality test with the given number of random-ish fixed
+/// bases derived from small primes.
+///
+/// Deterministically correct for the sizes we care about with overwhelming
+/// probability; used in tests to validate the baked-in group parameters.
+pub fn is_probable_prime(n: &U256) -> bool {
+    if *n < U256::from_u64(2) {
+        return false;
+    }
+    const SMALL: [u64; 15] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47];
+    for &p in &SMALL {
+        let pv = U256::from_u64(p);
+        if *n == pv {
+            return true;
+        }
+        if rem256(n, &pv).is_zero() {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^r.
+    let (nm1, _) = n.overflowing_sub(&U256::ONE);
+    let mut d = nm1;
+    let mut r = 0u32;
+    while d.is_even() {
+        d = d.shr1();
+        r += 1;
+    }
+    'base: for &a in &SMALL {
+        let a = U256::from_u64(a);
+        let mut x = powmod(&a, &d, n);
+        if x == U256::ONE || x == nm1 {
+            continue;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = mulmod(&x, &x, n);
+            if x == nm1 {
+                continue 'base;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::u256::U256;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn rem512_small_values() {
+        let x = U512::from_u256(&u(100));
+        assert_eq!(rem512(&x, &u(7)), u(2));
+        assert_eq!(rem512(&x, &u(100)), u(0));
+        assert_eq!(rem512(&x, &u(101)), u(100));
+    }
+
+    #[test]
+    fn rem512_wide_product() {
+        // (2^64)^2 mod 1000000007 computed independently: 2^128 mod 1e9+7.
+        let x = u(0).widening_mul(&u(0));
+        assert_eq!(rem512(&x, &u(97)), u(0));
+        let big = U256([0, 1, 0, 0]); // 2^64
+        let sq = big.widening_mul(&big); // 2^128
+                                         // 2^128 mod 1000000007 = 294967268... compute via repeated powmod instead.
+        let expect = powmod(&u(2), &u(128), &u(1_000_000_007));
+        assert_eq!(rem512(&sq, &u(1_000_000_007)), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn rem512_zero_modulus_panics() {
+        rem512(&U512::from_u256(&u(1)), &U256::ZERO);
+    }
+
+    #[test]
+    fn addmod_wraps() {
+        let m = u(13);
+        assert_eq!(addmod(&u(7), &u(9), &m), u(3));
+        assert_eq!(addmod(&u(0), &u(0), &m), u(0));
+        assert_eq!(addmod(&u(12), &u(12), &m), u(11));
+    }
+
+    #[test]
+    fn addmod_near_2_256() {
+        // Modulus close to 2^256 exercises the carry path.
+        let (m, _) = U256::MAX.overflowing_sub(&u(188)); // 2^256 - 189 (prime-ish, irrelevant)
+        let (a, _) = m.overflowing_sub(&u(1));
+        let (b, _) = m.overflowing_sub(&u(2));
+        // (m-1 + m-2) mod m = m - 3.
+        let (want, _) = m.overflowing_sub(&u(3));
+        assert_eq!(addmod(&a, &b, &m), want);
+    }
+
+    #[test]
+    fn submod_wraps() {
+        let m = u(13);
+        assert_eq!(submod(&u(3), &u(8), &m), u(8));
+        assert_eq!(submod(&u(8), &u(3), &m), u(5));
+        assert_eq!(submod(&u(5), &u(5), &m), u(0));
+    }
+
+    #[test]
+    fn mulmod_matches_u128() {
+        let m = u(1_000_000_007);
+        for (a, b) in [(123456789u64, 987654321u64), (999999999, 999999998)] {
+            let want = ((a as u128 * b as u128) % 1_000_000_007) as u64;
+            assert_eq!(mulmod(&u(a), &u(b), &m), u(want));
+        }
+    }
+
+    #[test]
+    fn powmod_matches_reference() {
+        assert_eq!(powmod(&u(2), &u(10), &u(1_000_000)), u(1024));
+        assert_eq!(powmod(&u(3), &u(0), &u(7)), u(1));
+        assert_eq!(powmod(&u(0), &u(5), &u(7)), u(0));
+        // Fermat: a^(p-1) = 1 mod p.
+        assert_eq!(powmod(&u(5), &u(1_000_000_006), &u(1_000_000_007)), u(1));
+    }
+
+    #[test]
+    fn powmod_modulus_one() {
+        assert_eq!(powmod(&u(5), &u(3), &U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn invmod_works() {
+        let p = u(1_000_000_007);
+        let a = u(123456789);
+        let inv = invmod_prime(&a, &p).unwrap();
+        assert_eq!(mulmod(&a, &inv, &p), U256::ONE);
+        assert!(invmod_prime(&U256::ZERO, &p).is_none());
+    }
+
+    #[test]
+    fn primality_small() {
+        assert!(is_probable_prime(&u(2)));
+        assert!(is_probable_prime(&u(3)));
+        assert!(!is_probable_prime(&u(1)));
+        assert!(!is_probable_prime(&u(0)));
+        assert!(is_probable_prime(&u(104729)));
+        assert!(!is_probable_prime(&u(104730)));
+        // Carmichael number 561 must be rejected.
+        assert!(!is_probable_prime(&u(561)));
+    }
+
+    #[test]
+    fn baked_group_parameters_are_prime() {
+        let p = crate::schnorr::group_p();
+        let q = crate::schnorr::group_q();
+        assert!(is_probable_prime(&p));
+        assert!(is_probable_prime(&q));
+        // p = 2q + 1 (safe prime).
+        let (two_q, c) = q.overflowing_add(&q);
+        assert!(!c);
+        let (p_minus_1, _) = p.overflowing_sub(&U256::ONE);
+        assert_eq!(two_q, p_minus_1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Schnorr signatures over a 256-bit prime-field group.
+//!
+//! The PAST paper requires an unforgeable public-key signature scheme for
+//! file certificates, store receipts and reclaim certificates, but does not
+//! prescribe one. We implement classic Schnorr signatures in the subgroup of
+//! quadratic residues of `Z_p^*` for a baked-in 256-bit safe prime
+//! `p = 2q + 1` (generated offline with seed 20010601 and re-validated by
+//! the Miller–Rabin test in `modmath`). Nonces are derived
+//! deterministically from the secret key and the message (RFC-6979 style),
+//! which keeps simulations reproducible and avoids nonce-reuse pitfalls.
+
+use crate::modmath::{addmod, mulmod, powmod, rem256};
+use crate::sha256::Sha256;
+use crate::u256::U256;
+
+/// The 256-bit safe prime `p` defining the group `Z_p^*`.
+pub fn group_p() -> U256 {
+    U256([
+        0x24784f933634954f,
+        0xe50f848f2335e646,
+        0x2df1a1badef3eab8,
+        0x988375c084ea6e19,
+    ])
+}
+
+/// The 255-bit prime order `q = (p - 1) / 2` of the signing subgroup.
+pub fn group_q() -> U256 {
+    U256([
+        0x123c27c99b1a4aa7,
+        0x7287c247919af323,
+        0x96f8d0dd6f79f55c,
+        0x4c41bae04275370c,
+    ])
+}
+
+/// The subgroup generator `g = 4 = 2^2`, a quadratic residue of order `q`.
+pub fn group_g() -> U256 {
+    U256::from_u64(4)
+}
+
+/// A public verification key (a group element `y = g^x mod p`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PublicKey(pub U256);
+
+impl PublicKey {
+    /// Serializes the key to 32 big-endian bytes (input to nodeId hashing).
+    pub fn to_bytes(self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+}
+
+/// A Schnorr signature `(R, s)` with `R = g^k` and `s = k + e·x mod q`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// The public nonce commitment `R = g^k mod p`.
+    pub commitment: U256,
+    /// The response scalar `s = k + e·x mod q`.
+    pub response: U256,
+}
+
+impl Signature {
+    /// Serializes the signature to 64 bytes (`R ‖ s`, big-endian halves).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.commitment.to_be_bytes());
+        out[32..].copy_from_slice(&self.response.to_be_bytes());
+        out
+    }
+}
+
+/// A private/public key pair.
+#[derive(Clone)]
+pub struct KeyPair {
+    secret: U256,
+    /// The public half, freely shareable.
+    pub public: PublicKey,
+}
+
+impl std::fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the secret scalar.
+        f.debug_struct("KeyPair")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Hashes arbitrary labeled byte strings to a nonzero scalar modulo `q`.
+fn hash_to_scalar(label: &[u8], parts: &[&[u8]]) -> U256 {
+    let q = group_q();
+    let mut counter = 0u32;
+    loop {
+        let mut h = Sha256::new();
+        h.update(label);
+        h.update(&counter.to_be_bytes());
+        for part in parts {
+            h.update(&(part.len() as u64).to_be_bytes());
+            h.update(part);
+        }
+        let digest = h.finalize();
+        let scalar = rem256(&U256::from_be_bytes(&digest), &q);
+        if !scalar.is_zero() {
+            return scalar;
+        }
+        counter += 1;
+    }
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from a seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use past_crypto::schnorr::KeyPair;
+    ///
+    /// let kp = KeyPair::from_seed(b"card-0001");
+    /// let sig = kp.sign(b"hello");
+    /// assert!(kp.public.verify(b"hello", &sig));
+    /// ```
+    pub fn from_seed(seed: &[u8]) -> KeyPair {
+        let secret = hash_to_scalar(b"past-keygen-v1", &[seed]);
+        let public = PublicKey(powmod(&group_g(), &secret, &group_p()));
+        KeyPair { secret, public }
+    }
+
+    /// Signs a message with a deterministic nonce.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let p = group_p();
+        let q = group_q();
+        let k = hash_to_scalar(b"past-nonce-v1", &[&self.secret.to_be_bytes(), msg]);
+        let commitment = powmod(&group_g(), &k, &p);
+        let e = challenge(&commitment, &self.public, msg);
+        // s = k + e·x mod q.
+        let response = addmod(&k, &mulmod(&e, &self.secret, &q), &q);
+        Signature {
+            commitment,
+            response,
+        }
+    }
+}
+
+/// The Fiat–Shamir challenge `e = H(R ‖ y ‖ msg) mod q`.
+fn challenge(commitment: &U256, public: &PublicKey, msg: &[u8]) -> U256 {
+    hash_to_scalar(
+        b"past-chal-v1",
+        &[&commitment.to_be_bytes(), &public.0.to_be_bytes(), msg],
+    )
+}
+
+impl PublicKey {
+    /// Verifies `sig` over `msg`: checks `g^s ≡ R · y^e (mod p)`.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let p = group_p();
+        if sig.commitment.is_zero() || sig.commitment >= p || self.0.is_zero() || self.0 >= p {
+            return false;
+        }
+        let e = challenge(&sig.commitment, self, msg);
+        let lhs = powmod(&group_g(), &sig.response, &p);
+        let rhs = mulmod(&sig.commitment, &powmod(&self.0, &e, &p), &p);
+        lhs == rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(b"user-42");
+        let sig = kp.sign(b"insert file 7");
+        assert!(kp.public.verify(b"insert file 7", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = KeyPair::from_seed(b"user-42");
+        let sig = kp.sign(b"msg-a");
+        assert!(!kp.public.verify(b"msg-b", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = KeyPair::from_seed(b"user-1");
+        let kp2 = KeyPair::from_seed(b"user-2");
+        let sig = kp1.sign(b"msg");
+        assert!(!kp2.public.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = KeyPair::from_seed(b"user-1");
+        let mut sig = kp.sign(b"msg");
+        sig.response = addmod(&sig.response, &U256::ONE, &group_q());
+        assert!(!kp.public.verify(b"msg", &sig));
+        let mut sig2 = kp.sign(b"msg");
+        sig2.commitment = mulmod(&sig2.commitment, &group_g(), &group_p());
+        assert!(!kp.public.verify(b"msg", &sig2));
+    }
+
+    #[test]
+    fn degenerate_values_rejected() {
+        let kp = KeyPair::from_seed(b"user-1");
+        let sig = Signature {
+            commitment: U256::ZERO,
+            response: U256::ONE,
+        };
+        assert!(!kp.public.verify(b"msg", &sig));
+        let bogus_key = PublicKey(U256::ZERO);
+        assert!(!bogus_key.verify(b"msg", &kp.sign(b"msg")));
+    }
+
+    #[test]
+    fn deterministic_keys_and_signatures() {
+        let a = KeyPair::from_seed(b"same-seed");
+        let b = KeyPair::from_seed(b"same-seed");
+        assert_eq!(a.public, b.public);
+        assert_eq!(a.sign(b"m"), b.sign(b"m"));
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_keys() {
+        let a = KeyPair::from_seed(b"seed-a");
+        let b = KeyPair::from_seed(b"seed-b");
+        assert_ne!(a.public, b.public);
+    }
+
+    #[test]
+    fn generator_has_order_q() {
+        let p = group_p();
+        let q = group_q();
+        assert_eq!(powmod(&group_g(), &q, &p), U256::ONE);
+        // g itself is not the identity.
+        assert_ne!(group_g(), U256::ONE);
+    }
+
+    #[test]
+    fn public_key_in_subgroup() {
+        let kp = KeyPair::from_seed(b"subgroup-check");
+        assert_eq!(powmod(&kp.public.0, &group_q(), &group_p()), U256::ONE);
+    }
+
+    #[test]
+    fn debug_does_not_leak_secret() {
+        let kp = KeyPair::from_seed(b"secret-stays-secret");
+        let rendered = format!("{kp:?}");
+        assert!(!rendered.contains(&kp.secret.to_string()));
+    }
+}

@@ -1,0 +1,111 @@
+//! Client-side stream encryption.
+//!
+//! The paper leaves data privacy to the client: "users may use encryption
+//! to protect the privacy of their data, using a cryptosystem of their
+//! choice. Data encryption does not involve the smartcards." This module
+//! provides that client-chosen cryptosystem for the examples: a stream
+//! cipher built from SHA-256 in counter mode (CTR). Keystream block `i` is
+//! `SHA-256(key ‖ nonce ‖ i)`; encryption and decryption are the same XOR
+//! operation.
+
+use crate::sha256::Sha256;
+
+/// A SHA-256-CTR stream cipher instance.
+pub struct StreamCipher {
+    key: [u8; 32],
+    nonce: u64,
+}
+
+impl StreamCipher {
+    /// Creates a cipher from a key and a per-file nonce.
+    ///
+    /// Never reuse a (key, nonce) pair across different plaintexts.
+    pub fn new(key: [u8; 32], nonce: u64) -> StreamCipher {
+        StreamCipher { key, nonce }
+    }
+
+    /// Derives a cipher from a passphrase.
+    pub fn from_passphrase(pass: &str, nonce: u64) -> StreamCipher {
+        let mut h = Sha256::new();
+        h.update(b"past-stream-key-v1");
+        h.update(pass.as_bytes());
+        StreamCipher::new(h.finalize(), nonce)
+    }
+
+    fn keystream_block(&self, counter: u64) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"past-stream-ctr-v1");
+        h.update(&self.key);
+        h.update(&self.nonce.to_be_bytes());
+        h.update(&counter.to_be_bytes());
+        h.finalize()
+    }
+
+    /// Encrypts or decrypts `data` in place (XOR is its own inverse).
+    pub fn apply(&self, data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(32).enumerate() {
+            let ks = self.keystream_block(i as u64);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// Convenience: returns an encrypted/decrypted copy.
+    pub fn transform(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let c = StreamCipher::from_passphrase("hunter2", 7);
+        let plain = b"the archive contents".to_vec();
+        let enc = c.transform(&plain);
+        assert_ne!(enc, plain);
+        assert_eq!(c.transform(&enc), plain);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let a = StreamCipher::from_passphrase("p", 1).transform(b"same plaintext");
+        let b = StreamCipher::from_passphrase("p", 2).transform(b"same plaintext");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = StreamCipher::from_passphrase("p1", 1).transform(b"same plaintext");
+        let b = StreamCipher::from_passphrase("p2", 1).transform(b"same plaintext");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let enc = StreamCipher::from_passphrase("right", 1).transform(b"secret");
+        let dec = StreamCipher::from_passphrase("wrong", 1).transform(&enc);
+        assert_ne!(dec, b"secret".to_vec());
+    }
+
+    #[test]
+    fn long_data_multi_block() {
+        let c = StreamCipher::new([7u8; 32], 9);
+        let plain: Vec<u8> = (0..1000u16).map(|i| i as u8).collect();
+        let enc = c.transform(&plain);
+        assert_eq!(c.transform(&enc), plain);
+        // Blocks must not repeat (counter advances).
+        assert_ne!(&enc[..32], &enc[32..64]);
+    }
+
+    #[test]
+    fn empty_data_ok() {
+        let c = StreamCipher::new([0u8; 32], 0);
+        assert!(c.transform(&[]).is_empty());
+    }
+}

@@ -1,0 +1,522 @@
+//! The discrete-event message engine.
+//!
+//! Nodes are state machines implementing [`NodeLogic`]; the engine owns
+//! them, delivers messages with topology-derived latency, models node
+//! failure (messages to a dead node produce a delayed send-failure
+//! notification at the sender, standing in for a timeout), and counts
+//! traffic per message kind.
+//!
+//! Everything is deterministic: a single seeded RNG, and an event queue
+//! ordered by `(time, sequence number)`.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+use crate::topology::{Addr, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A simulated wire message.
+pub trait Message: Clone {
+    /// A short static label used for per-kind traffic accounting.
+    fn kind(&self) -> &'static str;
+
+    /// Approximate wire size in bytes (for bandwidth accounting).
+    fn wire_size(&self) -> u64 {
+        64
+    }
+}
+
+/// Per-node protocol logic driven by the engine.
+pub trait NodeLogic {
+    /// The wire message type.
+    type Msg: Message;
+    /// Out-of-band observations surfaced to the experiment harness
+    /// (delivery records, receipts, rejections, ...).
+    type Out;
+
+    /// Handles a message arriving from `from`.
+    fn on_message(&mut self, from: Addr, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg, Self::Out>);
+
+    /// Called when a previously sent message could not be delivered because
+    /// the destination is dead (models an RPC timeout).
+    fn on_send_failed(
+        &mut self,
+        _to: Addr,
+        _msg: Self::Msg,
+        _ctx: &mut Ctx<'_, Self::Msg, Self::Out>,
+    ) {
+    }
+
+    /// Handles a timer previously set with [`Ctx::set_timer`].
+    fn on_timer(&mut self, _kind: u64, _ctx: &mut Ctx<'_, Self::Msg, Self::Out>) {}
+}
+
+enum Event<M> {
+    Deliver { from: Addr, to: Addr, msg: M },
+    SendFailed { at: Addr, dest: Addr, msg: M },
+    Timer { at: Addr, kind: u64 },
+}
+
+enum Effect<M> {
+    Send { to: Addr, msg: M, extra_us: u64 },
+    Timer { delay_us: u64, kind: u64 },
+}
+
+/// The per-invocation context handed to node logic.
+///
+/// Collects effects (sends, timers, emissions) which the engine applies
+/// after the handler returns, and exposes the proximity metric and the
+/// simulation RNG.
+pub struct Ctx<'a, M, O> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Address of the node being invoked.
+    pub me: Addr,
+    /// The simulation RNG (shared, seeded once per engine).
+    pub rng: &'a mut StdRng,
+    topo: &'a dyn Topology,
+    effects: Vec<Effect<M>>,
+    emitted: Vec<O>,
+}
+
+impl<M, O> Ctx<'_, M, O> {
+    /// Sends `msg` to `to`; it arrives after the topology delay.
+    pub fn send(&mut self, to: Addr, msg: M) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            extra_us: 0,
+        });
+    }
+
+    /// Sends `msg` to `to` with additional artificial delay (e.g. local
+    /// processing or disk time).
+    pub fn send_after(&mut self, to: Addr, msg: M, extra_us: u64) {
+        self.effects.push(Effect::Send { to, msg, extra_us });
+    }
+
+    /// Arms a timer that fires at this node after `delay_us`.
+    pub fn set_timer(&mut self, delay_us: u64, kind: u64) {
+        self.effects.push(Effect::Timer { delay_us, kind });
+    }
+
+    /// One-way delay from this node to `other` (the proximity metric).
+    ///
+    /// In a deployment a node measures this by probing; the simulator
+    /// answers from the topology directly.
+    pub fn delay_to(&self, other: Addr) -> u64 {
+        self.topo.delay_us(self.me, other)
+    }
+
+    /// Pairwise delay between two arbitrary nodes.
+    pub fn delay_between(&self, a: Addr, b: Addr) -> u64 {
+        self.topo.delay_us(a, b)
+    }
+
+    /// Emits an observation for the experiment harness.
+    pub fn emit(&mut self, out: O) {
+        self.emitted.push(out);
+    }
+}
+
+/// Per-kind traffic counters.
+#[derive(Default, Debug, Clone)]
+pub struct NetStats {
+    /// Messages sent, keyed by [`Message::kind`].
+    pub msgs_by_kind: HashMap<&'static str, u64>,
+    /// Total messages sent.
+    pub total_msgs: u64,
+    /// Total bytes sent.
+    pub total_bytes: u64,
+}
+
+impl NetStats {
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.msgs_by_kind.clear();
+        self.total_msgs = 0;
+        self.total_bytes = 0;
+    }
+
+    /// Messages of one kind.
+    pub fn kind_count(&self, kind: &str) -> u64 {
+        self.msgs_by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+/// The discrete-event engine binding nodes, topology and the event queue.
+pub struct Engine<N: NodeLogic, T: Topology> {
+    topo: T,
+    nodes: Vec<N>,
+    alive: Vec<bool>,
+    queue: EventQueue<Event<N::Msg>>,
+    rng: StdRng,
+    now: SimTime,
+    /// Traffic counters (public so harnesses can reset/read them).
+    pub stats: NetStats,
+    outputs: Vec<(SimTime, Addr, N::Out)>,
+}
+
+impl<N: NodeLogic, T: Topology> Engine<N, T> {
+    /// Creates an engine over `nodes` (one per topology slot prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more nodes than topology slots.
+    pub fn new(topo: T, nodes: Vec<N>, seed: u64) -> Engine<N, T> {
+        assert!(
+            nodes.len() <= topo.len(),
+            "more nodes ({}) than topology slots ({})",
+            nodes.len(),
+            topo.len()
+        );
+        let alive = vec![true; nodes.len()];
+        Engine {
+            topo,
+            nodes,
+            alive,
+            queue: EventQueue::new(),
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            stats: NetStats::default(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns true if the engine has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The topology (proximity oracle).
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// Immutable access to a node's state.
+    pub fn node(&self, a: Addr) -> &N {
+        &self.nodes[a]
+    }
+
+    /// Mutable access to a node's state (harness-side setup only).
+    pub fn node_mut(&mut self, a: Addr) -> &mut N {
+        &mut self.nodes[a]
+    }
+
+    /// Adds a node (returns its address). The topology must already have a
+    /// slot for it.
+    pub fn push_node(&mut self, node: N) -> Addr {
+        let addr = self.nodes.len();
+        assert!(addr < self.topo.len(), "no topology slot for new node");
+        self.nodes.push(node);
+        self.alive.push(true);
+        addr
+    }
+
+    /// Liveness of a node.
+    pub fn is_alive(&self, a: Addr) -> bool {
+        self.alive[a]
+    }
+
+    /// Marks a node dead: it silently stops processing and answering.
+    pub fn kill(&mut self, a: Addr) {
+        self.alive[a] = false;
+    }
+
+    /// Marks a node live again (recovery).
+    pub fn revive(&mut self, a: Addr) {
+        self.alive[a] = true;
+    }
+
+    /// Addresses of all live nodes.
+    pub fn live_addrs(&self) -> Vec<Addr> {
+        (0..self.nodes.len()).filter(|&a| self.alive[a]).collect()
+    }
+
+    /// The simulation RNG (harness-side sampling).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Injects a message into `to` as if sent by `from`, arriving after the
+    /// topology delay (plus `extra_us`).
+    pub fn inject(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64) {
+        self.account(&msg);
+        let at = self.now + self.topo.delay_us(from, to) + extra_us;
+        self.queue.push(at, Event::Deliver { from, to, msg });
+    }
+
+    /// Arms a timer on a node from the harness side.
+    pub fn arm_timer(&mut self, at: Addr, delay_us: u64, kind: u64) {
+        self.queue
+            .push(self.now + delay_us, Event::Timer { at, kind });
+    }
+
+    /// Drains observations emitted by node logic since the last call.
+    pub fn drain_outputs(&mut self) -> Vec<(SimTime, Addr, N::Out)> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    fn account(&mut self, msg: &N::Msg) {
+        self.stats.total_msgs += 1;
+        self.stats.total_bytes += msg.wire_size();
+        *self.stats.msgs_by_kind.entry(msg.kind()).or_insert(0) += 1;
+    }
+
+    /// Processes one event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((time, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "time must be monotone");
+        self.now = time;
+        match ev {
+            Event::Deliver { from, to, msg } => {
+                if !self.alive[to] {
+                    // Timeout model: the sender learns of the failure one
+                    // further delay later (round-trip worth in total).
+                    if self.alive[from] && from != to {
+                        let back = self.topo.delay_us(to, from);
+                        self.queue.push(
+                            self.now + back,
+                            Event::SendFailed {
+                                at: from,
+                                dest: to,
+                                msg,
+                            },
+                        );
+                    }
+                    return true;
+                }
+                self.invoke(to, |node, ctx| node.on_message(from, msg, ctx));
+            }
+            Event::SendFailed { at, dest, msg } => {
+                if self.alive[at] {
+                    self.invoke(at, |node, ctx| node.on_send_failed(dest, msg, ctx));
+                }
+            }
+            Event::Timer { at, kind } => {
+                if self.alive[at] {
+                    self.invoke(at, |node, ctx| node.on_timer(kind, ctx));
+                }
+            }
+        }
+        true
+    }
+
+    fn invoke<F>(&mut self, at: Addr, f: F)
+    where
+        F: FnOnce(&mut N, &mut Ctx<'_, N::Msg, N::Out>),
+    {
+        let mut ctx = Ctx {
+            now: self.now,
+            me: at,
+            rng: &mut self.rng,
+            topo: &self.topo,
+            effects: Vec::new(),
+            emitted: Vec::new(),
+        };
+        f(&mut self.nodes[at], &mut ctx);
+        let Ctx {
+            effects, emitted, ..
+        } = ctx;
+        for out in emitted {
+            self.outputs.push((self.now, at, out));
+        }
+        for eff in effects {
+            match eff {
+                Effect::Send { to, msg, extra_us } => {
+                    self.account(&msg);
+                    let at_time = self.now + self.topo.delay_us(at, to) + extra_us;
+                    self.queue
+                        .push(at_time, Event::Deliver { from: at, to, msg });
+                }
+                Effect::Timer { delay_us, kind } => {
+                    self.queue
+                        .push(self.now + delay_us, Event::Timer { at, kind });
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue drains or `max_events` is hit; returns the
+    /// number of events processed.
+    pub fn run_until_quiet(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until simulated time reaches `deadline` (events at later times
+    /// stay queued); returns events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::UniformRandom;
+
+    /// A toy protocol: Ping is answered with Pong; delivery is emitted.
+    #[derive(Clone)]
+    enum PingMsg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl Message for PingMsg {
+        fn kind(&self) -> &'static str {
+            match self {
+                PingMsg::Ping(_) => "ping",
+                PingMsg::Pong(_) => "pong",
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct PingNode {
+        pongs: Vec<u32>,
+        failures: Vec<Addr>,
+        timers: Vec<u64>,
+    }
+
+    impl NodeLogic for PingNode {
+        type Msg = PingMsg;
+        type Out = u32;
+
+        fn on_message(&mut self, from: Addr, msg: PingMsg, ctx: &mut Ctx<'_, PingMsg, u32>) {
+            match msg {
+                PingMsg::Ping(n) => ctx.send(from, PingMsg::Pong(n + 1)),
+                PingMsg::Pong(n) => {
+                    self.pongs.push(n);
+                    ctx.emit(n);
+                }
+            }
+        }
+
+        fn on_send_failed(&mut self, to: Addr, _msg: PingMsg, _ctx: &mut Ctx<'_, PingMsg, u32>) {
+            self.failures.push(to);
+        }
+
+        fn on_timer(&mut self, kind: u64, _ctx: &mut Ctx<'_, PingMsg, u32>) {
+            self.timers.push(kind);
+        }
+    }
+
+    fn engine(n: usize) -> Engine<PingNode, UniformRandom> {
+        let topo = UniformRandom::new(n, 42, 1_000, 5_000);
+        let nodes = (0..n).map(|_| PingNode::default()).collect();
+        Engine::new(topo, nodes, 7)
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let mut e = engine(2);
+        e.inject(0, 1, PingMsg::Ping(10), 0);
+        e.run_until_quiet(100);
+        assert_eq!(e.node(0).pongs, vec![11]);
+        let outs = e.drain_outputs();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].1, 0);
+        assert_eq!(outs[0].2, 11);
+        // One ping + one pong accounted.
+        assert_eq!(e.stats.kind_count("ping"), 1);
+        assert_eq!(e.stats.kind_count("pong"), 1);
+        assert_eq!(e.stats.total_msgs, 2);
+    }
+
+    #[test]
+    fn latency_is_topology_delay() {
+        let mut e = engine(2);
+        let d = e.topology().delay_us(0, 1);
+        e.inject(0, 1, PingMsg::Ping(0), 0);
+        e.run_until_quiet(100);
+        // Round trip = 2 * one-way delay.
+        assert_eq!(e.now().as_micros(), 2 * d);
+    }
+
+    #[test]
+    fn dead_node_triggers_send_failed() {
+        let mut e = engine(2);
+        e.kill(1);
+        e.inject(0, 1, PingMsg::Ping(0), 0);
+        e.run_until_quiet(100);
+        assert_eq!(e.node(0).failures, vec![1]);
+        assert!(e.node(0).pongs.is_empty());
+    }
+
+    #[test]
+    fn revived_node_answers_again() {
+        let mut e = engine(2);
+        e.kill(1);
+        e.revive(1);
+        e.inject(0, 1, PingMsg::Ping(1), 0);
+        e.run_until_quiet(100);
+        assert_eq!(e.node(0).pongs, vec![2]);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut e = engine(1);
+        e.arm_timer(0, 500, 2);
+        e.arm_timer(0, 100, 1);
+        e.run_until_quiet(10);
+        assert_eq!(e.node(0).timers, vec![1, 2]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut e = engine(2);
+        e.arm_timer(0, 1_000, 1);
+        e.arm_timer(0, 10_000, 2);
+        e.run_until(SimTime::from_micros(5_000));
+        assert_eq!(e.node(0).timers, vec![1]);
+        assert_eq!(e.now(), SimTime::from_micros(5_000));
+        e.run_until_quiet(10);
+        assert_eq!(e.node(0).timers, vec![1, 2]);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut e = engine(8);
+            for i in 0..8 {
+                e.inject(i, (i + 1) % 8, PingMsg::Ping(i as u32), 0);
+            }
+            e.run_until_quiet(1_000);
+            (e.now(), e.stats.total_msgs)
+        };
+        assert_eq!(run(), run());
+    }
+}

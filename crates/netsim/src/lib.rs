@@ -1,0 +1,25 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! This crate is the substrate the PAST reproduction runs on: the paper's
+//! own evaluation numbers are simulation results (the companion Pastry and
+//! SOSP'01 papers simulate networks of up to 100 000 nodes), so a faithful
+//! reproduction needs a simulator with:
+//!
+//! - pluggable [`topology`] models supplying the *proximity metric* the
+//!   paper defines ("a scalar metric, such as the number of IP hops,
+//!   geographic distance, or a combination of these"),
+//! - a message [`engine`] with per-link latency, silent node failure and
+//!   timeout notifications, per-kind traffic accounting, and
+//! - full determinism (seeded RNG, totally ordered event queue), so every
+//!   experiment in EXPERIMENTS.md reproduces bit-for-bit.
+
+pub mod engine;
+pub mod event;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use engine::{Ctx, Engine, Message, NetStats, NodeLogic};
+pub use stats::{summarize, Histogram, Summary};
+pub use time::SimTime;
+pub use topology::{Addr, Plane, Sphere, Topology, TransitStub, UniformRandom};

@@ -1,0 +1,174 @@
+//! Summary statistics for experiment reporting.
+
+/// Summary of a sample: mean, percentiles, extrema, coefficient of
+/// variation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Standard deviation (population).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Coefficient of variation (stddev / mean); 0 for a zero mean.
+    pub fn cov(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Computes a [`Summary`] of `values`. Returns `None` for an empty sample.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    let pct = |p: f64| -> f64 {
+        let idx = ((p / 100.0) * (n as f64 - 1.0)).round() as usize;
+        sorted[idx.min(n - 1)]
+    };
+    Some(Summary {
+        n,
+        mean,
+        p50: pct(50.0),
+        p95: pct(95.0),
+        p99: pct(99.0),
+        min: sorted[0],
+        max: sorted[n - 1],
+        stddev: var.sqrt(),
+    })
+}
+
+/// A fixed-bucket histogram over `[0, max)` used for hop/size distributions.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    bucket_width: f64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of width `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `bucket_width <= 0`.
+    pub fn new(buckets: usize, bucket_width: f64) -> Histogram {
+        assert!(buckets > 0 && bucket_width > 0.0);
+        Histogram {
+            buckets: vec![0; buckets],
+            bucket_width,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if value < 0.0 {
+            self.overflow += 1;
+            return;
+        }
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Fraction of observations in bucket `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.buckets[i] as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations outside the bucket range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.stddev - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = summarize(&[7.0]).unwrap();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.cov(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_unsorted_input() {
+        let s = summarize(&[5.0, 1.0, 4.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p95, 5.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(4, 1.0);
+        for v in [0.5, 1.5, 1.9, 3.0, 10.0, -1.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[1, 2, 0, 1]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 6);
+        assert!((h.fraction(1) - 2.0 / 6.0).abs() < 1e-12);
+    }
+}

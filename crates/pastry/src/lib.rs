@@ -1,0 +1,42 @@
+//! Pastry: scalable, self-organizing location and routing for PAST.
+//!
+//! Implements the overlay described in §2.2 of the PAST paper (and in the
+//! companion Middleware 2001 Pastry paper): prefix routing over a 128-bit
+//! circular id space with
+//!
+//! - a routing table of `⌈log_2^b N⌉` rows × `2^b − 1` proximity-chosen
+//!   entries ([`table`]),
+//! - a leaf set of the `l` numerically closest nodes ([`leafset`]),
+//! - a neighborhood set of the `M` proximity-closest nodes
+//!   ([`neighborhood`]),
+//! - the routing rule with its leaf-set, table, and rare-case branches,
+//!   plus the randomized fault-tolerant variant ([`route`]),
+//! - the message-level join, failure-detection and repair protocols
+//!   ([`node`], [`msg`]), and
+//! - an application interface that PAST plugs into ([`app`]).
+//!
+//! The [`sim`] module binds nodes into the deterministic network simulator
+//! and offers both protocol-accurate sequential joins and a fast static
+//! builder for 10⁵-node experiments.
+
+pub mod app;
+pub mod handle;
+pub mod id;
+pub mod leafset;
+pub mod msg;
+pub mod neighborhood;
+pub mod node;
+pub mod route;
+pub mod sim;
+pub mod state;
+pub mod table;
+
+pub use app::{App, AppCtx, NullApp, PastryOut, RouteInfo};
+pub use handle::NodeHandle;
+pub use id::{Config, Id};
+pub use leafset::{LeafSet, Side};
+pub use msg::{PastryMsg, PayloadSize, RouteEnvelope};
+pub use node::{Behavior, PastryNode};
+pub use route::{next_hop, NextHop};
+pub use sim::{random_ids, static_build, DeliveryRecord, PastrySim};
+pub use state::PastryState;

@@ -1,0 +1,188 @@
+//! Pastry wire messages.
+
+use crate::handle::NodeHandle;
+use crate::id::Id;
+use past_netsim::{Addr, Message};
+
+/// A routed application message in flight.
+#[derive(Clone, Debug)]
+pub struct RouteEnvelope<P> {
+    /// Destination key (a fileId's 128 most-significant bits, or a nodeId).
+    pub key: Id,
+    /// Application payload.
+    pub payload: P,
+    /// Address of the node that originated the route.
+    pub origin: Addr,
+    /// Overlay hops taken so far (incremented on each forward).
+    pub hops: u32,
+    /// Accumulated network delay along the path, microseconds.
+    pub path_us: u64,
+}
+
+/// The Pastry protocol message set, generic over the application payload.
+#[derive(Clone, Debug)]
+pub enum PastryMsg<P> {
+    /// A routed application message.
+    Route(RouteEnvelope<P>),
+    /// A join request being routed toward the joiner's id, accumulating
+    /// routing-table rows along the path.
+    JoinRequest {
+        /// The joining node.
+        joiner: NodeHandle,
+        /// Routing-table entries collected along the path ("the i-th row
+        /// of the routing table from the i-th node encountered").
+        rows: Vec<NodeHandle>,
+        /// Highest row index already contributed.
+        rows_done: usize,
+        /// Hops taken so far.
+        hops: u32,
+    },
+    /// Z's answer to the joiner: collected rows plus Z's leaf set.
+    JoinReply {
+        /// The numerically closest existing node.
+        z: NodeHandle,
+        /// Entries collected along the join route.
+        rows: Vec<NodeHandle>,
+        /// Z's leaf set (plus Z itself).
+        leaf: Vec<NodeHandle>,
+        /// Join route length.
+        hops: u32,
+    },
+    /// Ask a nearby node for its neighborhood set.
+    NeighborhoodRequest,
+    /// The neighborhood set (plus the replying node).
+    NeighborhoodReply {
+        /// Members of the replier's neighborhood set.
+        members: Vec<NodeHandle>,
+    },
+    /// A newly joined node announcing itself so that "interested nodes
+    /// that need to know of its arrival" update their state.
+    Announce {
+        /// The announcing node.
+        from: NodeHandle,
+    },
+    /// Ask for the receiver's leaf set (leaf-set repair).
+    LeafRequest,
+    /// The receiver's leaf set (plus itself).
+    LeafReply {
+        /// Members of the replier's leaf set.
+        members: Vec<NodeHandle>,
+    },
+    /// Ask for the receiver's routing-table row (table improvement).
+    RowRequest {
+        /// Row index requested.
+        row: usize,
+    },
+    /// Entries of the requested row.
+    RowReply {
+        /// Populated entries of the row.
+        entries: Vec<NodeHandle>,
+    },
+    /// Ask for a replacement routing-table entry (lazy repair).
+    RepairRequest {
+        /// Row of the vacated slot.
+        row: usize,
+        /// Column of the vacated slot.
+        col: usize,
+    },
+    /// A replacement entry, if the replier has one.
+    RepairReply {
+        /// The replier's entry for that slot.
+        entry: Option<NodeHandle>,
+    },
+    /// Leaf-set liveness probe.
+    Heartbeat,
+    /// Probe acknowledgment.
+    HeartbeatAck,
+    /// A direct (non-routed) application message.
+    AppDirect {
+        /// Application payload.
+        payload: P,
+    },
+}
+
+const HANDLE_BYTES: u64 = 24; // 16-byte id + address
+
+impl<P: Clone + PayloadSize> Message for PastryMsg<P> {
+    fn kind(&self) -> &'static str {
+        match self {
+            PastryMsg::Route(_) => "route",
+            PastryMsg::JoinRequest { .. } => "join_request",
+            PastryMsg::JoinReply { .. } => "join_reply",
+            PastryMsg::NeighborhoodRequest => "neighborhood_request",
+            PastryMsg::NeighborhoodReply { .. } => "neighborhood_reply",
+            PastryMsg::Announce { .. } => "announce",
+            PastryMsg::LeafRequest => "leaf_request",
+            PastryMsg::LeafReply { .. } => "leaf_reply",
+            PastryMsg::RowRequest { .. } => "row_request",
+            PastryMsg::RowReply { .. } => "row_reply",
+            PastryMsg::RepairRequest { .. } => "repair_request",
+            PastryMsg::RepairReply { .. } => "repair_reply",
+            PastryMsg::Heartbeat => "heartbeat",
+            PastryMsg::HeartbeatAck => "heartbeat_ack",
+            PastryMsg::AppDirect { .. } => "app_direct",
+        }
+    }
+
+    fn wire_size(&self) -> u64 {
+        match self {
+            PastryMsg::Route(env) => 48 + env.payload.payload_size(),
+            PastryMsg::JoinRequest { rows, .. } => 48 + HANDLE_BYTES * rows.len() as u64,
+            PastryMsg::JoinReply { rows, leaf, .. } => {
+                48 + HANDLE_BYTES * (rows.len() + leaf.len()) as u64
+            }
+            PastryMsg::NeighborhoodReply { members } | PastryMsg::LeafReply { members } => {
+                16 + HANDLE_BYTES * members.len() as u64
+            }
+            PastryMsg::RowReply { entries } => 16 + HANDLE_BYTES * entries.len() as u64,
+            PastryMsg::AppDirect { payload } => 16 + payload.payload_size(),
+            _ => 32,
+        }
+    }
+}
+
+/// Wire-size estimation for application payloads.
+pub trait PayloadSize {
+    /// Approximate encoded size in bytes.
+    fn payload_size(&self) -> u64 {
+        32
+    }
+}
+
+impl PayloadSize for () {}
+impl PayloadSize for u32 {}
+impl PayloadSize for u64 {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_for_accounting() {
+        let msgs: Vec<PastryMsg<u32>> = vec![
+            PastryMsg::Route(RouteEnvelope {
+                key: Id(1),
+                payload: 7,
+                origin: 0,
+                hops: 0,
+                path_us: 0,
+            }),
+            PastryMsg::NeighborhoodRequest,
+            PastryMsg::LeafRequest,
+            PastryMsg::Heartbeat,
+            PastryMsg::HeartbeatAck,
+            PastryMsg::AppDirect { payload: 7 },
+        ];
+        let kinds: std::collections::HashSet<&str> = msgs.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn wire_size_grows_with_contents() {
+        let small: PastryMsg<u32> = PastryMsg::LeafReply { members: vec![] };
+        let big: PastryMsg<u32> = PastryMsg::LeafReply {
+            members: vec![NodeHandle::new(Id(0), 0); 16],
+        };
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

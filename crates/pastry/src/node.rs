@@ -1,0 +1,372 @@
+//! Per-node Pastry protocol logic.
+//!
+//! Implements message handling for routing, the join protocol, leaf-set
+//! and routing-table repair, heartbeats, and failure notifications, and
+//! dispatches application callbacks.
+
+use crate::app::{App, AppCtx, PastryOut, RouteInfo};
+use crate::handle::NodeHandle;
+use crate::id::Config;
+use crate::msg::{PastryMsg, RouteEnvelope};
+use crate::route::{next_hop, NextHop};
+use crate::state::PastryState;
+use past_netsim::{Addr, Ctx, NodeLogic};
+use std::collections::HashSet;
+
+/// Timer id for leaf-set heartbeats.
+pub const TIMER_HEARTBEAT: u64 = 1;
+/// Application timers are offset by this base.
+pub const APP_TIMER_BASE: u64 = 1 << 32;
+
+/// Failure-injection behavior of a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Normal,
+    /// Malicious: accepts routed messages but silently drops them
+    /// (the attack the paper's randomized routing defends against).
+    DropRoutes,
+}
+
+type NodeCtx<'b, A> = Ctx<'b, PastryMsg<<A as App>::Payload>, PastryOut<<A as App>::Out>>;
+
+/// A Pastry node: routing state, application, and protocol behavior.
+pub struct PastryNode<A: App> {
+    /// The routing state (table, leaf set, neighborhood set).
+    pub state: PastryState,
+    /// The application running on this node.
+    pub app: A,
+    /// Failure-injection behavior.
+    pub behavior: Behavior,
+    /// True once the join protocol has completed (or for bootstrap nodes).
+    pub joined: bool,
+    /// If set, heartbeats re-arm with this period.
+    pub heartbeat_interval_us: Option<u64>,
+    /// Hops taken by this node's join request, once joined.
+    pub join_hops: Option<u32>,
+    /// Peers this node has observed failing. State offered by other nodes
+    /// (leaf-set merges, repair replies) is ignored for suspected peers,
+    /// or the gossip would keep re-installing dead entries and the repair
+    /// traffic would never converge. Hearing *from* a peer clears the
+    /// suspicion (it is evidently alive again).
+    suspected: HashSet<Addr>,
+}
+
+impl<A: App> PastryNode<A> {
+    /// Creates a node with the given id/address and application.
+    pub fn new(cfg: Config, me: NodeHandle, app: A) -> PastryNode<A> {
+        PastryNode {
+            state: PastryState::new(cfg, me),
+            app,
+            behavior: Behavior::Normal,
+            joined: false,
+            heartbeat_interval_us: None,
+            join_hops: None,
+            suspected: HashSet::new(),
+        }
+    }
+
+    /// True if this node currently suspects `addr` of being dead.
+    pub fn suspects(&self, addr: Addr) -> bool {
+        self.suspected.contains(&addr)
+    }
+
+    /// Routes or delivers an envelope currently held by this node.
+    fn route_env(&mut self, mut env: RouteEnvelope<A::Payload>, ctx: &mut NodeCtx<'_, A>) {
+        if env.hops > self.state.cfg.max_route_hops {
+            // A cycle through inconsistent (failure-damaged) state; drop
+            // and let the client retry after repair.
+            ctx.emit(PastryOut::RouteDropped {
+                key: env.key,
+                origin: env.origin,
+            });
+            return;
+        }
+        match next_hop(&self.state, &env.key, ctx.rng) {
+            NextHop::DeliverHere => {
+                ctx.emit(PastryOut::Delivered {
+                    key: env.key,
+                    origin: env.origin,
+                    hops: env.hops,
+                    path_us: env.path_us,
+                });
+                let info = RouteInfo {
+                    origin: env.origin,
+                    hops: env.hops,
+                    path_us: env.path_us,
+                };
+                let mut cx = AppCtx { ctx };
+                self.app
+                    .deliver(&self.state, env.key, env.payload, info, &mut cx);
+            }
+            NextHop::Forward(next) => {
+                let mut cx = AppCtx { ctx };
+                if !self.app.forward(&self.state, &mut env, next, &mut cx) {
+                    return;
+                }
+                env.hops += 1;
+                env.path_us += ctx.delay_to(next.addr);
+                ctx.send(next.addr, PastryMsg::Route(env));
+            }
+        }
+    }
+
+    /// Adds a node, invoking the leaf-set-change hook if needed.
+    fn learn(&mut self, h: NodeHandle, ctx: &mut NodeCtx<'_, A>) {
+        if self.suspected.contains(&h.addr) {
+            return;
+        }
+        let prox = ctx.delay_to(h.addr);
+        if self.state.add_node(h, prox) {
+            let mut cx = AppCtx { ctx };
+            self.app.on_leafset_changed(&self.state, &[h], &[], &mut cx);
+        }
+    }
+
+    /// Adds a batch of nodes, invoking the hook once with all leaf changes.
+    fn learn_batch(&mut self, handles: &[NodeHandle], ctx: &mut NodeCtx<'_, A>) {
+        let mut added = Vec::new();
+        for &h in handles {
+            if self.suspected.contains(&h.addr) {
+                continue;
+            }
+            let prox = ctx.delay_to(h.addr);
+            if self.state.add_node(h, prox) {
+                added.push(h);
+            }
+        }
+        if !added.is_empty() {
+            let mut cx = AppCtx { ctx };
+            self.app
+                .on_leafset_changed(&self.state, &added, &[], &mut cx);
+        }
+    }
+
+    /// Removes a failed peer from the state and initiates repair.
+    ///
+    /// "All members of the failed node's leaf set are then notified and
+    /// they update their leaf sets" — here, the detecting node asks the
+    /// farthest live member on the failed side for its leaf set. Routing
+    /// table slots are repaired by asking a same-row peer for its entry.
+    fn handle_peer_failure(&mut self, dead: Addr, ctx: &mut NodeCtx<'_, A>) {
+        self.suspected.insert(dead);
+        let removal = self.state.remove_addr(dead);
+        if let Some(side) = removal.leaf_side {
+            if let Some(ex) = self.state.leaf.extreme(side) {
+                ctx.send(ex.addr, PastryMsg::LeafRequest);
+            }
+            if let Some(h) = removal.leaf_handle {
+                let mut cx = AppCtx { ctx };
+                self.app.on_leafset_changed(&self.state, &[], &[h], &mut cx);
+            }
+        }
+        for (row, col) in removal.table_slots {
+            // Ask any live same-row peer for a replacement entry.
+            if let Some(peer) = self.state.table.row_entries(row).first() {
+                ctx.send(peer.addr, PastryMsg::RepairRequest { row, col });
+            }
+        }
+    }
+}
+
+impl<A: App> NodeLogic for PastryNode<A> {
+    type Msg = PastryMsg<A::Payload>;
+    type Out = PastryOut<A::Out>;
+
+    fn on_message(&mut self, from: Addr, msg: Self::Msg, ctx: &mut NodeCtx<'_, A>) {
+        // Hearing from a peer proves it alive; drop any suspicion.
+        self.suspected.remove(&from);
+        match msg {
+            PastryMsg::Route(env) => {
+                if self.behavior == Behavior::DropRoutes && env.origin != ctx.me {
+                    return;
+                }
+                self.route_env(env, ctx);
+            }
+            PastryMsg::JoinRequest {
+                joiner,
+                mut rows,
+                mut rows_done,
+                hops,
+            } => {
+                // Contribute our routing-table rows usable by the joiner:
+                // rows up to the shared-prefix length.
+                let p = self.state.me.id.prefix_len(&joiner.id, self.state.cfg.b);
+                let max_row = p.min(self.state.cfg.digits() - 1);
+                while rows_done <= max_row {
+                    rows.extend(self.state.table.row_entries(rows_done));
+                    rows_done += 1;
+                }
+                rows.push(self.state.me);
+                // Decide before learning the joiner, so we never forward
+                // the join to the joiner itself. Past the hop TTL (cycle
+                // through damaged state), answer as Z instead of looping.
+                let decision = if hops > self.state.cfg.max_route_hops {
+                    NextHop::DeliverHere
+                } else {
+                    next_hop(&self.state, &joiner.id, ctx.rng)
+                };
+                match decision {
+                    NextHop::DeliverHere => {
+                        let leaf: Vec<NodeHandle> = self.state.leaf.members().copied().collect();
+                        ctx.send(
+                            joiner.addr,
+                            PastryMsg::JoinReply {
+                                z: self.state.me,
+                                rows,
+                                leaf,
+                                hops,
+                            },
+                        );
+                    }
+                    NextHop::Forward(next) => {
+                        ctx.send(
+                            next.addr,
+                            PastryMsg::JoinRequest {
+                                joiner,
+                                rows,
+                                rows_done,
+                                hops: hops + 1,
+                            },
+                        );
+                    }
+                }
+                self.learn(joiner, ctx);
+            }
+            PastryMsg::JoinReply {
+                z,
+                rows,
+                leaf,
+                hops,
+            } => {
+                let mut all = rows;
+                all.extend(leaf);
+                all.push(z);
+                self.learn_batch(&all, ctx);
+                self.joined = true;
+                self.join_hops = Some(hops);
+                // "Notify interested nodes that need to know of its
+                // arrival, thereby restoring all of Pastry's invariants."
+                let me = self.state.me;
+                for h in self.state.known_nodes() {
+                    ctx.send(h.addr, PastryMsg::Announce { from: me });
+                }
+                ctx.emit(PastryOut::JoinComplete { hops });
+            }
+            PastryMsg::NeighborhoodRequest => {
+                let mut members: Vec<NodeHandle> =
+                    self.state.neighborhood.members().copied().collect();
+                members.push(self.state.me);
+                ctx.send(from, PastryMsg::NeighborhoodReply { members });
+            }
+            PastryMsg::NeighborhoodReply { members } => {
+                self.learn_batch(&members, ctx);
+            }
+            PastryMsg::Announce { from: h } => {
+                self.learn(h, ctx);
+            }
+            PastryMsg::LeafRequest => {
+                let mut members: Vec<NodeHandle> = self.state.leaf.members().copied().collect();
+                members.push(self.state.me);
+                ctx.send(from, PastryMsg::LeafReply { members });
+            }
+            PastryMsg::LeafReply { members } => {
+                self.learn_batch(&members, ctx);
+            }
+            PastryMsg::RowRequest { row } => {
+                let entries = self.state.table.row_entries(row);
+                ctx.send(from, PastryMsg::RowReply { entries });
+            }
+            PastryMsg::RowReply { entries } => {
+                self.learn_batch(&entries, ctx);
+            }
+            PastryMsg::RepairRequest { row, col } => {
+                let entry = self.state.table.get(row, col);
+                ctx.send(from, PastryMsg::RepairReply { entry });
+            }
+            PastryMsg::RepairReply { entry } => {
+                if let Some(h) = entry {
+                    self.learn(h, ctx);
+                }
+            }
+            PastryMsg::Heartbeat => {
+                ctx.send(from, PastryMsg::HeartbeatAck);
+            }
+            PastryMsg::HeartbeatAck => {}
+            PastryMsg::AppDirect { payload } => {
+                let mut cx = AppCtx { ctx };
+                self.app.on_direct(&self.state, from, payload, &mut cx);
+            }
+        }
+    }
+
+    fn on_send_failed(&mut self, to: Addr, msg: Self::Msg, ctx: &mut NodeCtx<'_, A>) {
+        // The peer is presumed failed: purge it and repair, then retry
+        // whatever the message was trying to do.
+        self.handle_peer_failure(to, ctx);
+        match msg {
+            PastryMsg::Route(env) => {
+                // "Automatically resolves node failures": re-route around
+                // the dead node (it is no longer in our state).
+                self.route_env(env, ctx);
+            }
+            PastryMsg::JoinRequest {
+                joiner,
+                rows,
+                rows_done,
+                hops,
+            } => {
+                // Re-route the join with our updated state.
+                match next_hop(&self.state, &joiner.id, ctx.rng) {
+                    NextHop::DeliverHere => {
+                        let leaf: Vec<NodeHandle> = self.state.leaf.members().copied().collect();
+                        ctx.send(
+                            joiner.addr,
+                            PastryMsg::JoinReply {
+                                z: self.state.me,
+                                rows,
+                                leaf,
+                                hops,
+                            },
+                        );
+                    }
+                    NextHop::Forward(next) => {
+                        ctx.send(
+                            next.addr,
+                            PastryMsg::JoinRequest {
+                                joiner,
+                                rows,
+                                rows_done,
+                                hops: hops + 1,
+                            },
+                        );
+                    }
+                }
+            }
+            PastryMsg::AppDirect { payload } => {
+                let mut cx = AppCtx { ctx };
+                self.app.on_direct_failed(&self.state, to, payload, &mut cx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut NodeCtx<'_, A>) {
+        if kind >= APP_TIMER_BASE {
+            let mut cx = AppCtx { ctx };
+            self.app
+                .on_timer(&self.state, kind - APP_TIMER_BASE, &mut cx);
+            return;
+        }
+        if kind == TIMER_HEARTBEAT {
+            let members: Vec<Addr> = self.state.leaf.members().map(|m| m.addr).collect();
+            for addr in members {
+                ctx.send(addr, PastryMsg::Heartbeat);
+            }
+            if let Some(period) = self.heartbeat_interval_us {
+                ctx.set_timer(period, TIMER_HEARTBEAT);
+            }
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Harness binding Pastry nodes into the network-simulator engine.
+//!
+//! Provides protocol-accurate sequential joins (the way the companion
+//! Pastry paper built its simulated networks), a fast static builder for
+//! very large hop-count experiments, routing helpers, and maintenance
+//! rounds (heartbeats, routing-table improvement).
+
+use crate::app::{App, PastryOut};
+use crate::handle::NodeHandle;
+use crate::id::{Config, Id};
+use crate::msg::{PastryMsg, RouteEnvelope};
+use crate::node::{PastryNode, TIMER_HEARTBEAT};
+use past_netsim::{Addr, Engine, SimTime, Topology};
+use rand::Rng;
+
+/// Default cap on events per quiet-run (guards against runaway loops).
+const QUIET_BUDGET: u64 = 50_000_000;
+
+/// A record of one completed route, as observed by the harness.
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveryRecord {
+    /// Key that was routed.
+    pub key: Id,
+    /// Node that originated the route.
+    pub origin: Addr,
+    /// Node where it was delivered.
+    pub delivered_at: Addr,
+    /// Overlay hops.
+    pub hops: u32,
+    /// Total path delay, microseconds.
+    pub path_us: u64,
+    /// Simulated completion time.
+    pub at: SimTime,
+}
+
+/// A Pastry overlay running inside the discrete-event engine.
+pub struct PastrySim<A: App, T: Topology> {
+    /// The underlying engine (exposed for kill/revive, stats, outputs).
+    pub engine: Engine<PastryNode<A>, T>,
+    /// The shared protocol configuration.
+    pub cfg: Config,
+}
+
+impl<A: App, T: Topology> PastrySim<A, T> {
+    /// Creates an empty overlay on `topo`.
+    pub fn new(topo: T, cfg: Config, seed: u64) -> PastrySim<A, T> {
+        cfg.validate();
+        PastrySim {
+            engine: Engine::new(topo, Vec::new(), seed),
+            cfg,
+        }
+    }
+
+    /// Adds the first node of the network (no join needed).
+    pub fn bootstrap_node(&mut self, id: Id, app: A) -> Addr {
+        let addr = self.engine.push_node(PastryNode::new(
+            self.cfg,
+            NodeHandle::new(id, self.engine.len()),
+            app,
+        ));
+        self.engine.node_mut(addr).joined = true;
+        addr
+    }
+
+    /// Adds a node and runs the full join protocol through `contact`.
+    ///
+    /// Runs the engine until quiet, so joins are sequential as in the
+    /// paper's evaluation. Returns the new node's address.
+    pub fn join_node_via(&mut self, id: Id, app: A, contact: Addr) -> Addr {
+        let addr = self
+            .engine
+            .push_node(PastryNode::new(self.cfg, NodeHandle::new(id, 0), app));
+        // Fix up the self-handle with the real address.
+        self.engine.node_mut(addr).state.me = NodeHandle::new(id, addr);
+        self.engine.node_mut(addr).state =
+            crate::state::PastryState::new(self.cfg, NodeHandle::new(id, addr));
+        let joiner = NodeHandle::new(id, addr);
+        self.engine
+            .inject(addr, contact, PastryMsg::NeighborhoodRequest, 0);
+        self.engine.inject(
+            addr,
+            contact,
+            PastryMsg::JoinRequest {
+                joiner,
+                rows: Vec::new(),
+                rows_done: 0,
+                hops: 0,
+            },
+            0,
+        );
+        self.engine.run_until_quiet(QUIET_BUDGET);
+        debug_assert!(self.engine.node(addr).joined, "join did not complete");
+        addr
+    }
+
+    /// Adds a node, choosing a *nearby* contact as the paper prescribes
+    /// ("an arriving node ... can initialize its state by contacting a
+    /// nearby node A"): samples `sample` live nodes and picks the
+    /// proximity-nearest, modeling an expanding-ring search.
+    pub fn join_node_nearby(&mut self, id: Id, app: A, sample: usize) -> Addr {
+        let live = self.engine.live_addrs();
+        assert!(!live.is_empty(), "need a bootstrap node first");
+        let next_addr = self.engine.len();
+        let mut best: Option<(u64, Addr)> = None;
+        for _ in 0..sample.max(1) {
+            let cand = live[self.engine.rng().random_range(0..live.len())];
+            let d = self.engine.topology().delay_us(next_addr, cand);
+            if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+                best = Some((d, cand));
+            }
+        }
+        let contact = best.expect("non-empty sample").1;
+        self.join_node_via(id, app, contact)
+    }
+
+    /// Builds an `n`-node network by sequential protocol joins.
+    ///
+    /// `ids` must be distinct; `mk_app` constructs each node's application.
+    pub fn build_by_joins<F: FnMut(usize) -> A>(
+        &mut self,
+        ids: &[Id],
+        mut mk_app: F,
+        contact_sample: usize,
+    ) {
+        assert!(!ids.is_empty());
+        self.bootstrap_node(ids[0], mk_app(0));
+        for (i, &id) in ids.iter().enumerate().skip(1) {
+            self.join_node_nearby(id, mk_app(i), contact_sample);
+        }
+    }
+
+    /// Starts routing `payload` toward `key` from node `from`.
+    ///
+    /// The caller runs the engine and inspects [`Self::drain_deliveries`].
+    pub fn route(&mut self, from: Addr, key: Id, payload: A::Payload)
+    where
+        A::Payload: Clone,
+    {
+        self.engine.inject(
+            from,
+            from,
+            PastryMsg::Route(RouteEnvelope {
+                key,
+                payload,
+                origin: from,
+                hops: 0,
+                path_us: 0,
+            }),
+            0,
+        );
+    }
+
+    /// Runs the engine until quiet and returns route-delivery records.
+    pub fn drain_deliveries(&mut self) -> Vec<DeliveryRecord> {
+        self.engine.run_until_quiet(QUIET_BUDGET);
+        self.engine
+            .drain_outputs()
+            .into_iter()
+            .filter_map(|(at, addr, out)| match out {
+                PastryOut::Delivered {
+                    key,
+                    origin,
+                    hops,
+                    path_us,
+                } => Some(DeliveryRecord {
+                    key,
+                    origin,
+                    delivered_at: addr,
+                    hops,
+                    path_us,
+                    at,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drains application-level observations.
+    pub fn drain_app_outputs(&mut self) -> Vec<(SimTime, Addr, A::Out)> {
+        self.engine
+            .drain_outputs()
+            .into_iter()
+            .filter_map(|(at, addr, out)| match out {
+                PastryOut::App(o) => Some((at, addr, o)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Recovers a previously failed node (the paper: "a recovering node
+    /// contacts the nodes in its last known leaf set, obtains their
+    /// current leaf sets, updates its own leaf set and then notifies the
+    /// members of its presence").
+    ///
+    /// Runs the engine to quiescence. Returns the peers contacted.
+    pub fn recover_node(&mut self, addr: Addr) -> usize {
+        self.engine.revive(addr);
+        let me = self.engine.node(addr).state.me;
+        let last_leaf: Vec<Addr> = self
+            .engine
+            .node(addr)
+            .state
+            .leaf
+            .members()
+            .map(|h| h.addr)
+            .collect();
+        for &peer in &last_leaf {
+            self.engine.inject(addr, peer, PastryMsg::LeafRequest, 0);
+            self.engine
+                .inject(addr, peer, PastryMsg::Announce { from: me }, 0);
+        }
+        self.engine.run_until_quiet(QUIET_BUDGET);
+        last_leaf.len()
+    }
+
+    /// Triggers one leaf-set heartbeat round on every live node and runs
+    /// to quiescence (failure detection + repair).
+    pub fn stabilize(&mut self) {
+        for addr in self.engine.live_addrs() {
+            self.engine.arm_timer(addr, 0, TIMER_HEARTBEAT);
+        }
+        self.engine.run_until_quiet(QUIET_BUDGET);
+    }
+
+    /// One routing-table improvement round: every node asks one random
+    /// peer per populated row for that row's entries (the Pastry paper's
+    /// locality-improvement maintenance).
+    pub fn improve_tables(&mut self) {
+        let addrs = self.engine.live_addrs();
+        for addr in addrs {
+            let rows: Vec<(usize, Vec<NodeHandle>)> = {
+                let st = &self.engine.node(addr).state;
+                (0..st.cfg.digits())
+                    .map(|r| (r, st.table.row_entries(r)))
+                    .filter(|(_, e)| !e.is_empty())
+                    .collect()
+            };
+            for (row, entries) in rows {
+                let peer = {
+                    let idx = self.engine.rng().random_range(0..entries.len());
+                    entries[idx]
+                };
+                self.engine
+                    .inject(addr, peer.addr, PastryMsg::RowRequest { row }, 0);
+            }
+        }
+        self.engine.run_until_quiet(QUIET_BUDGET);
+    }
+
+    /// The handle of node `addr`.
+    pub fn handle(&self, addr: Addr) -> NodeHandle {
+        self.engine.node(addr).state.me
+    }
+
+    /// Handles of all live nodes.
+    pub fn live_handles(&self) -> Vec<NodeHandle> {
+        self.engine
+            .live_addrs()
+            .into_iter()
+            .map(|a| self.handle(a))
+            .collect()
+    }
+
+    /// The live node whose id is numerically closest to `key`
+    /// (ground truth for delivery-correctness checks).
+    pub fn true_root(&self, key: &Id) -> Option<NodeHandle> {
+        self.live_handles()
+            .into_iter()
+            .min_by_key(|h| (h.id.ring_dist(key), h.id.0))
+    }
+}
+
+/// Builds a large network *statically*: every node's leaf set and routing
+/// table are constructed from global knowledge instead of protocol joins.
+///
+/// Used for the biggest hop-count/state-size experiments (the companion
+/// paper simulates up to 100 000 nodes). Table entries pick the
+/// proximity-nearest of `locality_samples` random candidates with the
+/// required prefix, approximating the join protocol's locality.
+pub fn static_build<A, T, F>(
+    topo: T,
+    cfg: Config,
+    seed: u64,
+    ids: &[Id],
+    mut mk_app: F,
+    locality_samples: usize,
+) -> PastrySim<A, T>
+where
+    A: App,
+    T: Topology,
+    F: FnMut(usize) -> A,
+{
+    cfg.validate();
+    assert!(locality_samples >= 1);
+    let n = ids.len();
+    let mut sim: PastrySim<A, T> = PastrySim::new(topo, cfg, seed);
+    for (addr, &id) in ids.iter().enumerate() {
+        let a = sim.engine.push_node(PastryNode::new(
+            cfg,
+            NodeHandle::new(id, addr),
+            mk_app(addr),
+        ));
+        sim.engine.node_mut(a).joined = true;
+    }
+
+    // Ring order.
+    let mut sorted: Vec<NodeHandle> = ids
+        .iter()
+        .enumerate()
+        .map(|(addr, &id)| NodeHandle::new(id, addr))
+        .collect();
+    sorted.sort_by_key(|h| h.id.0);
+    let sorted_ids: Vec<u128> = sorted.iter().map(|h| h.id.0).collect();
+
+    let half = cfg.leaf_len / 2;
+    let digits = cfg.digits();
+    let b = cfg.b;
+
+    for pos in 0..n {
+        let me = sorted[pos];
+        let addr = me.addr;
+
+        // Leaf set: l/2 ring successors and predecessors.
+        let mut leaf_changes = Vec::new();
+        for step in 1..=half.min(n.saturating_sub(1)) {
+            leaf_changes.push(sorted[(pos + step) % n]);
+            leaf_changes.push(sorted[(pos + n - step) % n]);
+        }
+        for h in leaf_changes {
+            let prox = sim.engine.topology().delay_us(addr, h.addr);
+            sim.engine.node_mut(addr).state.add_node(h, prox);
+        }
+
+        // Routing table, row by row, using binary search over the sorted
+        // ring for each prefix range.
+        for row in 0..digits {
+            // Range of ids sharing `row` digits with me.
+            let shift = 128 - (row + 1) * b as usize;
+            let prefix_mask: u128 = if row == 0 {
+                0
+            } else {
+                (!0u128) << (128 - row * b as usize)
+            };
+            let own_base = me.id.0 & prefix_mask;
+            let own_digit = me.id.digit(row, b) as usize;
+            // If nobody else shares our first `row` digits, stop.
+            let span_lo = sorted_ids.partition_point(|&x| x < own_base);
+            let span_hi = if row == 0 {
+                n
+            } else {
+                let top = own_base | !prefix_mask;
+                sorted_ids.partition_point(|&x| x <= top)
+            };
+            if span_hi - span_lo <= 1 {
+                break;
+            }
+            for col in 0..cfg.cols() {
+                if col == own_digit {
+                    continue;
+                }
+                let base = own_base | ((col as u128) << shift);
+                let top = base | ((1u128 << shift) - 1);
+                let lo = sorted_ids.partition_point(|&x| x < base);
+                let hi = sorted_ids.partition_point(|&x| x <= top);
+                if lo >= hi {
+                    continue;
+                }
+                // Pick the proximity-nearest of a few random candidates.
+                let mut best: Option<(u64, NodeHandle)> = None;
+                for _ in 0..locality_samples {
+                    let idx = {
+                        let rng = sim.engine.rng();
+                        rng.random_range(lo..hi)
+                    };
+                    let cand = sorted[idx];
+                    let d = sim.engine.topology().delay_us(addr, cand.addr);
+                    if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+                        best = Some((d, cand));
+                    }
+                }
+                let (d, cand) = best.expect("non-empty range");
+                sim.engine.node_mut(addr).state.table.consider(cand, d);
+            }
+        }
+
+        // Neighborhood set: nearest of a modest random sample.
+        let sample = (cfg.neighborhood_len * 2).min(n.saturating_sub(1));
+        for _ in 0..sample {
+            let other = {
+                let rng = sim.engine.rng();
+                rng.random_range(0..n)
+            };
+            if other == addr {
+                continue;
+            }
+            let h = NodeHandle::new(ids[other], other);
+            let d = sim.engine.topology().delay_us(addr, other);
+            sim.engine.node_mut(addr).state.neighborhood.consider(h, d);
+        }
+    }
+    sim
+}
+
+/// Generates `n` distinct pseudo-random ids from a seed.
+pub fn random_ids<R: Rng>(n: usize, rng: &mut R) -> Vec<Id> {
+    let mut set = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let id = Id(rng.random());
+        if set.insert(id.0) {
+            out.push(id);
+        }
+    }
+    out
+}

@@ -1,0 +1,160 @@
+//! The complete routing state of one Pastry node.
+
+use crate::handle::NodeHandle;
+use crate::id::Config;
+use crate::leafset::{LeafSet, Side};
+use crate::neighborhood::NeighborhoodSet;
+use crate::table::RoutingTable;
+use past_netsim::Addr;
+
+/// The three routing structures of a node: routing table, leaf set and
+/// neighborhood set.
+#[derive(Clone, Debug)]
+pub struct PastryState {
+    /// Protocol parameters.
+    pub cfg: Config,
+    /// This node's own handle.
+    pub me: NodeHandle,
+    /// The prefix-routing table.
+    pub table: RoutingTable,
+    /// The leaf set (ring neighbors).
+    pub leaf: LeafSet,
+    /// The proximity-nearest set.
+    pub neighborhood: NeighborhoodSet,
+}
+
+/// What changed when a node was removed from the state.
+#[derive(Debug, Default)]
+pub struct Removal {
+    /// If the node was a leaf member, the side it occupied.
+    pub leaf_side: Option<Side>,
+    /// The removed leaf handle, if any.
+    pub leaf_handle: Option<NodeHandle>,
+    /// Routing-table slots vacated.
+    pub table_slots: Vec<(usize, usize)>,
+}
+
+impl PastryState {
+    /// Creates empty state for node `me`.
+    pub fn new(cfg: Config, me: NodeHandle) -> PastryState {
+        cfg.validate();
+        PastryState {
+            cfg,
+            me,
+            table: RoutingTable::new(me.id, &cfg),
+            leaf: LeafSet::new(me.id, cfg.leaf_len),
+            neighborhood: NeighborhoodSet::new(cfg.neighborhood_len),
+        }
+    }
+
+    /// Learns about a node: offers it to all three structures.
+    ///
+    /// Returns true if the *leaf set* changed (the signal the application
+    /// layer cares about for replica management).
+    pub fn add_node(&mut self, h: NodeHandle, proximity_us: u64) -> bool {
+        if h.addr == self.me.addr || h.id == self.me.id {
+            return false;
+        }
+        self.table.consider(h, proximity_us);
+        self.neighborhood.consider(h, proximity_us);
+        self.leaf.insert(h)
+    }
+
+    /// Forgets a (presumed failed) node everywhere.
+    pub fn remove_addr(&mut self, addr: Addr) -> Removal {
+        let mut removal = Removal {
+            table_slots: self.table.remove_addr(addr),
+            ..Removal::default()
+        };
+        if let Some(h) = self.leaf.remove_addr(addr) {
+            removal.leaf_side = Some(self.leaf.side_of(&h.id));
+            removal.leaf_handle = Some(h);
+        }
+        self.neighborhood.remove_addr(addr);
+        removal
+    }
+
+    /// Every node this one currently knows (deduplicated by address).
+    pub fn known_nodes(&self) -> Vec<NodeHandle> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for h in self
+            .leaf
+            .members()
+            .copied()
+            .chain(self.table.entries())
+            .chain(self.neighborhood.members().copied())
+        {
+            if seen.insert(h.addr) {
+                out.push(h);
+            }
+        }
+        out
+    }
+
+    /// Total populated entries across the three structures (the paper's
+    /// state-size bound is `(2^b − 1)·⌈log_2^b N⌉ + 2l`).
+    pub fn state_size(&self) -> usize {
+        self.table.populated() + self.leaf.len() + self.neighborhood.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Id;
+
+    fn st() -> PastryState {
+        PastryState::new(
+            Config {
+                leaf_len: 4,
+                neighborhood_len: 4,
+                ..Config::default()
+            },
+            NodeHandle::new(Id(1 << 100), 0),
+        )
+    }
+
+    fn h(id: u128, addr: Addr) -> NodeHandle {
+        NodeHandle::new(Id(id), addr)
+    }
+
+    #[test]
+    fn add_feeds_all_structures() {
+        let mut s = st();
+        let other = h(2 << 100, 1);
+        assert!(s.add_node(other, 50));
+        assert_eq!(s.leaf.len(), 1);
+        assert_eq!(s.neighborhood.len(), 1);
+        assert_eq!(s.table.populated(), 1);
+        assert_eq!(s.state_size(), 3);
+    }
+
+    #[test]
+    fn add_rejects_self() {
+        let mut s = st();
+        assert!(!s.add_node(h(1 << 100, 0), 0));
+        assert_eq!(s.state_size(), 0);
+    }
+
+    #[test]
+    fn remove_reports_leaf_side() {
+        let mut s = st();
+        let other = h((1 << 100) + 5, 1);
+        s.add_node(other, 50);
+        let r = s.remove_addr(1);
+        assert_eq!(r.leaf_side, Some(Side::Larger));
+        assert_eq!(r.leaf_handle.unwrap().addr, 1);
+        assert!(!r.table_slots.is_empty());
+        assert_eq!(s.state_size(), 0);
+    }
+
+    #[test]
+    fn known_nodes_dedup() {
+        let mut s = st();
+        s.add_node(h(2 << 100, 1), 50);
+        s.add_node(h(3 << 100, 2), 60);
+        let known = s.known_nodes();
+        assert_eq!(known.len(), 2);
+    }
+}

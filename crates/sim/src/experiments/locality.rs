@@ -1,0 +1,265 @@
+//! E3 — route-distance penalty (locality).
+//!
+//! Paper claim: "simulations have shown that the average distance traveled
+//! by a message, in terms of the proximity metric, is only 50% higher than
+//! the corresponding 'distance' of the source and destination in the
+//! underlying network."
+
+use crate::common::pastry_joined;
+use crate::report::{f2, ExpTable};
+use past_netsim::Topology;
+use past_pastry::{Config, Id};
+use rand::Rng;
+
+/// Parameters for E3.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Network sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Routes per size.
+    pub trials: usize,
+    /// Routing-table improvement rounds after the joins.
+    pub improve_rounds: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Pastry configuration.
+    pub cfg: Config,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params {
+            sizes: vec![500, 1_500],
+            trials: 600,
+            improve_rounds: 2,
+            seed: 62,
+            cfg: Config::default(),
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale run.
+    pub fn paper() -> Params {
+        Params {
+            sizes: vec![1_000, 2_500, 5_000],
+            trials: 2_000,
+            ..Params::default()
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Network size.
+    pub n: usize,
+    /// Mean ratio of route delay to direct source→destination delay.
+    pub ratio: f64,
+    /// Mean hops (context).
+    pub mean_hops: f64,
+}
+
+/// E3 result.
+#[derive(Clone, Debug)]
+pub struct Result {
+    /// One row per size.
+    pub rows: Vec<Row>,
+}
+
+/// Runs E3.
+pub fn run(p: &Params) -> Result {
+    let mut rows = Vec::new();
+    for (i, &n) in p.sizes.iter().enumerate() {
+        let mut sim = pastry_joined(n, p.seed + i as u64, p.cfg);
+        for _ in 0..p.improve_rounds {
+            sim.improve_tables();
+        }
+        let mut ratios = Vec::new();
+        let mut hops = 0u64;
+        let mut measured = 0usize;
+        while measured < p.trials {
+            let key = Id(sim.engine.rng().random());
+            let from = sim.engine.rng().random_range(0..n);
+            sim.route(from, key, ());
+            let recs = sim.drain_deliveries();
+            let rec = recs[0];
+            if rec.delivered_at == from {
+                continue; // zero direct distance: ratio undefined
+            }
+            let direct = sim.engine.topology().delay_us(from, rec.delivered_at);
+            ratios.push(rec.path_us as f64 / direct as f64);
+            hops += rec.hops as u64;
+            measured += 1;
+        }
+        rows.push(Row {
+            n,
+            ratio: ratios.iter().sum::<f64>() / ratios.len() as f64,
+            mean_hops: hops as f64 / measured as f64,
+        });
+    }
+    Result { rows }
+}
+
+impl Result {
+    /// Renders the table.
+    pub fn table(&self) -> ExpTable {
+        let mut t = ExpTable::new(
+            "E3: route distance vs direct distance (sphere topology)",
+            &["N", "distance ratio", "mean hops"],
+        );
+        for r in &self.rows {
+            t.row(vec![r.n.to_string(), f2(r.ratio), f2(r.mean_hops)]);
+        }
+        t.note("paper: route distance only ~50% higher than direct (ratio ~1.5)");
+        t
+    }
+}
+
+/// One ablation variant row.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Mean route-delay / direct-delay ratio.
+    pub ratio: f64,
+}
+
+/// E3b result: locality ablation.
+#[derive(Clone, Debug)]
+pub struct AblationResult {
+    /// One row per construction variant.
+    pub rows: Vec<AblationRow>,
+    /// Network size used.
+    pub n: usize,
+}
+
+/// Measures the distance ratio over an existing network.
+fn measure_ratio<A, T>(sim: &mut past_pastry::PastrySim<A, T>, trials: usize) -> f64
+where
+    A: past_pastry::App<Payload = ()>,
+    T: Topology,
+{
+    let n = sim.engine.len();
+    let mut ratios = Vec::new();
+    while ratios.len() < trials {
+        let key = Id(sim.engine.rng().random());
+        let from = sim.engine.rng().random_range(0..n);
+        sim.route(from, key, ());
+        let recs = sim.drain_deliveries();
+        let rec = recs[0];
+        if rec.delivered_at == from {
+            continue;
+        }
+        let direct = sim.engine.topology().delay_us(from, rec.delivered_at);
+        ratios.push(rec.path_us as f64 / direct as f64);
+    }
+    ratios.iter().sum::<f64>() / ratios.len() as f64
+}
+
+/// Runs the E3b ablation: how much of the locality comes from each
+/// mechanism (nearby join contact + proximity-chosen table entries +
+/// maintenance improvement)?
+pub fn run_ablation(n: usize, trials: usize, seed: u64, cfg: Config) -> AblationResult {
+    use crate::common::ids;
+    use past_pastry::{static_build, NullApp, PastrySim};
+    let mut rows = Vec::new();
+
+    // (a) Full protocol joins + improvement rounds (the real system).
+    {
+        let mut sim = crate::common::pastry_joined(n, seed, cfg);
+        sim.improve_tables();
+        sim.improve_tables();
+        rows.push(AblationRow {
+            variant: "joins + 2 improvement rounds".into(),
+            ratio: measure_ratio(&mut sim, trials),
+        });
+    }
+    // (b) Protocol joins only.
+    {
+        let mut sim = crate::common::pastry_joined(n, seed, cfg);
+        rows.push(AblationRow {
+            variant: "joins only".into(),
+            ratio: measure_ratio(&mut sim, trials),
+        });
+    }
+    // (c) Static build, proximity-chosen entries (8 samples per slot).
+    {
+        let node_ids = ids(n, seed);
+        let mut sim: PastrySim<NullApp, past_netsim::Sphere> = static_build(
+            past_netsim::Sphere::new(n, seed),
+            cfg,
+            seed,
+            &node_ids,
+            |_| NullApp,
+            8,
+        );
+        rows.push(AblationRow {
+            variant: "static, proximity entries".into(),
+            ratio: measure_ratio(&mut sim, trials),
+        });
+    }
+    // (d) Static build, random entries (no locality at all).
+    {
+        let node_ids = ids(n, seed);
+        let mut sim: PastrySim<NullApp, past_netsim::Sphere> = static_build(
+            past_netsim::Sphere::new(n, seed),
+            cfg,
+            seed,
+            &node_ids,
+            |_| NullApp,
+            1,
+        );
+        rows.push(AblationRow {
+            variant: "static, random entries".into(),
+            ratio: measure_ratio(&mut sim, trials),
+        });
+    }
+    AblationResult { rows, n }
+}
+
+impl AblationResult {
+    /// Renders the ablation table.
+    pub fn table(&self) -> ExpTable {
+        let mut t = ExpTable::new(
+            format!("E3b: locality ablation (N = {})", self.n),
+            &["variant", "distance ratio"],
+        );
+        for r in &self.rows {
+            t.row(vec![r.variant.clone(), f2(r.ratio)]);
+        }
+        t.note("locality mechanisms should order the ratios: (a) <= (b) <= (d)");
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_orders_variants() {
+        let r = run_ablation(300, 150, 63, Config::default());
+        let full = r.rows[0].ratio;
+        let none = r.rows[3].ratio;
+        assert!(
+            full < none,
+            "locality mechanisms must beat random entries: {full} vs {none}"
+        );
+    }
+
+    #[test]
+    fn ratio_is_small_constant() {
+        let p = Params {
+            sizes: vec![400],
+            trials: 200,
+            ..Params::default()
+        };
+        let r = run(&p);
+        let ratio = r.rows[0].ratio;
+        assert!(
+            (1.0..2.6).contains(&ratio),
+            "distance ratio {ratio} out of the paper's ballpark"
+        );
+    }
+}

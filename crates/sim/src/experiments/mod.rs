@@ -1,0 +1,21 @@
+//! One module per experiment; see DESIGN.md §5 for the per-experiment
+//! index mapping each module to the paper claim it reproduces.
+
+pub mod balance;
+pub mod baselines_cmp;
+pub mod caching;
+pub mod failure;
+pub mod hops;
+pub mod join_cost;
+pub mod locality;
+pub mod malicious;
+pub mod quota;
+pub mod replicas;
+pub mod security;
+pub mod state_size;
+pub mod storage_util;
+
+/// The default Pastry configuration shared by the table-generating bench.
+pub fn pastry_config_default() -> past_pastry::Config {
+    past_pastry::Config::default()
+}

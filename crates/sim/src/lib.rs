@@ -1,0 +1,15 @@
+//! Experiment harness reproducing every quantitative claim of the PAST
+//! paper.
+//!
+//! Each submodule of [`experiments`] implements one experiment (E1–E13 in
+//! DESIGN.md): a `Params` struct with bench-scale defaults and a
+//! `Params::paper()` variant, a `run` function returning a typed result,
+//! and a `table()` renderer producing the row/series the paper reports.
+//! The `past-bench` crate drives these from criterion benches and from
+//! paper-scale binaries.
+
+pub mod common;
+pub mod experiments;
+pub mod report;
+
+pub use report::ExpTable;

@@ -1,0 +1,145 @@
+//! Aligned text tables for experiment output.
+//!
+//! Every experiment renders its result as an [`ExpTable`]; the bench
+//! binaries print these, regenerating the paper's quantitative claims.
+
+use std::fmt;
+
+/// A titled table with a header row and data rows.
+#[derive(Clone, Debug, Default)]
+pub struct ExpTable {
+    /// Table title (e.g. "E1: routing hops vs network size").
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes (paper expectation, substitutions).
+    pub notes: Vec<String>,
+}
+
+impl ExpTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> ExpTable {
+        ExpTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+impl fmt::Display for ExpTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a fraction as a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats a byte count human-readably.
+pub fn bytes(v: u64) -> String {
+    const KB: u64 = 1 << 10;
+    const MB: u64 = 1 << 20;
+    const GB: u64 = 1 << 30;
+    if v >= GB {
+        format!("{:.2}GiB", v as f64 / GB as f64)
+    } else if v >= MB {
+        format!("{:.2}MiB", v as f64 / MB as f64)
+    } else if v >= KB {
+        format!("{:.1}KiB", v as f64 / KB as f64)
+    } else {
+        format!("{v}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = ExpTable::new("demo", &["n", "value"]);
+        t.row(vec!["10".into(), "1.5".into()]);
+        t.row(vec!["10000".into(), "12.25".into()]);
+        t.note("expectation: grows");
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("note: expectation: grows"));
+        // Right-aligned columns: the short value is padded.
+        assert!(s.contains("   10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = ExpTable::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.1234), "0.123");
+        assert_eq!(pct(0.957), "95.7%");
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(2048), "2.0KiB");
+        assert_eq!(bytes(3 << 20), "3.00MiB");
+        assert_eq!(bytes(5 << 30), "5.00GiB");
+    }
+}

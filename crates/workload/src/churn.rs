@@ -1,0 +1,79 @@
+//! Churn schedules: node failure and arrival processes.
+
+use rand::Rng;
+
+/// One churn event in a schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Kill the node with this index (into the live set at schedule time).
+    Fail(usize),
+    /// Add a brand-new node.
+    Join,
+}
+
+/// Generates an interleaved fail/join schedule of `steps` events with the
+/// given failure probability (the rest are joins).
+pub fn schedule<R: Rng + ?Sized>(
+    steps: usize,
+    fail_prob: f64,
+    live_hint: usize,
+    rng: &mut R,
+) -> Vec<ChurnEvent> {
+    assert!((0.0..=1.0).contains(&fail_prob));
+    (0..steps)
+        .map(|_| {
+            if rng.random_bool(fail_prob) {
+                ChurnEvent::Fail(rng.random_range(0..live_hint.max(1)))
+            } else {
+                ChurnEvent::Join
+            }
+        })
+        .collect()
+}
+
+/// Exponentially distributed session lifetimes with the given mean, in
+/// microseconds (for time-driven churn).
+pub fn exp_lifetime_us<R: Rng + ?Sized>(mean_us: u64, rng: &mut R) -> u64 {
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    (-(u.ln()) * mean_us as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedule_mixes_events() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = schedule(1000, 0.3, 50, &mut rng);
+        let fails = s
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Fail(_)))
+            .count();
+        assert!((200..400).contains(&fails), "fails = {fails}");
+        for e in &s {
+            if let ChurnEvent::Fail(i) = e {
+                assert!(*i < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn all_joins_when_prob_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = schedule(100, 0.0, 10, &mut rng);
+        assert!(s.iter().all(|e| *e == ChurnEvent::Join));
+    }
+
+    #[test]
+    fn exp_lifetimes_have_right_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean: f64 = (0..20_000)
+            .map(|_| exp_lifetime_us(1_000_000, &mut rng) as f64)
+            .sum::<f64>()
+            / 20_000.0;
+        assert!((800_000.0..1_200_000.0).contains(&mean), "mean = {mean}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic workload generators for the PAST experiments.
+//!
+//! The authors evaluated PAST with proprietary web-proxy and filesystem
+//! traces; this crate substitutes parametric equivalents (documented in
+//! DESIGN.md): heavy-tailed file sizes ([`sizes::FileSizes`]), banded node
+//! capacities ([`sizes::Capacities`]), Zipf lookup popularity
+//! ([`popularity::Zipf`]), churn schedules ([`churn`]), and deterministic
+//! file names/contents ([`names`]).
+
+pub mod churn;
+pub mod names;
+pub mod popularity;
+pub mod sizes;
+
+pub use churn::{exp_lifetime_us, schedule, ChurnEvent};
+pub use names::{file_contents, file_name, owner_seed};
+pub use popularity::Zipf;
+pub use sizes::{Capacities, FileSizes};

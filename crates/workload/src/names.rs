@@ -1,0 +1,53 @@
+//! Deterministic file-name and owner generators.
+
+/// Deterministic file name for workload item `i` of `owner`.
+pub fn file_name(owner: usize, i: usize) -> String {
+    format!("user{owner:05}/archive/file-{i:07}.dat")
+}
+
+/// Deterministic owner seed bytes for user `i` (feeds key generation).
+pub fn owner_seed(i: usize) -> Vec<u8> {
+    format!("past-user-{i:08}").into_bytes()
+}
+
+/// Deterministic synthetic file contents of `len` bytes for `(owner, i)`.
+///
+/// The content is a cheap xorshift stream so that content hashes differ
+/// per file without storing real data.
+pub fn file_contents(owner: usize, i: usize, len: usize) -> Vec<u8> {
+    let mut state = (owner as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(i as u64)
+        | 1;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_deterministic() {
+        assert_eq!(file_name(1, 2), file_name(1, 2));
+        assert_ne!(file_name(1, 2), file_name(1, 3));
+        assert_ne!(file_name(1, 2), file_name(2, 2));
+    }
+
+    #[test]
+    fn contents_deterministic_and_sized() {
+        let a = file_contents(3, 4, 100);
+        let b = file_contents(3, 4, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert_ne!(a, file_contents(3, 5, 100));
+        assert!(file_contents(0, 0, 0).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Churn resilience: nodes continuously join and fail while stored files
+//! stay available — "nodes may join the system at any time and may
+//! silently leave the system without warning. Yet, the system is able to
+//! provide strong assurances."
+//!
+//! Run: `cargo run --release --example churn_resilience`
+
+use past::core::{BuildMode, ContentRef, PastApp, PastConfig, PastNetwork, PastOut};
+use past::netsim::{Sphere, Topology};
+use past::pastry::{random_ids, Config};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let initial = 60;
+    let slots = 160; // topology slots reserved for later joiners
+    let seed = 31;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all_ids = random_ids(slots, &mut rng);
+    let past_cfg = PastConfig {
+        default_k: 4,
+        t_pri: 1.0,
+        t_div: 0.5,
+        ..PastConfig::default()
+    };
+    let mut net = PastNetwork::build(
+        Sphere::new(slots, seed),
+        Config {
+            leaf_len: 16,
+            neighborhood_len: 16,
+            ..Config::default()
+        },
+        past_cfg,
+        seed,
+        &all_ids[..initial],
+        &vec![256 << 20; initial],
+        &vec![1 << 40; initial],
+        BuildMode::ProtocolJoins,
+    );
+
+    // Store 30 files with k = 4.
+    let mut fids = Vec::new();
+    for i in 0..30 {
+        let name = format!("churn/file-{i}");
+        let content = ContentRef::synthetic(1, &name, 512 << 10);
+        net.insert(1, &name, content, 4).expect("quota");
+        for (_, _, e) in net.run() {
+            if let PastOut::InsertOk { file_id, .. } = e {
+                fids.push(file_id);
+            }
+        }
+    }
+    println!(
+        "stored {} files with k=4 on the initial {initial} nodes",
+        fids.len()
+    );
+
+    // Churn: alternate failures and joins for 40 steps.
+    let mut next_id = initial;
+    let mut card_seq = 10_000u64;
+    for step in 0..40 {
+        if rng.random_bool(0.5) {
+            // Fail a random live node (never the reader/owner node 1).
+            let live: Vec<usize> = net
+                .sim
+                .engine
+                .live_addrs()
+                .into_iter()
+                .filter(|&a| a != 1)
+                .collect();
+            let victim = live[rng.random_range(0..live.len())];
+            net.sim.engine.kill(victim);
+        } else if next_id < slots && net.sim.engine.len() < net.sim.engine.topology().len() {
+            // Join a brand-new node with a fresh card from the broker.
+            let card =
+                net.broker
+                    .issue_card(format!("churn-{card_seq}").as_bytes(), 1 << 40, 256 << 20);
+            card_seq += 1;
+            let app = PastApp::new(past_cfg, card, 256 << 20, &net.broker);
+            net.sim.join_node_nearby(all_ids[next_id], app, 8);
+            next_id += 1;
+        }
+        // Periodic heartbeats detect failures and trigger replica repair.
+        if step % 4 == 3 {
+            net.sim.stabilize();
+            net.run();
+        }
+    }
+    net.sim.stabilize();
+    net.sim.stabilize();
+    net.run();
+    let live_now = net.sim.engine.live_addrs().len();
+    println!(
+        "after churn: {live_now} live nodes (joined {} new)",
+        next_id - initial
+    );
+
+    // All files must still be retrievable and fully replicated.
+    let mut available = 0;
+    let mut fully_replicated = 0;
+    for &fid in &fids {
+        net.lookup(1, fid);
+        if net
+            .run()
+            .iter()
+            .any(|(_, _, e)| matches!(e, PastOut::LookupOk { .. }))
+        {
+            available += 1;
+        }
+        if net.replica_holders(&fid).len() >= 4 {
+            fully_replicated += 1;
+        }
+    }
+    println!("available after churn: {available}/{}", fids.len());
+    println!("fully re-replicated:   {fully_replicated}/{}", fids.len());
+    assert_eq!(available, fids.len(), "churn must not lose files");
+}
