@@ -318,13 +318,12 @@ impl<T: Topology> CanSim<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use past_crypto::rng::Rng;
     use past_netsim::Sphere;
     use past_pastry::random_ids;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn build(n: usize, d: usize, seed: u64) -> CanSim<Sphere> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let ids = random_ids(n, &mut rng);
         CanSim::build(Sphere::new(n, seed), seed, &ids, d)
     }
@@ -349,7 +348,7 @@ mod tests {
     #[test]
     fn lookups_reach_the_zone_owner() {
         let mut sim = build(150, 2, 2);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for _ in 0..100 {
             let key = Id(rng.random());
             let from = rng.random_range(0..150);
@@ -383,7 +382,7 @@ mod tests {
         // d=2: expected hops ~ sqrt(N)/2 per dimension pair; at N = 1024
         // that's well above Pastry's log16(1024) = 2.5.
         let mut sim = build(1024, 2, 4);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut hops = 0u64;
         let trials = 200;
         for _ in 0..trials {
@@ -399,7 +398,7 @@ mod tests {
 
     #[test]
     fn point_mapping_in_unit_cube() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         for _ in 0..100 {
             let id = Id(rng.random());
             for d in 1..=8 {

@@ -234,13 +234,12 @@ impl<T: Topology> ChordSim<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use past_crypto::rng::Rng;
     use past_netsim::Sphere;
     use past_pastry::random_ids;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn build(n: usize, seed: u64) -> ChordSim<Sphere> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let ids = random_ids(n, &mut rng);
         ChordSim::build(Sphere::new(n, seed), seed, &ids)
     }
@@ -248,7 +247,7 @@ mod tests {
     #[test]
     fn lookups_reach_the_successor() {
         let mut sim = build(100, 1);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..100 {
             let key = Id(rng.random());
             let from = rng.random_range(0..100);
@@ -266,7 +265,7 @@ mod tests {
     #[test]
     fn hops_scale_as_half_log2_n() {
         let mut sim = build(1024, 2);
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::seed_from_u64(8);
         let mut hops = 0u64;
         let trials = 400;
         for _ in 0..trials {

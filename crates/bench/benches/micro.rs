@@ -1,93 +1,80 @@
-//! Criterion microbenchmarks of the hot primitives underlying the
-//! experiments: hashing, signatures, identifier arithmetic, routing-step
-//! selection, leaf-set maintenance, and cache operations.
+//! Microbenchmarks of the hot primitives underlying the experiments:
+//! hashing, signatures, identifier arithmetic, routing-step selection,
+//! leaf-set maintenance, and cache operations.
+//!
+//! Run: `cargo bench -p past-bench --bench micro`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use past_bench::Bench;
 use past_core::{Broker, ContentRef};
+use past_crypto::rng::Rng;
 use past_crypto::sha1::sha1;
 use past_crypto::sha256::sha256;
 use past_crypto::KeyPair;
 use past_pastry::{next_hop, Config, Id, NodeHandle, PastryState};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_hashes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto/hash");
+fn bench_hashes(b: &mut Bench) {
+    b.group("crypto/hash");
     for size in [64usize, 4096, 65536] {
         let data = vec![0xabu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("sha256/{size}"), |b| {
-            b.iter(|| black_box(sha256(black_box(&data))))
+        b.run_bytes(&format!("sha256/{size}"), size as u64, || {
+            black_box(sha256(black_box(&data)))
         });
-        g.bench_function(format!("sha1/{size}"), |b| {
-            b.iter(|| black_box(sha1(black_box(&data))))
+        b.run_bytes(&format!("sha1/{size}"), size as u64, || {
+            black_box(sha1(black_box(&data)))
         });
     }
-    g.finish();
 }
 
-fn bench_signatures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto/schnorr");
-    g.sample_size(20);
+fn bench_signatures(b: &mut Bench) {
+    b.group("crypto/schnorr");
     let kp = KeyPair::from_seed(b"bench");
     let msg = b"a store receipt-sized message for signing benchmarks";
-    g.bench_function("sign", |b| b.iter(|| black_box(kp.sign(black_box(msg)))));
+    b.run("sign", || black_box(kp.sign(black_box(msg))));
     let sig = kp.sign(msg);
-    g.bench_function("verify", |b| {
-        b.iter(|| black_box(kp.public.verify(black_box(msg), black_box(&sig))))
+    b.run("verify", || {
+        black_box(kp.public.verify(black_box(msg), black_box(&sig)))
     });
-    g.finish();
 }
 
-fn bench_certificates(c: &mut Criterion) {
-    let mut g = c.benchmark_group("past/certificates");
-    g.sample_size(20);
+fn bench_certificates(b: &mut Bench) {
+    b.group("past/certificates");
     let mut broker = Broker::new(b"bench");
-    let card = broker.issue_card(b"user", u64::MAX / 2, 0);
     let content = ContentRef::synthetic(0, "bench", 1 << 20);
-    g.bench_function("issue_file_certificate", |b| {
-        let mut card = broker.issue_card(b"issuer", u64::MAX / 2, 0);
-        let mut salt = 0u64;
-        b.iter(|| {
-            salt += 1;
-            black_box(
-                card.issue_file_certificate("bench", &content, 3, salt, 0)
-                    .expect("quota"),
-            )
-        })
+    let mut card = broker.issue_card(b"issuer", u64::MAX / 2, 0);
+    let mut salt = 0u64;
+    b.run("issue_file_certificate", || {
+        salt += 1;
+        black_box(
+            card.issue_file_certificate("bench", &content, 3, salt, 0)
+                .expect("quota"),
+        )
     });
     let mut card2 = broker.issue_card(b"user2", u64::MAX / 2, 0);
     let cert = card2
         .issue_file_certificate("bench", &content, 3, 0, 0)
         .expect("quota");
-    g.bench_function("verify_file_certificate", |b| {
-        b.iter(|| black_box(cert.verify(black_box(&broker.public()))))
+    b.run("verify_file_certificate", || {
+        black_box(cert.verify(black_box(&broker.public())))
     });
-    let _ = card;
-    g.finish();
 }
 
-fn bench_id_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pastry/id");
+fn bench_id_ops(b: &mut Bench) {
+    b.group("pastry/id");
     let a = Id(0x0123_4567_89ab_cdef_0f1e_2d3c_4b5a_6978);
     let b_ = Id(0x0123_4567_89ab_cde0_0000_0000_0000_0000);
-    g.bench_function("prefix_len", |b| {
-        b.iter(|| black_box(black_box(a).prefix_len(black_box(&b_), 4)))
+    b.run("prefix_len", || {
+        black_box(black_box(a).prefix_len(black_box(&b_), 4))
     });
-    g.bench_function("ring_dist", |b| {
-        b.iter(|| black_box(black_box(a).ring_dist(black_box(&b_))))
+    b.run("ring_dist", || {
+        black_box(black_box(a).ring_dist(black_box(&b_)))
     });
-    g.bench_function("digit", |b| {
-        b.iter(|| black_box(black_box(a).digit(black_box(17), 4)))
-    });
-    g.finish();
+    b.run("digit", || black_box(black_box(a).digit(black_box(17), 4)));
 }
 
 fn routing_state(n: usize, seed: u64) -> PastryState {
     let cfg = Config::default();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut st = PastryState::new(cfg, NodeHandle::new(Id(rng.random()), 0));
     for i in 1..n {
         st.add_node(
@@ -98,61 +85,42 @@ fn routing_state(n: usize, seed: u64) -> PastryState {
     st
 }
 
-fn bench_routing_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pastry/route");
+fn bench_routing_step(b: &mut Bench) {
+    b.group("pastry/route");
     let st = routing_state(1_000, 7);
-    let mut rng = StdRng::seed_from_u64(9);
-    g.bench_function("next_hop", |b| {
-        b.iter_batched(
-            || Id(rng.random()),
-            |key| black_box(next_hop(&st, &key, &mut StdRng::seed_from_u64(1))),
-            BatchSize::SmallInput,
-        )
+    let mut rng = Rng::seed_from_u64(9);
+    let mut step_rng = Rng::seed_from_u64(1);
+    b.run("next_hop", || {
+        let key = Id(rng.random());
+        black_box(next_hop(&st, &key, &mut step_rng))
     });
     let mut st_rand = routing_state(1_000, 8);
     st_rand.cfg.route_randomization = 0.5;
-    g.bench_function("next_hop_randomized", |b| {
-        b.iter_batched(
-            || Id(rng.random()),
-            |key| black_box(next_hop(&st_rand, &key, &mut StdRng::seed_from_u64(1))),
-            BatchSize::SmallInput,
-        )
+    b.run("next_hop_randomized", || {
+        let key = Id(rng.random());
+        black_box(next_hop(&st_rand, &key, &mut step_rng))
     });
-    g.finish();
 }
 
-fn bench_state_maintenance(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pastry/state");
-    let mut rng = StdRng::seed_from_u64(11);
-    g.bench_function("add_node", |b| {
-        b.iter_batched(
-            || {
-                (
-                    routing_state(200, 12),
-                    NodeHandle::new(Id(rng.random()), 999),
-                    rng.random_range(1..50_000u64),
-                )
-            },
-            |(mut st, h, d)| {
-                black_box(st.add_node(h, d));
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_state_maintenance(b: &mut Bench) {
+    b.group("pastry/state");
+    let mut rng = Rng::seed_from_u64(11);
+    let base = routing_state(200, 12);
+    b.run("add_node", || {
+        let mut st = base.clone();
+        let h = NodeHandle::new(Id(rng.random()), 999);
+        let d: u64 = rng.random_range(1..50_000);
+        black_box(st.add_node(h, d));
     });
-    g.bench_function("remove_addr", |b| {
-        b.iter_batched(
-            || routing_state(200, 13),
-            |mut st| {
-                black_box(st.remove_addr(100));
-            },
-            BatchSize::SmallInput,
-        )
+    let base2 = routing_state(200, 13);
+    b.run("remove_addr", || {
+        let mut st = base2.clone();
+        black_box(st.remove_addr(100));
     });
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("past/cache");
+fn bench_cache(b: &mut Bench) {
+    b.group("past/cache");
     let mut broker = Broker::new(b"cache-bench");
     let mut card = broker.issue_card(b"u", u64::MAX / 2, 0);
     let certs: Vec<_> = (0..256u64)
@@ -163,33 +131,27 @@ fn bench_cache(c: &mut Criterion) {
                 .expect("quota")
         })
         .collect();
-    g.bench_function("offer_evict_cycle", |b| {
-        b.iter(|| {
-            let mut cache = past_core::cache::Cache::new();
-            for cert in &certs {
-                black_box(cache.offer(cert, 100_000));
-            }
-            cache.len()
-        })
+    b.run("offer_evict_cycle", || {
+        let mut cache = past_core::cache::Cache::new();
+        for cert in &certs {
+            black_box(cache.offer(cert, 100_000));
+        }
+        cache.len()
     });
     let mut warm = past_core::cache::Cache::new();
     for cert in &certs {
         warm.offer(cert, 1 << 30);
     }
     let probe = certs[17].file_id;
-    g.bench_function("lookup_hit", |b| {
-        b.iter(|| black_box(warm.lookup(black_box(&probe))))
-    });
-    g.finish();
+    b.run("lookup_hit", || black_box(warm.lookup(black_box(&probe))));
 }
 
-fn bench_whole_route(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pastry/end_to_end");
-    g.sample_size(10);
+fn bench_whole_route(b: &mut Bench) {
+    b.group("pastry/end_to_end");
     use past_netsim::Sphere;
     use past_pastry::{random_ids, static_build, NullApp};
     let n = 10_000;
-    let mut rng = StdRng::seed_from_u64(21);
+    let mut rng = Rng::seed_from_u64(21);
     let ids = random_ids(n, &mut rng);
     let mut sim = static_build(
         Sphere::new(n, 21),
@@ -199,31 +161,23 @@ fn bench_whole_route(c: &mut Criterion) {
         |_| NullApp,
         2,
     );
-    g.bench_function("route_10k_nodes", |b| {
-        b.iter(|| {
-            let key = Id(rng.random());
-            let from = rng.random_range(0..n);
-            sim.route(from, key, ());
-            black_box(sim.drain_deliveries().len())
-        })
+    b.run("route_10k_nodes", || {
+        let key = Id(rng.random());
+        let from = rng.random_range(0..n);
+        sim.route(from, key, ());
+        black_box(sim.drain_deliveries().len())
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(30);
-    targets =
-    bench_hashes,
-    bench_signatures,
-    bench_certificates,
-    bench_id_ops,
-    bench_routing_step,
-    bench_state_maintenance,
-    bench_cache,
-    bench_whole_route
+fn main() {
+    let mut b = Bench::new();
+    bench_hashes(&mut b);
+    bench_signatures(&mut b);
+    bench_certificates(&mut b);
+    bench_id_ops(&mut b);
+    bench_routing_step(&mut b);
+    bench_state_maintenance(&mut b);
+    bench_cache(&mut b);
+    bench_whole_route(&mut b);
+    println!("\n{} benchmarks completed.", b.results().len());
 }
-criterion_main!(benches);

@@ -11,7 +11,7 @@
 
 use crate::cert::FileCertificate;
 use crate::fileid::FileId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One cached file.
 #[derive(Clone, Debug)]
@@ -23,7 +23,9 @@ struct CacheEntry {
 /// A GreedyDual-Size cache over a byte budget supplied by the caller.
 #[derive(Clone, Debug, Default)]
 pub struct Cache {
-    entries: HashMap<FileId, CacheEntry>,
+    // BTreeMap, not HashMap: eviction scans the entries, and hash order
+    // would leak into victim choice on credit ties (xtask rule D3).
+    entries: BTreeMap<FileId, CacheEntry>,
     used: u64,
     aging_floor: f64,
     hits: u64,
@@ -112,7 +114,7 @@ impl Cache {
             let victim = self
                 .entries
                 .iter()
-                .min_by(|a, b| a.1.h.partial_cmp(&b.1.h).expect("no NaN credits"))
+                .min_by(|a, b| a.1.h.total_cmp(&b.1.h))
                 .map(|(id, e)| (*id, e.h));
             let Some((vid, vh)) = victim else {
                 return false;
@@ -143,7 +145,7 @@ impl Cache {
             let victim = self
                 .entries
                 .iter()
-                .min_by(|a, b| a.1.h.partial_cmp(&b.1.h).expect("no NaN credits"))
+                .min_by(|a, b| a.1.h.total_cmp(&b.1.h))
                 .map(|(id, e)| (*id, e.h));
             let Some((vid, vh)) = victim else { return };
             self.remove_entry(&vid);

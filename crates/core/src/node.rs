@@ -17,7 +17,6 @@ use crate::storage::{ReplicaKind, Store};
 use past_crypto::{Digest256, PublicKey};
 use past_netsim::Addr;
 use past_pastry::{App, AppCtx, Id, NodeHandle, PastryState, RouteEnvelope, RouteInfo};
-use rand::Rng;
 use std::collections::{HashMap, HashSet};
 
 /// Tunable PAST parameters.
@@ -370,7 +369,7 @@ impl PastApp {
         cx: &mut Cx,
     ) {
         let rid = cert.file_id.routing_id();
-        let kset: HashSet<Addr> = Self::kset(state, rid, cert.replication)
+        let kset_addrs: HashSet<Addr> = Self::kset(state, rid, cert.replication)
             .iter()
             .map(|h| h.addr)
             .collect();
@@ -378,7 +377,7 @@ impl PastApp {
             .leaf
             .members()
             .map(|h| h.addr)
-            .filter(|a| !kset.contains(a) && *a != cx.me())
+            .filter(|a| !kset_addrs.contains(a) && *a != cx.me())
             .collect();
         // Fisher-Yates shuffle so repeated diversions spread load.
         for i in (1..candidates.len()).rev() {
@@ -423,9 +422,10 @@ impl PastApp {
             return;
         };
         if st.candidates.is_empty() {
-            let st = self.pending_diverts.remove(&fid).expect("present");
+            let client = st.client;
+            self.pending_diverts.remove(&fid);
             cx.send_direct(
-                st.client,
+                client,
                 PastMsg::InsertNack {
                     file_id: fid,
                     reason: NackReason::StoreRefused,
@@ -470,12 +470,13 @@ impl PastApp {
             }
         }
         if p.receipts >= p.k {
-            let p = self.pending_inserts.remove(&fid).expect("present");
+            let (request_id, attempts, receipts) = (p.request_id, p.attempts, p.receipts);
+            self.pending_inserts.remove(&fid);
             cx.emit(PastOut::InsertOk {
-                request_id: p.request_id,
+                request_id,
                 file_id: fid,
-                attempts: p.attempts,
-                receipts: p.receipts,
+                attempts,
+                receipts,
             });
         } else if p.fatal || p.receipts as u32 + p.nacks >= p.k as u32 {
             self.conclude_failed_attempt(fid, cx);
@@ -485,7 +486,9 @@ impl PastApp {
     /// An attempt failed: credit unstored quota, reclaim partial copies,
     /// and retry with a fresh salt (file diversion) or give up.
     fn conclude_failed_attempt(&mut self, fid: FileId, cx: &mut Cx) {
-        let p = self.pending_inserts.remove(&fid).expect("pending exists");
+        let Some(p) = self.pending_inserts.remove(&fid) else {
+            return;
+        };
         // Unstored copies never consumed storage: credit their debit.
         let unstored = (p.k - p.receipts) as u64 * p.content.size;
         self.card.credit(unstored);

@@ -17,7 +17,7 @@ use crate::cache::Cache;
 use crate::cert::FileCertificate;
 use crate::fileid::FileId;
 use past_netsim::Addr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Why an insertion was refused by the local policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,9 +53,11 @@ pub struct StoredFile {
 pub struct Store {
     capacity: u64,
     used: u64,
-    files: HashMap<FileId, StoredFile>,
+    // BTreeMaps, not HashMaps: replica maintenance iterates `files`, and
+    // hash order would leak into which replicas move first (xtask rule D3).
+    files: BTreeMap<FileId, StoredFile>,
     /// fileId → node holding the replica this node diverted.
-    pointers: HashMap<FileId, Addr>,
+    pointers: BTreeMap<FileId, Addr>,
     /// The cache living in unused space.
     pub cache: Cache,
     /// Primary-replica acceptance threshold (`t_pri`).
@@ -71,8 +73,8 @@ impl Store {
         Store {
             capacity,
             used: 0,
-            files: HashMap::new(),
-            pointers: HashMap::new(),
+            files: BTreeMap::new(),
+            pointers: BTreeMap::new(),
             cache: Cache::new(),
             t_pri,
             t_div,

@@ -3,10 +3,9 @@
 //! caching, and the security fault injections of §2.1.
 
 use past_core::{BuildMode, ContentRef, FileId, PastConfig, PastNetwork, PastOut};
+use past_crypto::rng::Rng;
 use past_netsim::{Sphere, Topology};
 use past_pastry::{random_ids, Config as PastryConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const MB: u64 = 1 << 20;
 
@@ -25,7 +24,7 @@ fn build(
     quota: u64,
     past_cfg: PastConfig,
 ) -> PastNetwork<Sphere> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     PastNetwork::build(
         Sphere::new(n, seed),
@@ -201,7 +200,7 @@ fn new_nodes_receive_replicas_for_keys_they_now_cover() {
     let fid = insert_ok(&events)[0].1;
 
     // Join 20 fresh nodes; some will slot into the fileId's k-set.
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::seed_from_u64(99);
     let new_ids = random_ids(60, &mut rng);
     let mut broker_card_idx = 1000;
     for id in new_ids.into_iter().take(20) {
@@ -263,7 +262,7 @@ fn full_nodes_divert_replicas_to_leaf_neighbors() {
     };
     let mut net = build(30, 9, 12 * MB, 10_000 * MB, cfg);
     // Fill the k-set nodes around one key with near-capacity files first.
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Rng::seed_from_u64(5);
     let mut succeeded = 0;
     let mut diverted_seen = false;
     for i in 0..40 {
@@ -308,7 +307,7 @@ fn file_diversion_retries_with_new_salt() {
     };
     let mut net = build(20, 10, 20 * MB, 100_000 * MB, cfg);
     // Pre-fill every node a bit, unevenly.
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Rng::seed_from_u64(11);
     for i in 0..30 {
         let name = format!("pre-{i}");
         let content = ContentRef::synthetic(8, &name, 8 * MB);
@@ -397,7 +396,7 @@ fn popular_files_get_cached_and_served_from_cache() {
     let fid = insert_ok(&events)[0].1;
 
     // Hammer the file from many clients.
-    let mut rng = StdRng::seed_from_u64(15);
+    let mut rng = Rng::seed_from_u64(15);
     let mut cache_hits = 0;
     for _ in 0..60 {
         let client = rng.random_range(0..50);
@@ -430,7 +429,7 @@ fn cache_disabled_means_no_cache_hits() {
     net.insert(0, "plain", content, 3).unwrap();
     let events = net.run();
     let fid = insert_ok(&events)[0].1;
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = Rng::seed_from_u64(17);
     for _ in 0..30 {
         let client = rng.random_range(0..40);
         net.lookup(client, fid);
@@ -486,7 +485,7 @@ fn insufficient_nodes_reported_when_k_exceeds_network() {
 fn deterministic_end_to_end_replay() {
     let fingerprint = || {
         let mut net = build(30, 20, 100 * MB, 1_000 * MB, PastConfig::default());
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let mut fp: u64 = 0;
         for i in 0..10 {
             let name = format!("f{i}");

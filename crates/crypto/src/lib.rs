@@ -13,6 +13,8 @@
 //! - [`schnorr`]: Schnorr signatures over a baked-in 256-bit safe-prime
 //!   group, with deterministic nonces so simulations are reproducible.
 //! - [`digest`]: digest newtypes shared by the higher layers.
+//! - [`rng`]: the deterministic, seedable PRNG every other crate draws
+//!   randomness from (no OS entropy anywhere in the workspace).
 //!
 //! Security disclaimer: parameters are sized for a research reproduction
 //! (256-bit discrete log, SHA-1 identifiers) and must not be used to protect
@@ -20,6 +22,7 @@
 
 pub mod digest;
 pub mod modmath;
+pub mod rng;
 pub mod schnorr;
 pub mod sha1;
 pub mod sha256;
@@ -27,6 +30,7 @@ pub mod stream;
 pub mod u256;
 
 pub use digest::{Digest160, Digest256};
+pub use rng::Rng;
 pub use schnorr::{KeyPair, PublicKey, Signature};
 pub use stream::StreamCipher;
 

@@ -12,8 +12,7 @@
 use crate::event::EventQueue;
 use crate::time::SimTime;
 use crate::topology::{Addr, Topology};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use past_crypto::rng::Rng;
 use std::collections::HashMap;
 
 /// A simulated wire message.
@@ -74,7 +73,7 @@ pub struct Ctx<'a, M, O> {
     /// Address of the node being invoked.
     pub me: Addr,
     /// The simulation RNG (shared, seeded once per engine).
-    pub rng: &'a mut StdRng,
+    pub rng: &'a mut Rng,
     topo: &'a dyn Topology,
     effects: Vec<Effect<M>>,
     emitted: Vec<O>,
@@ -151,7 +150,7 @@ pub struct Engine<N: NodeLogic, T: Topology> {
     nodes: Vec<N>,
     alive: Vec<bool>,
     queue: EventQueue<Event<N::Msg>>,
-    rng: StdRng,
+    rng: Rng,
     now: SimTime,
     /// Traffic counters (public so harnesses can reset/read them).
     pub stats: NetStats,
@@ -177,7 +176,7 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
             nodes,
             alive,
             queue: EventQueue::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             now: SimTime::ZERO,
             stats: NetStats::default(),
             outputs: Vec::new(),
@@ -245,7 +244,7 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
     }
 
     /// The simulation RNG (harness-side sampling).
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.rng
     }
 

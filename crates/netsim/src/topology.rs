@@ -10,8 +10,7 @@
 //! points on a sphere and the distance between two nodes is their
 //! great-circle distance.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use past_crypto::rng::Rng;
 
 /// A node address: an index into the topology.
 pub type Addr = usize;
@@ -49,7 +48,7 @@ impl Sphere {
 
     /// Samples `n` points with a custom antipodal delay.
     pub fn with_max_delay(n: usize, seed: u64, max_delay_us: u64) -> Sphere {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5048_4552_u64);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5048_4552_u64);
         let mut points = Vec::with_capacity(n);
         for _ in 0..n {
             // Marsaglia: uniform on the sphere via normalized Gaussians
@@ -101,7 +100,7 @@ pub struct Plane {
 impl Plane {
     /// Samples `n` points; `diag_delay_us` is the corner-to-corner delay.
     pub fn new(n: usize, seed: u64, diag_delay_us: u64) -> Plane {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x504c_414e_u64);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x504c_414e_u64);
         let points = (0..n)
             .map(|_| [rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)])
             .collect();
@@ -149,7 +148,7 @@ impl TransitStub {
     /// domains of `stubs_per_transit` stub domains each.
     pub fn new(n: usize, seed: u64, transits: usize, stubs_per_transit: usize) -> TransitStub {
         assert!(transits > 0 && stubs_per_transit > 0);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5453_5442_u64);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5453_5442_u64);
         let transit_pos = (0..transits)
             .map(|_| [rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)])
             .collect();

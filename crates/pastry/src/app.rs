@@ -11,8 +11,8 @@ use crate::handle::NodeHandle;
 use crate::id::Id;
 use crate::msg::{PastryMsg, PayloadSize, RouteEnvelope};
 use crate::state::PastryState;
+use past_crypto::rng::Rng;
 use past_netsim::{Addr, Ctx};
-use rand::rngs::StdRng;
 
 /// Observations surfaced by the overlay (and the app) to the experiment
 /// harness.
@@ -77,7 +77,7 @@ impl<P: Clone + PayloadSize, O> AppCtx<'_, '_, P, O> {
     }
 
     /// The simulation RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         self.ctx.rng
     }
 

@@ -142,12 +142,12 @@ impl LeafSet {
     /// While underfull the leaf set covers everything (the node knows all
     /// its ring neighbors).
     pub fn covers(&self, key: &Id) -> bool {
-        if self.underfull() {
-            return true;
+        match (self.smaller.last(), self.larger.last()) {
+            (Some(lo), Some(hi)) if !self.underfull() => key.on_cw_arc(&lo.id, &hi.id),
+            // Underfull (or a side is empty): the node knows its whole
+            // neighborhood, so it covers the entire segment.
+            _ => true,
         }
-        let lo = self.smaller.last().expect("full side").id;
-        let hi = self.larger.last().expect("full side").id;
-        key.on_cw_arc(&lo, &hi)
     }
 
     /// The member numerically closest to `key` (ties broken by smaller id),

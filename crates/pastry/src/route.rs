@@ -15,7 +15,7 @@
 use crate::handle::NodeHandle;
 use crate::id::Id;
 use crate::state::PastryState;
-use rand::Rng;
+use past_crypto::rng::Rng;
 
 /// The outcome of one routing step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,7 +41,7 @@ fn valid_step(state: &PastryState, n: &NodeHandle, key: &Id) -> bool {
 ///
 /// `rng` drives the randomized variant and is unused when
 /// `cfg.route_randomization == 0.0`.
-pub fn next_hop<R: Rng + ?Sized>(state: &PastryState, key: &Id, rng: &mut R) -> NextHop {
+pub fn next_hop(state: &PastryState, key: &Id, rng: &mut Rng) -> NextHop {
     // Case 1: the key falls within the leaf set's span — deliver to the
     // numerically closest of {leaf members, self}.
     if state.leaf.covers(key) {
@@ -78,10 +78,10 @@ pub fn next_hop<R: Rng + ?Sized>(state: &PastryState, key: &Id, rng: &mut R) -> 
                 candidates.push(hit);
             }
         }
-        if candidates.is_empty() {
-            return NextHop::DeliverHere;
-        }
-        let best = table_hit.unwrap_or_else(|| best_fallback(state, &candidates, key));
+        let best = match table_hit.or_else(|| best_fallback(state, &candidates, key)) {
+            Some(b) => b,
+            None => return NextHop::DeliverHere,
+        };
         if candidates.len() > 1 && rng.random_bool(eps) {
             // Uniform choice among the alternatives.
             let others: Vec<&NodeHandle> =
@@ -105,16 +105,16 @@ pub fn next_hop<R: Rng + ?Sized>(state: &PastryState, key: &Id, rng: &mut R) -> 
         .into_iter()
         .filter(|n| valid_step(state, n, key))
         .collect();
-    if candidates.is_empty() {
-        return NextHop::DeliverHere;
+    match best_fallback(state, &candidates, key) {
+        Some(next) => NextHop::Forward(next),
+        None => NextHop::DeliverHere,
     }
-    NextHop::Forward(best_fallback(state, &candidates, key))
 }
 
 /// Among valid candidates, prefer the longest prefix, then the numerically
 /// closest, then (for determinism) the smallest id.
-fn best_fallback(state: &PastryState, candidates: &[NodeHandle], key: &Id) -> NodeHandle {
-    *candidates
+fn best_fallback(state: &PastryState, candidates: &[NodeHandle], key: &Id) -> Option<NodeHandle> {
+    candidates
         .iter()
         .max_by(|a, b| {
             let pa = a.id.prefix_len(key, state.cfg.b);
@@ -123,15 +123,14 @@ fn best_fallback(state: &PastryState, candidates: &[NodeHandle], key: &Id) -> No
                 .then_with(|| b.id.ring_dist(key).cmp(&a.id.ring_dist(key)))
                 .then_with(|| b.id.0.cmp(&a.id.0))
         })
-        .expect("non-empty candidates")
+        .copied()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::id::Config;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use past_crypto::rng::Rng;
 
     fn state_with(own: u128, leaf_len: usize, others: &[(u128, usize)]) -> PastryState {
         let cfg = Config {
@@ -146,8 +145,8 @@ mod tests {
         s
     }
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(1)
     }
 
     #[test]

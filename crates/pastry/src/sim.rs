@@ -10,8 +10,8 @@ use crate::handle::NodeHandle;
 use crate::id::{Config, Id};
 use crate::msg::{PastryMsg, RouteEnvelope};
 use crate::node::{PastryNode, TIMER_HEARTBEAT};
+use past_crypto::rng::Rng;
 use past_netsim::{Addr, Engine, SimTime, Topology};
-use rand::Rng;
 
 /// Default cap on events per quiet-run (guards against runaway loops).
 const QUIET_BUDGET: u64 = 50_000_000;
@@ -101,15 +101,16 @@ impl<A: App, T: Topology> PastrySim<A, T> {
         let live = self.engine.live_addrs();
         assert!(!live.is_empty(), "need a bootstrap node first");
         let next_addr = self.engine.len();
-        let mut best: Option<(u64, Addr)> = None;
-        for _ in 0..sample.max(1) {
+        let mut contact = live[self.engine.rng().random_range(0..live.len())];
+        let mut best_d = self.engine.topology().delay_us(next_addr, contact);
+        for _ in 1..sample.max(1) {
             let cand = live[self.engine.rng().random_range(0..live.len())];
             let d = self.engine.topology().delay_us(next_addr, cand);
-            if best.map(|(bd, _)| d < bd).unwrap_or(true) {
-                best = Some((d, cand));
+            if d < best_d {
+                best_d = d;
+                contact = cand;
             }
         }
-        let contact = best.expect("non-empty sample").1;
         self.join_node_via(id, app, contact)
     }
 
@@ -378,8 +379,9 @@ where
                         best = Some((d, cand));
                     }
                 }
-                let (d, cand) = best.expect("non-empty range");
-                sim.engine.node_mut(addr).state.table.consider(cand, d);
+                if let Some((d, cand)) = best {
+                    sim.engine.node_mut(addr).state.table.consider(cand, d);
+                }
             }
         }
 
@@ -402,7 +404,7 @@ where
 }
 
 /// Generates `n` distinct pseudo-random ids from a seed.
-pub fn random_ids<R: Rng>(n: usize, rng: &mut R) -> Vec<Id> {
+pub fn random_ids(n: usize, rng: &mut Rng) -> Vec<Id> {
     let mut set = std::collections::HashSet::with_capacity(n);
     let mut out = Vec::with_capacity(n);
     while out.len() < n {

@@ -1,10 +1,9 @@
 //! End-to-end overlay tests: protocol joins, routing correctness against
 //! ground truth, failure recovery, and the static builder.
 
+use past_crypto::rng::Rng;
 use past_netsim::Sphere;
 use past_pastry::{random_ids, static_build, Behavior, Config, Id, NullApp, PastrySim};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn small_cfg() -> Config {
     Config {
@@ -15,7 +14,7 @@ fn small_cfg() -> Config {
 }
 
 fn build_network(n: usize, seed: u64, cfg: Config) -> PastrySim<NullApp, Sphere> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     let topo = Sphere::new(n, seed);
     let mut sim = PastrySim::new(topo, cfg, seed);
@@ -42,7 +41,7 @@ fn joins_complete_and_fill_leaf_sets() {
 fn routes_reach_the_numerically_closest_node() {
     let n = 80;
     let mut sim = build_network(n, 13, small_cfg());
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::seed_from_u64(99);
     let mut checked = 0;
     for _ in 0..200 {
         let key = Id(rng.random());
@@ -66,7 +65,7 @@ fn routes_reach_the_numerically_closest_node() {
 fn hop_count_is_logarithmic() {
     let n = 100;
     let mut sim = build_network(n, 17, small_cfg());
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Rng::seed_from_u64(5);
     let mut total_hops = 0u64;
     let trials = 150;
     for _ in 0..trials {
@@ -89,7 +88,7 @@ fn routing_survives_node_failures_after_stabilize() {
     let cfg = small_cfg();
     let mut sim = build_network(n, 19, cfg);
     // Kill 10% of nodes (but never node 0, our probe origin).
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let mut killed = std::collections::HashSet::new();
     while killed.len() < n / 10 {
         let v = rng.random_range(1..n);
@@ -119,7 +118,7 @@ fn routing_survives_node_failures_after_stabilize() {
 fn in_flight_routes_are_rerouted_around_dead_nodes() {
     let n = 60;
     let mut sim = build_network(n, 23, small_cfg());
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Rng::seed_from_u64(3);
     // Kill nodes *without* stabilizing: messages must be re-routed via
     // the send-failure path.
     for _ in 0..6 {
@@ -142,7 +141,7 @@ fn in_flight_routes_are_rerouted_around_dead_nodes() {
 #[test]
 fn static_build_routes_correctly() {
     let n = 500;
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = Rng::seed_from_u64(31);
     let ids = random_ids(n, &mut rng);
     let topo = Sphere::new(n, 31);
     let mut sim = static_build(topo, Config::default(), 31, &ids, |_| NullApp, 4);
@@ -161,7 +160,7 @@ fn static_build_routes_correctly() {
 fn static_build_hops_scale_logarithmically() {
     let mut results = Vec::new();
     for (n, seed) in [(256usize, 41u64), (2048, 43)] {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let ids = random_ids(n, &mut rng);
         let topo = Sphere::new(n, seed);
         let mut sim = static_build(topo, Config::default(), seed, &ids, |_| NullApp, 2);
@@ -195,7 +194,7 @@ fn malicious_nodes_block_deterministic_routes_but_not_randomized() {
     let n = 120;
     let cfg = small_cfg();
     let mut sim = build_network(n, 47, cfg);
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = Rng::seed_from_u64(8);
 
     // Pick a key whose deterministic route from node 0 has an intermediate
     // hop; make that hop malicious.
@@ -211,7 +210,7 @@ fn malicious_nodes_block_deterministic_routes_but_not_randomized() {
     // Find the first hop (the node 0 forwards to) by asking its state.
     let first_hop = {
         let state = &sim.engine.node(0).state;
-        match past_pastry::next_hop(state, &key, &mut StdRng::seed_from_u64(0)) {
+        match past_pastry::next_hop(state, &key, &mut Rng::seed_from_u64(0)) {
             past_pastry::NextHop::Forward(h) => h.addr,
             _ => panic!("expected a forward"),
         }
@@ -248,7 +247,7 @@ fn malicious_nodes_block_deterministic_routes_but_not_randomized() {
 fn deterministic_replay_of_whole_network() {
     let build_and_fingerprint = || {
         let mut sim = build_network(40, 53, small_cfg());
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut fp = 0u64;
         for _ in 0..50 {
             let key = Id(rng.random());
@@ -270,7 +269,7 @@ fn join_cost_scales_logarithmically() {
     // Count protocol messages consumed by a single join at two sizes.
     let mut msgs = Vec::new();
     for (n, seed) in [(64usize, 61u64), (512, 67)] {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let ids = random_ids(n + 1, &mut rng);
         let topo = Sphere::new(n + 1, seed);
         let mut sim = static_build(topo, small_cfg(), seed, &ids[..n], |_| NullApp, 2);
@@ -288,7 +287,7 @@ fn join_cost_scales_logarithmically() {
 fn recovered_nodes_rejoin_the_ring() {
     let n = 60;
     let mut sim = build_network(n, 71, small_cfg());
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = Rng::seed_from_u64(4);
     // Fail a node, repair the ring around it.
     let victim = 17;
     sim.engine.kill(victim);
@@ -325,7 +324,7 @@ fn paper_typical_config_works() {
     // b=4, l=32, M=32 — the HotOS paper's "typical values".
     let n = 120;
     let cfg = Config::paper_typical();
-    let mut rng = StdRng::seed_from_u64(81);
+    let mut rng = Rng::seed_from_u64(81);
     let ids = random_ids(n, &mut rng);
     let topo = Sphere::new(n, 81);
     let mut sim = PastrySim::new(topo, cfg, 81);
@@ -348,7 +347,7 @@ fn paper_typical_config_works() {
 fn routing_works_on_all_topologies() {
     use past_netsim::{Plane, TransitStub, UniformRandom};
     let n = 100;
-    let mut rng = StdRng::seed_from_u64(91);
+    let mut rng = Rng::seed_from_u64(91);
     let ids = random_ids(n, &mut rng);
 
     fn check<T: past_netsim::Topology>(topo: T, ids: &[past_pastry::Id], seed: u64) {
@@ -363,7 +362,7 @@ fn routing_works_on_all_topologies() {
             seed,
         );
         sim.build_by_joins(ids, |_| NullApp, 8);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..60 {
             let key = Id(rng.random());
             let from = rng.random_range(0..n);
@@ -389,7 +388,7 @@ fn b_one_and_b_eight_configurations_route() {
             neighborhood_len: 8,
             ..Config::default()
         };
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let ids = random_ids(n, &mut rng);
         let mut sim = PastrySim::new(Sphere::new(n, seed), cfg, seed);
         sim.build_by_joins(&ids, |_| NullApp, 8);

@@ -1,14 +1,13 @@
 //! Shared builders for the experiment suite.
 
 use past_core::{BuildMode, PastConfig, PastNetwork};
+use past_crypto::rng::Rng;
 use past_netsim::Sphere;
 use past_pastry::{random_ids, static_build, Config, Id, NullApp, PastrySim};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Generates `n` distinct node ids from `seed`.
 pub fn ids(n: usize, seed: u64) -> Vec<Id> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4944);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x4944);
     random_ids(n, &mut rng)
 }
 

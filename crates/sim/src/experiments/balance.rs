@@ -6,9 +6,8 @@
 
 use crate::common::ids;
 use crate::report::{f2, ExpTable};
+use past_crypto::rng::Rng;
 use past_pastry::Id;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters for E10.
 #[derive(Clone, Debug)]
@@ -67,7 +66,7 @@ pub fn run(p: &Params) -> Result {
         .map(|(a, id)| (id.0, a))
         .collect();
     sorted.sort_unstable();
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0xba11);
+    let mut rng = Rng::seed_from_u64(p.seed ^ 0xba11);
     let mut counts = vec![0u64; p.n];
     let files = p.n * p.files_per_node;
     for _ in 0..files {

@@ -7,10 +7,9 @@
 use crate::common::ids;
 use crate::report::{f2, ExpTable};
 use past_baselines::{CanSim, ChordSim};
+use past_crypto::rng::Rng;
 use past_netsim::{Sphere, Topology};
 use past_pastry::{static_build, Config, Id, NullApp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters for E11.
 #[derive(Clone, Debug)]
@@ -73,7 +72,7 @@ pub fn run(p: &Params) -> Result {
     for (i, &n) in p.sizes.iter().enumerate() {
         let seed = p.seed + i as u64;
         let node_ids = ids(n, seed);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xcafe);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xcafe);
         let probes: Vec<(Id, usize)> = (0..p.trials)
             .map(|_| (Id(rng.random()), rng.random_range(0..n)))
             .collect();

@@ -9,7 +9,6 @@ use crate::report::{f2, pct, ExpTable};
 use past_core::{BuildMode, ContentRef, PastConfig, PastOut};
 use past_pastry::Config;
 use past_workload::Zipf;
-use rand::Rng;
 use std::collections::HashMap;
 
 /// Parameters for E8.

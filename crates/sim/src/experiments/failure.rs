@@ -8,7 +8,6 @@
 use crate::common::pastry_joined;
 use crate::report::{pct, ExpTable};
 use past_pastry::{Config, Id};
-use rand::Rng;
 use std::collections::HashSet;
 
 /// Parameters for E5.

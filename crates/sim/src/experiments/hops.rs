@@ -8,7 +8,6 @@ use crate::common::pastry_static;
 use crate::report::{f2, ExpTable};
 use past_netsim::summarize;
 use past_pastry::{Config, Id};
-use rand::Rng;
 
 /// Parameters for E1.
 #[derive(Clone, Debug)]

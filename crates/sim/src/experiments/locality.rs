@@ -9,7 +9,6 @@ use crate::common::pastry_joined;
 use crate::report::{f2, ExpTable};
 use past_netsim::Topology;
 use past_pastry::{Config, Id};
-use rand::Rng;
 
 /// Parameters for E3.
 #[derive(Clone, Debug)]

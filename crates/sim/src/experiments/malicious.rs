@@ -9,7 +9,6 @@
 use crate::common::pastry_joined;
 use crate::report::{pct, ExpTable};
 use past_pastry::{Behavior, Config, Id};
-use rand::Rng;
 use std::collections::HashSet;
 
 /// Parameters for E9.

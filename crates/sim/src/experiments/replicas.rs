@@ -9,7 +9,6 @@ use crate::report::{pct, ExpTable};
 use past_core::{BuildMode, ContentRef, PastConfig, PastOut};
 use past_netsim::Topology;
 use past_pastry::Config;
-use rand::Rng;
 
 /// Parameters for E4.
 #[derive(Clone, Debug)]

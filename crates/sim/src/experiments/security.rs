@@ -10,7 +10,6 @@ use crate::common::past_network;
 use crate::report::ExpTable;
 use past_core::{BuildMode, ContentRef, PastConfig, PastMsg, PastOut};
 use past_pastry::Config;
-use rand::Rng;
 
 /// Parameters for E13.
 #[derive(Clone, Debug)]

@@ -13,10 +13,9 @@
 use crate::common::past_network_caps;
 use crate::report::{bytes, f2, pct, ExpTable};
 use past_core::{BuildMode, ContentRef, PastConfig, PastOut};
+use past_crypto::rng::Rng;
 use past_pastry::Config;
 use past_workload::{Capacities, FileSizes};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters for E7.
 #[derive(Clone, Debug)]
@@ -97,7 +96,7 @@ fn median(mut v: Vec<u64>) -> u64 {
 }
 
 fn run_variant(p: &Params, label: &str, past_cfg: PastConfig) -> Row {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let caps = Capacities {
         mean_bytes: p.mean_capacity,
         spread: 3.2,

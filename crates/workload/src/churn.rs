@@ -1,6 +1,6 @@
 //! Churn schedules: node failure and arrival processes.
 
-use rand::Rng;
+use past_crypto::rng::Rng;
 
 /// One churn event in a schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -13,12 +13,7 @@ pub enum ChurnEvent {
 
 /// Generates an interleaved fail/join schedule of `steps` events with the
 /// given failure probability (the rest are joins).
-pub fn schedule<R: Rng + ?Sized>(
-    steps: usize,
-    fail_prob: f64,
-    live_hint: usize,
-    rng: &mut R,
-) -> Vec<ChurnEvent> {
+pub fn schedule(steps: usize, fail_prob: f64, live_hint: usize, rng: &mut Rng) -> Vec<ChurnEvent> {
     assert!((0.0..=1.0).contains(&fail_prob));
     (0..steps)
         .map(|_| {
@@ -33,7 +28,7 @@ pub fn schedule<R: Rng + ?Sized>(
 
 /// Exponentially distributed session lifetimes with the given mean, in
 /// microseconds (for time-driven churn).
-pub fn exp_lifetime_us<R: Rng + ?Sized>(mean_us: u64, rng: &mut R) -> u64 {
+pub fn exp_lifetime_us(mean_us: u64, rng: &mut Rng) -> u64 {
     let u: f64 = rng.random_range(f64::EPSILON..1.0);
     (-(u.ln()) * mean_us as f64) as u64
 }
@@ -41,12 +36,11 @@ pub fn exp_lifetime_us<R: Rng + ?Sized>(mean_us: u64, rng: &mut R) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use past_crypto::rng::Rng;
 
     #[test]
     fn schedule_mixes_events() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let s = schedule(1000, 0.3, 50, &mut rng);
         let fails = s
             .iter()
@@ -62,14 +56,14 @@ mod tests {
 
     #[test]
     fn all_joins_when_prob_zero() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let s = schedule(100, 0.0, 10, &mut rng);
         assert!(s.iter().all(|e| *e == ChurnEvent::Join));
     }
 
     #[test]
     fn exp_lifetimes_have_right_mean() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mean: f64 = (0..20_000)
             .map(|_| exp_lifetime_us(1_000_000, &mut rng) as f64)
             .sum::<f64>()

@@ -1,6 +1,6 @@
 //! Lookup-popularity distributions (Zipf) for the caching experiments.
 
-use rand::Rng;
+use past_crypto::rng::Rng;
 
 /// A Zipf sampler over ranks `0..n` with exponent `s`.
 ///
@@ -35,7 +35,7 @@ impl Zipf {
     }
 
     /// Samples a rank in `0..n` (0 = most popular).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample(&self, rng: &mut Rng) -> usize {
         let u: f64 = rng.random_range(0.0..1.0);
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
@@ -54,13 +54,12 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use past_crypto::rng::Rng;
 
     #[test]
     fn rank_zero_is_most_popular() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut counts = vec![0u32; 100];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -75,7 +74,7 @@ mod tests {
     #[test]
     fn uniform_when_s_zero() {
         let z = Zipf::new(50, 0.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let mut counts = vec![0u32; 50];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -88,7 +87,7 @@ mod tests {
     #[test]
     fn samples_in_range() {
         let z = Zipf::new(3, 1.2);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..1_000 {
             assert!(z.sample(&mut rng) < 3);
         }

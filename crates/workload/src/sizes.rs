@@ -8,7 +8,7 @@
 //! reports (it rejects nodes more than ~10x from the average capacity
 //! band).
 
-use rand::Rng;
+use past_crypto::rng::Rng;
 
 /// A heavy-tailed file-size distribution: lognormal body with a Pareto
 /// tail.
@@ -46,7 +46,7 @@ impl Default for FileSizes {
 
 impl FileSizes {
     /// Samples one file size in bytes (at least 1).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
         let raw = if rng.random_bool(self.tail_prob) {
             // Pareto via inverse transform.
             let u: f64 = rng.random_range(f64::EPSILON..1.0);
@@ -62,7 +62,7 @@ impl FileSizes {
     }
 
     /// Samples `n` sizes.
-    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u64> {
+    pub fn sample_n(&self, n: usize, rng: &mut Rng) -> Vec<u64> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
 }
@@ -89,7 +89,7 @@ impl Default for Capacities {
 
 impl Capacities {
     /// Samples one node capacity in bytes.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
         let lo = (self.mean_bytes as f64 / self.spread).max(1.0);
         let hi = self.mean_bytes as f64 * self.spread;
         // Log-uniform in the band keeps the mean near `mean_bytes`.
@@ -98,7 +98,7 @@ impl Capacities {
     }
 
     /// Samples `n` capacities.
-    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u64> {
+    pub fn sample_n(&self, n: usize, rng: &mut Rng) -> Vec<u64> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
 }
@@ -106,13 +106,12 @@ impl Capacities {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use past_crypto::rng::Rng;
 
     #[test]
     fn sizes_are_positive_and_capped() {
         let d = FileSizes::default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..10_000 {
             let s = d.sample(&mut rng);
             assert!(s >= 1);
@@ -123,7 +122,7 @@ mod tests {
     #[test]
     fn sizes_are_heavy_tailed() {
         let d = FileSizes::default();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let samples = d.sample_n(20_000, &mut rng);
         let mut sorted = samples.clone();
         sorted.sort_unstable();
@@ -138,7 +137,7 @@ mod tests {
     #[test]
     fn capacities_stay_in_band() {
         let c = Capacities::default();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let lo = (c.mean_bytes as f64 / c.spread) as u64;
         let hi = (c.mean_bytes as f64 * c.spread) as u64;
         for _ in 0..10_000 {
@@ -153,8 +152,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let d = FileSizes::default();
-        let a = d.sample_n(100, &mut StdRng::seed_from_u64(7));
-        let b = d.sample_n(100, &mut StdRng::seed_from_u64(7));
+        let a = d.sample_n(100, &mut Rng::seed_from_u64(7));
+        let b = d.sample_n(100, &mut Rng::seed_from_u64(7));
         assert_eq!(a, b);
     }
 }

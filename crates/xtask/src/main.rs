@@ -1,0 +1,78 @@
+//! CLI for the in-tree static-analysis pass.
+//!
+//! Usage: `cargo run -p xtask -- check [--root <dir>]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- check [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" if cmd.is_none() => cmd = Some("check"),
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if cmd != Some("check") {
+        return usage();
+    }
+    // Default to the workspace root: two levels above this crate.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let report = match xtask::run_check(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask check: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for a in &report.unused_allows {
+        eprintln!(
+            "xtask check: warning: unused allowlist entry {} for {} ({})",
+            a.rule, a.path, a.reason
+        );
+    }
+    if report.violations.is_empty() {
+        println!(
+            "xtask check: OK ({} files scanned, {} allowlisted exception{})",
+            report.files_scanned,
+            report.suppressed,
+            if report.suppressed == 1 { "" } else { "s" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask check: {} violation{} ({} files scanned)",
+            report.violations.len(),
+            if report.violations.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

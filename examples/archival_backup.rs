@@ -10,10 +10,9 @@
 //! Run: `cargo run --release --example archival_backup`
 
 use past::core::{BuildMode, ContentRef, PastConfig, PastNetwork, PastOut};
+use past::crypto::rng::Rng;
 use past::netsim::Sphere;
 use past::pastry::{random_ids, Config};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const MB: u64 = 1 << 20;
 
@@ -21,7 +20,7 @@ fn main() {
     let n = 80;
     let seed = 77;
     let per_node_capacity = 8 * MB;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     let mut net = PastNetwork::build(
         Sphere::new(n, seed),

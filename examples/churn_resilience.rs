@@ -6,16 +6,15 @@
 //! Run: `cargo run --release --example churn_resilience`
 
 use past::core::{BuildMode, ContentRef, PastApp, PastConfig, PastNetwork, PastOut};
+use past::crypto::rng::Rng;
 use past::netsim::{Sphere, Topology};
 use past::pastry::{random_ids, Config};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let initial = 60;
     let slots = 160; // topology slots reserved for later joiners
     let seed = 31;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let all_ids = random_ids(slots, &mut rng);
     let past_cfg = PastConfig {
         default_k: 4,

@@ -5,15 +5,14 @@
 //! Run: `cargo run --release --example nearest_replica`
 
 use past::core::{BuildMode, ContentRef, PastConfig, PastNetwork, PastOut};
+use past::crypto::rng::Rng;
 use past::netsim::{Sphere, Topology};
 use past::pastry::{random_ids, Config};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let n = 400;
     let seed = 5;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     let mut net = PastNetwork::build(
         Sphere::new(n, seed),

@@ -9,16 +9,15 @@
 //! Run: `cargo run --release --example private_storage`
 
 use past::core::{BuildMode, ContentRef, PastConfig, PastNetwork, PastOut};
+use past::crypto::rng::Rng;
 use past::crypto::StreamCipher;
 use past::netsim::Sphere;
 use past::pastry::{random_ids, Config};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let n = 50;
     let seed = 404;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     let mut net = PastNetwork::build(
         Sphere::new(n, seed),

@@ -4,10 +4,9 @@
 //! Run: `cargo run --release --example quickstart`
 
 use past::core::{BuildMode, ContentRef, PastConfig, PastNetwork, PastOut};
+use past::crypto::rng::Rng;
 use past::netsim::Sphere;
 use past::pastry::{random_ids, Config};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // 1. Build a 64-node PAST network on a simulated sphere topology.
@@ -15,7 +14,7 @@ fn main() {
     //    and 64 MiB of contributed storage.
     let n = 64;
     let seed = 2001;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     let mut net = PastNetwork::build(
         Sphere::new(n, seed),

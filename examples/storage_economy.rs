@@ -8,17 +8,16 @@
 //! Run: `cargo run --release --example storage_economy`
 
 use past::core::{BuildMode, CardError, ContentRef, PastConfig, PastNetwork, PastOut};
+use past::crypto::rng::Rng;
 use past::netsim::Sphere;
 use past::pastry::{random_ids, Config};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const MB: u64 = 1 << 20;
 
 fn main() {
     let n = 40;
     let seed = 9;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     // Every node contributes 64 MiB; every card carries a 20 MiB quota.
     // Supply (n * 64 MiB) comfortably exceeds demand (n * 20 MiB): the

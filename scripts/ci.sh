@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 entry point: everything a change must pass before merging.
+#
+# Runs fully offline — the workspace has no registry dependencies, and
+# `cargo run -p xtask -- check` (rule H1) keeps it that way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== xtask check (hermeticity / determinism / panic policy)"
+cargo run --offline -q -p xtask -- check
+
+echo "== cargo build --release"
+cargo build --offline --release --workspace
+
+echo "== cargo test -q"
+cargo test --offline -q --workspace
+
+echo "tier-1: all green"

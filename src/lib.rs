@@ -20,11 +20,11 @@
 //! ```
 //! use past::core::{BuildMode, ContentRef, PastConfig, PastNetwork, PastOut};
 //! use past::netsim::Sphere;
+//! use past::crypto::rng::Rng;
 //! use past::pastry::{random_ids, Config};
-//! use rand::SeedableRng;
 //!
 //! let n = 24;
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = Rng::seed_from_u64(1);
 //! let ids = random_ids(n, &mut rng);
 //! let mut net = PastNetwork::build(
 //!     Sphere::new(n, 1),

@@ -1,149 +1,241 @@
-//! Workspace-wide property-based tests (proptest) of core invariants.
+//! Workspace-wide randomized property tests of core invariants.
+//!
+//! Formerly written against the external `proptest` crate; now driven by
+//! the in-tree deterministic RNG (`past::crypto::rng`) so the whole test
+//! suite builds and runs with zero registry access. Each test draws a
+//! fixed number of cases from a fixed seed, so failures reproduce
+//! exactly; to explore more of the space, bump `CASES` locally.
 
 use past::core::{ContentRef, ReplicaKind, Store};
 use past::crypto::modmath::{addmod, invmod_prime, mulmod, powmod, rem256, submod};
+use past::crypto::rng::Rng;
 use past::crypto::schnorr::{group_p, group_q, KeyPair};
 use past::crypto::sha256::{sha256, Sha256};
 use past::crypto::u256::U256;
 use past::pastry::{next_hop, Config, Id, LeafSet, NextHop, NodeHandle, PastryState};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn u256(lo: u64, a: u64, b: u64, hi: u64) -> U256 {
-    U256([lo, a, b, hi])
+/// Cases per property (roughly proptest's default budget).
+const CASES: usize = 256;
+
+fn rand_u256(rng: &mut Rng) -> U256 {
+    U256([rng.random(), rng.random(), rng.random(), rng.random()])
 }
 
-proptest! {
-    // ---------------- u256 / modular arithmetic ------------------------
+fn rand_bytes(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.random_range(0..=max_len);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
 
-    #[test]
-    fn u256_add_commutes(a0: u64, a1: u64, a2: u64, a3: u64, b0: u64, b1: u64, b2: u64, b3: u64) {
-        let a = u256(a0, a1, a2, a3);
-        let b = u256(b0, b1, b2, b3);
-        prop_assert_eq!(a.overflowing_add(&b), b.overflowing_add(&a));
+// ---------------- u256 / modular arithmetic ------------------------
+
+#[test]
+fn u256_add_commutes() {
+    let mut rng = Rng::seed_from_u64(0x0256_0001);
+    for _ in 0..CASES {
+        let (a, b) = (rand_u256(&mut rng), rand_u256(&mut rng));
+        assert_eq!(a.overflowing_add(&b), b.overflowing_add(&a));
     }
+}
 
-    #[test]
-    fn u256_add_sub_roundtrip(a0: u64, a1: u64, a2: u64, a3: u64, b0: u64, b1: u64, b2: u64, b3: u64) {
-        let a = u256(a0, a1, a2, a3);
-        let b = u256(b0, b1, b2, b3);
+#[test]
+fn u256_add_sub_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x0256_0002);
+    for _ in 0..CASES {
+        let (a, b) = (rand_u256(&mut rng), rand_u256(&mut rng));
         let (sum, _) = a.overflowing_add(&b);
         let (back, _) = sum.overflowing_sub(&b);
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a);
     }
+}
 
-    #[test]
-    fn u256_mul_commutes(a0: u64, a1: u64, b0: u64, b1: u64) {
-        let a = u256(a0, a1, 0, 0);
-        let b = u256(b0, b1, 0, 0);
-        prop_assert_eq!(a.widening_mul(&b).0, b.widening_mul(&a).0);
+#[test]
+fn u256_mul_commutes() {
+    let mut rng = Rng::seed_from_u64(0x0256_0003);
+    for _ in 0..CASES {
+        let a = U256([rng.random(), rng.random(), 0, 0]);
+        let b = U256([rng.random(), rng.random(), 0, 0]);
+        assert_eq!(a.widening_mul(&b).0, b.widening_mul(&a).0);
     }
+}
 
-    #[test]
-    fn u256_bytes_roundtrip(a0: u64, a1: u64, a2: u64, a3: u64) {
-        let a = u256(a0, a1, a2, a3);
-        prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+#[test]
+fn u256_bytes_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x0256_0004);
+    for _ in 0..CASES {
+        let a = rand_u256(&mut rng);
+        assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
     }
+}
 
-    #[test]
-    fn modmath_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX, m in 2u64..u64::MAX) {
+#[test]
+fn modmath_matches_u128() {
+    let mut rng = Rng::seed_from_u64(0x0256_0005);
+    for _ in 0..CASES {
         // Compare against native arithmetic in a u64 modulus.
+        let a: u128 = rng.random();
+        let b: u128 = rng.random();
+        let m: u64 = rng.random_range(2..u64::MAX);
         let m256 = U256::from_u64(m);
         let am = (a % m as u128) as u64;
         let bm = (b % m as u128) as u64;
         let a256 = U256::from_u64(am);
         let b256 = U256::from_u64(bm);
-        prop_assert_eq!(addmod(&a256, &b256, &m256), U256::from_u64(((am as u128 + bm as u128) % m as u128) as u64));
-        prop_assert_eq!(mulmod(&a256, &b256, &m256), U256::from_u64(((am as u128 * bm as u128) % m as u128) as u64));
-        prop_assert_eq!(submod(&a256, &b256, &m256), U256::from_u64(((am as u128 + m as u128 - bm as u128) % m as u128) as u64));
+        assert_eq!(
+            addmod(&a256, &b256, &m256),
+            U256::from_u64(((am as u128 + bm as u128) % m as u128) as u64)
+        );
+        assert_eq!(
+            mulmod(&a256, &b256, &m256),
+            U256::from_u64(((am as u128 * bm as u128) % m as u128) as u64)
+        );
+        assert_eq!(
+            submod(&a256, &b256, &m256),
+            U256::from_u64(((am as u128 + m as u128 - bm as u128) % m as u128) as u64)
+        );
     }
+}
 
-    #[test]
-    fn fermat_inverse_in_group(x0: u64, x1: u64, x2: u64, x3: u64) {
-        let p = group_p();
-        let x = rem256(&u256(x0, x1, x2, x3), &p);
+#[test]
+fn fermat_inverse_in_group() {
+    let mut rng = Rng::seed_from_u64(0x0256_0006);
+    let p = group_p();
+    for _ in 0..CASES {
+        let x = rem256(&rand_u256(&mut rng), &p);
         if !x.is_zero() {
             let inv = invmod_prime(&x, &p).expect("nonzero");
-            prop_assert_eq!(mulmod(&x, &inv, &p), U256::ONE);
+            assert_eq!(mulmod(&x, &inv, &p), U256::ONE);
         }
     }
+}
 
-    #[test]
-    fn powmod_homomorphism(e1 in 0u64..1_000_000, e2 in 0u64..1_000_000) {
+#[test]
+fn powmod_homomorphism() {
+    let mut rng = Rng::seed_from_u64(0x0256_0007);
+    let p = group_p();
+    let g = U256::from_u64(4);
+    for _ in 0..64 {
         // g^(e1+e2) == g^e1 * g^e2 (mod p).
-        let p = group_p();
-        let g = U256::from_u64(4);
+        let e1: u64 = rng.random_range(0..1_000_000);
+        let e2: u64 = rng.random_range(0..1_000_000);
         let lhs = powmod(&g, &U256::from_u64(e1 + e2), &p);
-        let rhs = mulmod(&powmod(&g, &U256::from_u64(e1), &p), &powmod(&g, &U256::from_u64(e2), &p), &p);
-        prop_assert_eq!(lhs, rhs);
+        let rhs = mulmod(
+            &powmod(&g, &U256::from_u64(e1), &p),
+            &powmod(&g, &U256::from_u64(e2), &p),
+            &p,
+        );
+        assert_eq!(lhs, rhs);
     }
+}
 
-    // ---------------- hashing ------------------------------------------
+// ---------------- hashing ------------------------------------------
 
-    #[test]
-    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
-        let split = split.min(data.len());
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    let mut rng = Rng::seed_from_u64(0x0256_0008);
+    for _ in 0..CASES {
+        let data = rand_bytes(&mut rng, 512);
+        let split = rng.random_range(0..=data.len());
         let mut h = Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), sha256(&data));
+        assert_eq!(h.finalize(), sha256(&data));
     }
+}
 
-    #[test]
-    fn sha256_is_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 1..256), flip in 0usize..256) {
-        let flip = flip.min(data.len() - 1);
+#[test]
+fn sha256_is_deterministic_and_sensitive() {
+    let mut rng = Rng::seed_from_u64(0x0256_0009);
+    for _ in 0..CASES {
+        let mut data = rand_bytes(&mut rng, 255);
+        data.push(rng.random()); // at least one byte
+        let flip = rng.random_range(0..data.len());
         let mut tampered = data.clone();
         tampered[flip] ^= 1;
-        prop_assert_eq!(sha256(&data), sha256(&data));
-        prop_assert_ne!(sha256(&data), sha256(&tampered));
+        assert_eq!(sha256(&data), sha256(&data));
+        assert_ne!(sha256(&data), sha256(&tampered));
     }
+}
 
-    // ---------------- signatures ----------------------------------------
+// ---------------- signatures ----------------------------------------
 
-    #[test]
-    fn schnorr_roundtrip_and_tamper(seed in proptest::collection::vec(any::<u8>(), 1..32), msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn schnorr_roundtrip_and_tamper() {
+    let mut rng = Rng::seed_from_u64(0x0256_000a);
+    for _ in 0..32 {
+        let mut seed = rand_bytes(&mut rng, 31);
+        seed.push(rng.random()); // non-empty
+        let msg = rand_bytes(&mut rng, 128);
         let kp = KeyPair::from_seed(&seed);
         let sig = kp.sign(&msg);
-        prop_assert!(kp.public.verify(&msg, &sig));
+        assert!(kp.public.verify(&msg, &sig));
         let mut tampered = msg.clone();
         tampered.push(0x55);
-        prop_assert!(!kp.public.verify(&tampered, &sig));
+        assert!(!kp.public.verify(&tampered, &sig));
         // Response scalar must stay below q.
-        prop_assert!(sig.response < group_q());
+        assert!(sig.response < group_q());
     }
+}
 
-    // ---------------- identifiers ---------------------------------------
+// ---------------- identifiers ---------------------------------------
 
-    #[test]
-    fn id_prefix_len_is_symmetric_and_bounded(a: u128, b: u128) {
+#[test]
+fn id_prefix_len_is_symmetric_and_bounded() {
+    let mut rng = Rng::seed_from_u64(0x0256_000b);
+    for case in 0..CASES {
+        let a: u128 = rng.random();
+        // Half the cases flip one bit of `a` to exercise long shared
+        // prefixes, which independent draws would essentially never hit.
+        let b: u128 = if case % 2 == 0 {
+            rng.random()
+        } else {
+            a ^ (1u128 << rng.random_range(0..128u32))
+        };
         let (x, y) = (Id(a), Id(b));
         let p = x.prefix_len(&y, 4);
-        prop_assert_eq!(p, y.prefix_len(&x, 4));
-        prop_assert!(p <= 32);
-        if a == b { prop_assert_eq!(p, 32); }
+        assert_eq!(p, y.prefix_len(&x, 4));
+        assert!(p <= 32);
+        if a == b {
+            assert_eq!(p, 32);
+        }
         // Shared prefix means equal leading digits.
         for i in 0..p.min(31) {
-            prop_assert_eq!(x.digit(i, 4), y.digit(i, 4));
+            assert_eq!(x.digit(i, 4), y.digit(i, 4));
         }
         if p < 32 {
-            prop_assert_ne!(x.digit(p, 4), y.digit(p, 4));
+            assert_ne!(x.digit(p, 4), y.digit(p, 4));
         }
     }
+}
 
-    #[test]
-    fn ring_distance_is_a_metric(a: u128, b: u128) {
+#[test]
+fn ring_distance_is_a_metric() {
+    let mut rng = Rng::seed_from_u64(0x0256_000c);
+    for _ in 0..CASES {
+        let a: u128 = rng.random();
+        let b: u128 = rng.random();
         let (x, y) = (Id(a), Id(b));
-        prop_assert_eq!(x.ring_dist(&y), y.ring_dist(&x));
-        prop_assert_eq!(x.ring_dist(&x), 0);
-        prop_assert!(x.ring_dist(&y) <= u128::MAX / 2 + 1);
-        if a != b { prop_assert!(x.ring_dist(&y) > 0); }
+        assert_eq!(x.ring_dist(&y), y.ring_dist(&x));
+        assert_eq!(x.ring_dist(&x), 0);
+        assert!(x.ring_dist(&y) <= u128::MAX / 2 + 1);
+        if a != b {
+            assert!(x.ring_dist(&y) > 0);
+        }
     }
+}
 
-    // ---------------- leaf set -------------------------------------------
+// ---------------- leaf set -------------------------------------------
 
-    #[test]
-    fn leafset_keeps_the_closest(own: u128, others in proptest::collection::hash_set(any::<u128>(), 1..40)) {
+#[test]
+fn leafset_keeps_the_closest() {
+    let mut rng = Rng::seed_from_u64(0x0256_000d);
+    for _ in 0..CASES {
+        let own: u128 = rng.random();
+        let count = rng.random_range(1..40usize);
+        let mut others: Vec<u128> = (0..count).map(|_| rng.random()).collect();
+        others.sort_unstable();
+        others.dedup();
         let mut ls = LeafSet::new(Id(own), 8);
         let handles: Vec<NodeHandle> = others
             .iter()
@@ -154,7 +246,7 @@ proptest! {
         for &h in &handles {
             ls.insert(h);
         }
-        prop_assert!(ls.len() <= 8);
+        assert!(ls.len() <= 8);
         // Each retained member on a side must be at least as close as any
         // rejected node on that side.
         for side in [past::pastry::Side::Smaller, past::pastry::Side::Larger] {
@@ -171,27 +263,40 @@ proptest! {
                             past::pastry::Side::Larger => Id(own).cw_dist(&h.id),
                             past::pastry::Side::Smaller => h.id.cw_dist(&Id(own)),
                         };
-                        prop_assert!(d >= worst_d, "rejected closer node");
+                        assert!(d >= worst_d, "rejected closer node");
                     }
                 }
             }
         }
     }
+}
 
-    // ---------------- routing step ---------------------------------------
+// ---------------- routing step ---------------------------------------
 
-    #[test]
-    fn routing_step_strictly_progresses(own: u128, key: u128, others in proptest::collection::hash_set(any::<u128>(), 1..60)) {
-        let cfg = Config { leaf_len: 8, neighborhood_len: 8, ..Config::default() };
+#[test]
+fn routing_step_strictly_progresses() {
+    let mut rng = Rng::seed_from_u64(0x0256_000e);
+    for _ in 0..CASES {
+        let own: u128 = rng.random();
+        let key_raw: u128 = rng.random();
+        let count = rng.random_range(1..60usize);
+        let mut others: Vec<u128> = (0..count).map(|_| rng.random()).collect();
+        others.sort_unstable();
+        others.dedup();
+        let cfg = Config {
+            leaf_len: 8,
+            neighborhood_len: 8,
+            ..Config::default()
+        };
         let mut st = PastryState::new(cfg, NodeHandle::new(Id(own), 0));
         for (i, &id) in others.iter().enumerate() {
             if id != own {
                 st.add_node(NodeHandle::new(Id(id), i + 1), (i as u64 % 100) + 1);
             }
         }
-        let key = Id(key);
-        let mut rng = StdRng::seed_from_u64(1);
-        if let NextHop::Forward(next) = next_hop(&st, &key, &mut rng) {
+        let key = Id(key_raw);
+        let mut hop_rng = Rng::seed_from_u64(1);
+        if let NextHop::Forward(next) = next_hop(&st, &key, &mut hop_rng) {
             let own_p = Id(own).prefix_len(&key, 4);
             let next_p = next.id.prefix_len(&key, 4);
             let own_d = Id(own).ring_dist(&key);
@@ -202,19 +307,26 @@ proptest! {
             // id). The leaf branch may *shorten* the prefix across a digit
             // boundary — canonical Pastry allows this, and the route-hop
             // TTL (DESIGN.md 3.8) backstops the resulting corner cases.
-            prop_assert!(
-                next_p > own_p
-                    || next_d < own_d
-                    || (next_d == own_d && next.id.0 < own),
-                "invalid step own={own:x} next={:x} key={:x}", next.id.0, key.0
+            assert!(
+                next_p > own_p || next_d < own_d || (next_d == own_d && next.id.0 < own),
+                "invalid step own={own:x} next={:x} key={:x}",
+                next.id.0,
+                key.0
             );
         }
     }
+}
 
-    // ---------------- storage accounting ---------------------------------
+// ---------------- storage accounting ---------------------------------
 
-    #[test]
-    fn store_accounting_is_conserved(ops in proptest::collection::vec((1u64..2_000, any::<bool>()), 1..60)) {
+#[test]
+fn store_accounting_is_conserved() {
+    let mut rng = Rng::seed_from_u64(0x0256_000f);
+    for _ in 0..64 {
+        let op_count = rng.random_range(1..60usize);
+        let ops: Vec<(u64, bool)> = (0..op_count)
+            .map(|_| (rng.random_range(1..2_000u64), rng.random()))
+            .collect();
         let mut store = Store::new(20_000, 1.0, 0.5);
         let mut broker = past::core::Broker::new(b"prop");
         let mut card = broker.issue_card(b"u", u64::MAX / 2, 0);
@@ -223,54 +335,78 @@ proptest! {
         for (i, &(size, remove)) in ops.iter().enumerate() {
             if remove && !live.is_empty() {
                 let (fid, sz) = live.remove(i % live.len());
-                prop_assert_eq!(store.remove(&fid), sz);
+                assert_eq!(store.remove(&fid), sz);
                 expected_used -= sz;
             } else {
                 let name = format!("f{i}");
                 let content = ContentRef::synthetic(0, &name, size);
-                let cert = card.issue_file_certificate(&name, &content, 1, i as u64, 0).expect("quota");
+                let cert = card
+                    .issue_file_certificate(&name, &content, 1, i as u64, 0)
+                    .expect("quota");
                 if store.insert(&cert, ReplicaKind::Primary).is_ok() {
                     expected_used += size;
                     live.push((cert.file_id, size));
                 }
             }
-            prop_assert_eq!(store.used(), expected_used);
-            prop_assert_eq!(store.free(), 20_000 - expected_used);
-            prop_assert!(store.cache.used() <= store.free());
+            assert_eq!(store.used(), expected_used);
+            assert_eq!(store.free(), 20_000 - expected_used);
+            assert!(store.cache.used() <= store.free());
         }
     }
+}
 
-    // ---------------- GreedyDual-Size cache -------------------------------
+// ---------------- GreedyDual-Size cache -------------------------------
 
-    #[test]
-    fn cache_never_exceeds_budget(sizes in proptest::collection::vec(1u64..500, 1..50), budget in 100u64..2_000) {
+#[test]
+fn cache_never_exceeds_budget() {
+    let mut rng = Rng::seed_from_u64(0x0256_0010);
+    for _ in 0..64 {
+        let budget = rng.random_range(100..2_000u64);
+        let count = rng.random_range(1..50usize);
         let mut broker = past::core::Broker::new(b"prop2");
         let mut card = broker.issue_card(b"u", u64::MAX / 2, 0);
         let mut cache = past::core::cache::Cache::new();
-        for (i, &size) in sizes.iter().enumerate() {
+        for i in 0..count {
+            let size = rng.random_range(1..500u64);
             let name = format!("c{i}");
             let content = ContentRef::synthetic(0, &name, size);
-            let cert = card.issue_file_certificate(&name, &content, 1, i as u64, 0).expect("quota");
+            let cert = card
+                .issue_file_certificate(&name, &content, 1, i as u64, 0)
+                .expect("quota");
             cache.offer(&cert, budget);
-            prop_assert!(cache.used() <= budget, "cache {} over budget {}", cache.used(), budget);
+            assert!(
+                cache.used() <= budget,
+                "cache {} over budget {}",
+                cache.used(),
+                budget
+            );
         }
     }
+}
 
-    // ---------------- certificates ----------------------------------------
+// ---------------- certificates ----------------------------------------
 
-    #[test]
-    fn certificate_tamper_always_detected(size in 1u64..1_000_000, k in 1u8..10, salt: u64, which in 0usize..4) {
+#[test]
+fn certificate_tamper_always_detected() {
+    let mut rng = Rng::seed_from_u64(0x0256_0011);
+    for _ in 0..32 {
+        let size = rng.random_range(1..1_000_000u64);
+        let k = rng.random_range(1..10u8);
+        let salt: u64 = rng.random();
+        let which = rng.random_range(0..4usize);
         let mut broker = past::core::Broker::new(b"prop3");
         let mut card = broker.issue_card(b"u", u64::MAX / 2, 0);
         let content = ContentRef::synthetic(0, "t", size);
-        let mut cert = card.issue_file_certificate("t", &content, k, salt, 7).expect("quota");
-        prop_assert!(cert.verify(&broker.public()));
+        let mut cert = card
+            .issue_file_certificate("t", &content, k, salt, 7)
+            .expect("quota");
+        assert!(cert.verify(&broker.public()));
         match which {
             0 => cert.size ^= 1,
             1 => cert.replication ^= 1,
             2 => cert.salt ^= 1,
             _ => cert.content_hash.0[0] ^= 1,
         }
-        prop_assert!(!cert.verify(&broker.public()));
+        assert!(!cert.verify(&broker.public()));
     }
 }

@@ -2,10 +2,9 @@
 //! the `past` facade: overlay + storage + crypto + baselines together.
 
 use past::core::{BuildMode, ContentRef, PastConfig, PastNetwork, PastOut};
+use past::crypto::rng::Rng;
 use past::netsim::{Sphere, Topology, TransitStub, UniformRandom};
 use past::pastry::{random_ids, Config, Id, NullApp, PastrySim};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn small_pastry_cfg() -> Config {
     Config {
@@ -48,7 +47,7 @@ fn full_stack_insert_lookup_reclaim_on_every_topology() {
     // any proximity model.
     let n = 30;
     let seed = 1;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     run_workload_on("sphere", &mut mk_boxed(Sphere::new(n, seed), &ids, seed));
     run_workload_on(
@@ -79,7 +78,7 @@ fn mk_boxed<T: Topology>(topo: T, ids: &[Id], seed: u64) -> PastNetwork<T> {
 fn static_and_joined_networks_agree_on_roots() {
     let n = 300;
     let seed = 3;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     let mut joined: PastrySim<NullApp, Sphere> =
         PastrySim::new(Sphere::new(n, seed), small_pastry_cfg(), seed);
@@ -113,7 +112,7 @@ fn end_to_end_latency_is_plausible() {
     // round trips on the sphere (max one-way 120 ms).
     let n = 100;
     let seed = 4;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     let mut net = mk_boxed(Sphere::new(n, seed), &ids, seed);
     let content = ContentRef::from_bytes(b"latency probe");
@@ -149,7 +148,7 @@ fn crypto_chain_is_exercised_end_to_end() {
     // key mid-flight.
     let n = 25;
     let seed = 5;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     let mut net = mk_boxed(Sphere::new(n, seed), &ids, seed);
     assert!(net.past_cfg().crypto_checks);
@@ -192,7 +191,7 @@ fn workload_generators_drive_realistic_fill() {
     use past::workload::{Capacities, FileSizes};
     let n = 40;
     let seed = 6;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     let caps = Capacities {
         mean_bytes: 2 << 20,
@@ -242,7 +241,7 @@ fn baselines_and_pastry_route_the_same_keys() {
     use past::baselines::{CanSim, ChordSim};
     let n = 200;
     let seed = 7;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids = random_ids(n, &mut rng);
     let mut pastry = past::pastry::static_build(
         Sphere::new(n, seed),
