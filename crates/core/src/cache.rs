@@ -159,6 +159,12 @@ impl Cache {
         self.remove_entry(id);
     }
 
+    /// Iterates over cached files as `(id, size)` (snapshot/invariant
+    /// support).
+    pub fn entries(&self) -> impl Iterator<Item = (&FileId, u64)> {
+        self.entries.iter().map(|(id, e)| (id, e.cert.size))
+    }
+
     fn remove_entry(&mut self, id: &FileId) {
         if let Some(e) = self.entries.remove(id) {
             self.used -= e.cert.size;

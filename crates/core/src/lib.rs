@@ -32,7 +32,9 @@ pub use broker::Broker;
 pub use cert::{CardCert, FileCertificate, ReclaimCertificate, ReclaimReceipt, StoreReceipt};
 pub use fileid::{audit_proof, ContentRef, FileId};
 pub use msg::{NackReason, PastMsg};
-pub use network::{BuildMode, PastEvent, PastNetwork};
+pub use network::{
+    BuildMode, CardSnapshot, FileSnapshot, PastEvent, PastNetwork, PastSnapshot, StoreSnapshot,
+};
 pub use node::{PastApp, PastConfig, PastOut};
 pub use smartcard::{CardError, Smartcard};
 pub use storage::{ReplicaKind, Store, StoredFile};

@@ -11,12 +11,79 @@ use crate::fileid::{ContentRef, FileId};
 use crate::msg::PastMsg;
 use crate::node::{PastApp, PastConfig, PastOut};
 use crate::smartcard::CardError;
+use crate::storage::ReplicaKind;
 use past_crypto::Digest256;
 use past_netsim::{Addr, SimTime, Topology};
-use past_pastry::{static_build, Config as PastryConfig, Id, PastryMsg, PastrySim};
+use past_pastry::{
+    static_build, Config as PastryConfig, Id, OverlaySnapshot, PastryMsg, PastrySim,
+};
 
 /// A timestamped application event.
 pub type PastEvent = (SimTime, Addr, PastOut);
+
+/// One stored replica in a [`StoreSnapshot`].
+#[derive(Clone, Copy, Debug)]
+pub struct FileSnapshot {
+    /// The file.
+    pub file_id: FileId,
+    /// Its size in bytes (from the certificate).
+    pub size: u64,
+    /// The owner card's public key.
+    pub owner: [u8; 32],
+    /// True for diverted replicas, false for primaries.
+    pub diverted: bool,
+}
+
+/// Storage accounting of one live node at a quiesce point.
+#[derive(Clone, Debug)]
+pub struct StoreSnapshot {
+    /// The node.
+    pub addr: Addr,
+    /// Bytes the store believes are committed to replicas.
+    pub used: u64,
+    /// Total capacity.
+    pub capacity: u64,
+    /// Bytes the cache believes it occupies.
+    pub cache_used: u64,
+    /// Every stored replica.
+    pub files: Vec<FileSnapshot>,
+    /// Cached copies as `(fileId, size)`.
+    pub cached: Vec<(FileId, u64)>,
+    /// Diversion pointers as `(fileId, holder)`.
+    pub pointers: Vec<(FileId, Addr)>,
+}
+
+/// Smartcard quota counters of one node (live or dead — a dead client's
+/// debits still back replicas held by live nodes).
+#[derive(Clone, Copy, Debug)]
+pub struct CardSnapshot {
+    /// The node holding the card.
+    pub addr: Addr,
+    /// The card's public key (matches [`FileSnapshot::owner`]).
+    pub card_key: [u8; 32],
+    /// Quota as issued.
+    pub quota_issued: u64,
+    /// Quota remaining.
+    pub quota_remaining: u64,
+    /// Cumulative debits.
+    pub debited_total: u64,
+    /// Cumulative applied credits.
+    pub credited_total: u64,
+    /// Debited bytes still in flight (inserts awaiting receipts).
+    pub pending_insert_bytes: u64,
+}
+
+/// A whole-system snapshot for invariant checking: the overlay's routing
+/// state plus every node's storage and quota accounting.
+#[derive(Clone, Debug)]
+pub struct PastSnapshot {
+    /// Routing state of every node.
+    pub overlay: OverlaySnapshot,
+    /// Storage state of every *live* node.
+    pub stores: Vec<StoreSnapshot>,
+    /// Quota counters of every node, live or dead.
+    pub cards: Vec<CardSnapshot>,
+}
 
 /// A complete PAST deployment: overlay + broker.
 pub struct PastNetwork<T: Topology> {
@@ -195,6 +262,59 @@ impl<T: Topology> PastNetwork<T> {
             used as f64 / cap as f64
         };
         (used, cap, frac)
+    }
+
+    /// Captures the whole system's state for invariant checking.
+    ///
+    /// Meant to be called at a quiesce point (after [`Self::run`]), when
+    /// no protocol traffic is in flight.
+    pub fn snapshot(&self) -> PastSnapshot {
+        let overlay = self.sim.snapshot_overlay();
+        let stores = self
+            .sim
+            .engine
+            .live_addrs()
+            .into_iter()
+            .map(|a| {
+                let st = &self.sim.engine.node(a).app.store;
+                StoreSnapshot {
+                    addr: a,
+                    used: st.used(),
+                    capacity: st.capacity(),
+                    cache_used: st.cache.used(),
+                    files: st
+                        .files()
+                        .map(|(id, f)| FileSnapshot {
+                            file_id: *id,
+                            size: f.cert.size,
+                            owner: f.cert.owner.card_key.to_bytes(),
+                            diverted: f.kind == ReplicaKind::Diverted,
+                        })
+                        .collect(),
+                    cached: st.cache.entries().map(|(id, s)| (*id, s)).collect(),
+                    pointers: st.pointers().map(|(id, h)| (*id, h)).collect(),
+                }
+            })
+            .collect();
+        let cards = (0..self.sim.engine.len())
+            .map(|a| {
+                let app = &self.sim.engine.node(a).app;
+                CardSnapshot {
+                    addr: a,
+                    card_key: app.card.public().to_bytes(),
+                    quota_issued: app.card.quota_issued(),
+                    quota_remaining: app.card.quota_remaining(),
+                    debited_total: app.card.debited_total(),
+                    credited_total: app.card.credited_total(),
+                    pending_insert_bytes: app.pending_insert_bytes(),
+                }
+            })
+            .collect();
+        PastSnapshot {
+            overlay,
+            stores,
+            cards,
+        }
     }
 
     /// Live nodes currently holding a replica of `file_id` (ground truth

@@ -260,6 +260,16 @@ impl PastApp {
         self.pending_inserts.len()
     }
 
+    /// Bytes debited for in-flight insertions not yet covered by store
+    /// receipts (snapshot/invariant support: quota conservation counts
+    /// these as "in flight" rather than stored).
+    pub fn pending_insert_bytes(&self) -> u64 {
+        self.pending_inserts
+            .values()
+            .map(|p| (p.k.saturating_sub(p.receipts)) as u64 * p.content.size)
+            .sum()
+    }
+
     // --- Internal helpers ----------------------------------------------
 
     /// The k nodes (self + leaf members) numerically closest to `rid`.
@@ -332,6 +342,20 @@ impl PastApp {
                 cx.send_direct(c, PastMsg::StoreAck { receipt });
             }
             return;
+        }
+        if client.is_none() {
+            // Maintenance copy: accept it only if this node is in the
+            // file's k-set by its own routing state; otherwise fan-out
+            // from peers with stale leaf sets would over-replicate the
+            // file past k (invariant I5).
+            let rid = cert.file_id.routing_id();
+            let me = cx.me();
+            let in_kset = Self::kset(state, rid, cert.replication)
+                .iter()
+                .any(|h| h.addr == me);
+            if !in_kset {
+                return;
+            }
         }
         if self.store.get(&cert.file_id).is_some() {
             // Idempotent: re-acknowledge.
@@ -448,20 +472,30 @@ impl PastApp {
     }
 
     /// Records an insert response at the client and decides the attempt.
+    ///
+    /// A receipt is `(storer card key, bytes stored)`; `None` is a nack.
     fn note_insert_response(
         &mut self,
         fid: FileId,
-        receipt_key: Option<[u8; 32]>,
+        receipt: Option<([u8; 32], u64)>,
         fatal: bool,
         cx: &mut Cx,
     ) {
         let Some(p) = self.pending_inserts.get_mut(&fid) else {
             return;
         };
-        match receipt_key {
-            Some(key) => {
+        let mut credit = 0u64;
+        match receipt {
+            Some((key, stored)) => {
                 if p.receipt_keys.insert(key) {
                     p.receipts += 1;
+                    if stored == 0 {
+                        // The holder already had the file (duplicate
+                        // insert): this copy consumed no new storage, so
+                        // its share of the certificate's debit is
+                        // returned (quota conservation, invariant I5).
+                        credit = p.content.size;
+                    }
                 }
             }
             None => {
@@ -469,16 +503,22 @@ impl PastApp {
                 p.fatal |= fatal;
             }
         }
-        if p.receipts >= p.k {
-            let (request_id, attempts, receipts) = (p.request_id, p.attempts, p.receipts);
-            self.pending_inserts.remove(&fid);
+        let complete = p.receipts >= p.k;
+        let failed = p.fatal || p.receipts as u32 + p.nacks >= p.k as u32;
+        if credit > 0 {
+            self.card.credit(credit);
+        }
+        if complete {
+            let Some(p) = self.pending_inserts.remove(&fid) else {
+                return;
+            };
             cx.emit(PastOut::InsertOk {
-                request_id,
+                request_id: p.request_id,
                 file_id: fid,
-                attempts,
-                receipts,
+                attempts: p.attempts,
+                receipts: p.receipts,
             });
-        } else if p.fatal || p.receipts as u32 + p.nacks >= p.k as u32 {
+        } else if failed {
             self.conclude_failed_attempt(fid, cx);
         }
     }
@@ -563,6 +603,8 @@ impl PastApp {
             return;
         }
         let mut replication = self.cfg.default_k;
+        // Peek at the diversion pointer before `remove`, which drops it.
+        let diverted_to = self.store.pointer(&fid);
         if let Some(f) = self.store.get(&fid) {
             // "The smartcard of a storage node first verifies that the
             // signature in the reclaim certificate matches that in the
@@ -573,11 +615,14 @@ impl PastApp {
             }
             replication = f.cert.replication;
             let freed = self.store.remove(&fid);
-            self.store.cache.invalidate(&fid);
             let receipt = self.card.issue_reclaim_receipt(&fid, freed);
             cx.send_direct(client, PastMsg::ReclaimAck { receipt });
         }
-        if let Some(holder) = self.store.remove_pointer(&fid) {
+        // Any cached copy must go even when no replica is held here:
+        // serving a reclaimed file from the cache would resurrect it.
+        self.store.cache.invalidate(&fid);
+        self.store.remove_pointer(&fid);
+        if let Some(holder) = diverted_to {
             cx.send_direct(holder, PastMsg::ReclaimFree { rcert, client });
         }
         if propagate {
@@ -829,7 +874,7 @@ impl App for PastApp {
                 if !self.cfg.crypto_checks || receipt.verify(&self.broker_key) {
                     self.note_insert_response(
                         receipt.file_id,
-                        Some(receipt.storer.card_key.to_bytes()),
+                        Some((receipt.storer.card_key.to_bytes(), receipt.stored)),
                         false,
                         cx,
                     );
@@ -998,14 +1043,30 @@ impl App for PastApp {
         for cert in my_files {
             let rid = cert.file_id.routing_id();
             let kset = Self::kset(state, rid, cert.replication);
-            if kset.first().map(|h| h.addr) != Some(me) {
+            if !kset.iter().any(|h| h.addr == me) {
+                // Newcomers pushed this node out of the file's k-set: the
+                // replica is no longer ours to hold as primary. Demote it
+                // to a cached copy so the file stays at exactly k primary
+                // replicas (invariant I5); the new k-set members receive
+                // copies from the members that remain.
+                self.store.remove(&cert.file_id);
+                if self.cfg.cache_enabled {
+                    self.store.offer_cache(&cert, self.cfg.cache_fraction);
+                }
                 continue;
             }
+            // Every surviving k-set member refreshes the newcomers (not
+            // just the root: the root may itself be a newcomer without
+            // the file). The receiver-side k-set check keeps this
+            // idempotent fan-out from over-replicating.
             let content = ContentRef {
                 hash: cert.content_hash,
                 size: cert.size,
             };
-            for h in kset.iter().skip(1) {
+            for h in &kset {
+                if h.addr == me {
+                    continue;
+                }
                 // After a removal the whole k-set is refreshed (cheap and
                 // idempotent); after additions only the newcomers are.
                 if removed.is_empty() && !added_addrs.contains(&h.addr) {

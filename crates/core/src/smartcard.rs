@@ -57,6 +57,12 @@ pub struct Smartcard {
     quota_issued: u64,
     /// Storage this card's node promises to contribute, in bytes.
     contributed: u64,
+    /// Cumulative bytes ever debited by certificate issuance.
+    debited_total: u64,
+    /// Cumulative bytes ever credited back (reclaims and returned
+    /// debits), counting only credit actually applied (the remaining
+    /// quota is capped at the issued quota).
+    credited_total: u64,
     /// Receipts already credited, to prevent replay: (fileId, storer key).
     credited: HashSet<(FileId, [u8; 32])>,
 }
@@ -75,6 +81,8 @@ impl Smartcard {
             quota_remaining: quota,
             quota_issued: quota,
             contributed,
+            debited_total: 0,
+            credited_total: 0,
             credited: HashSet::new(),
         }
     }
@@ -104,6 +112,20 @@ impl Smartcard {
         self.contributed
     }
 
+    /// Cumulative bytes debited by certificate issuance.
+    ///
+    /// `debited_total − credited_total` is the card's outstanding debit,
+    /// which quota conservation (invariant I5) equates with the bytes
+    /// currently stored on its behalf plus any in-flight insertions.
+    pub fn debited_total(&self) -> u64 {
+        self.debited_total
+    }
+
+    /// Cumulative bytes credited back (applied credit only).
+    pub fn credited_total(&self) -> u64 {
+        self.credited_total
+    }
+
     /// Issues a file certificate, debiting `size × k` from the quota.
     ///
     /// "When a file certificate is issued, an amount corresponding to the
@@ -125,6 +147,7 @@ impl Smartcard {
             });
         }
         self.quota_remaining -= needed;
+        self.debited_total += needed;
         let file_id = FileId::derive(name, &self.keys.public, salt);
         let msg = FileCertificate::message(
             &file_id,
@@ -149,7 +172,9 @@ impl Smartcard {
     /// Credits quota directly (used when an insertion attempt fails before
     /// any copy was stored; the debit for unstored copies is returned).
     pub fn credit(&mut self, bytes: u64) {
+        let before = self.quota_remaining;
         self.quota_remaining = (self.quota_remaining + bytes).min(self.quota_issued);
+        self.credited_total += self.quota_remaining - before;
     }
 
     /// Issues a reclaim certificate for a file owned by this card.

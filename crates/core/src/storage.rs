@@ -125,6 +125,11 @@ impl Store {
         self.files.iter()
     }
 
+    /// Iterates over diversion pointers (snapshot/invariant support).
+    pub fn pointers(&self) -> impl Iterator<Item = (&FileId, Addr)> {
+        self.pointers.iter().map(|(id, a)| (id, *a))
+    }
+
     /// Tests the acceptance policy without storing.
     pub fn admits(&self, size: u64, kind: ReplicaKind) -> Result<(), RefuseReason> {
         let free = self.free();
@@ -167,7 +172,14 @@ impl Store {
     }
 
     /// Removes a replica, returning the bytes freed (0 if absent).
+    ///
+    /// Also drops any cached copy and any diversion pointer for the same
+    /// id: a removal means the file is gone from this node's perspective
+    /// (reclaimed or no longer its responsibility), and a stale pointer or
+    /// cache entry would keep serving it afterwards.
     pub fn remove(&mut self, id: &FileId) -> u64 {
+        self.cache.invalidate(id);
+        self.pointers.remove(id);
         match self.files.remove(id) {
             Some(f) => {
                 self.used -= f.cert.size;
@@ -276,6 +288,24 @@ mod tests {
         assert_eq!(s.remove(&c.file_id), 100);
         assert_eq!(s.used(), 0);
         assert_eq!(s.remove(&c.file_id), 0);
+    }
+
+    #[test]
+    fn remove_invalidates_cache_and_pointer() {
+        // Regression: `remove` used to free the bytes but leave a stale
+        // diversion pointer and a live cache entry behind, so a reclaimed
+        // file could still be served or chased through the pointer.
+        let mut s = Store::new(1000, 1.0, 1.0);
+        let c = cert_of(100, 1);
+        s.insert(&c, ReplicaKind::Primary).unwrap();
+        s.add_pointer(c.file_id, 42);
+        // Force a cache copy alongside (simulates a pre-insert cached copy
+        // plus a pointer left by an earlier diversion of the same id).
+        assert!(s.cache.offer(&c, 500));
+        assert_eq!(s.remove(&c.file_id), 100);
+        assert!(!s.cache.contains(&c.file_id), "cache copy invalidated");
+        assert_eq!(s.pointer(&c.file_id), None, "diversion pointer dropped");
+        assert!(!s.can_serve(&c.file_id));
     }
 
     #[test]

@@ -504,3 +504,126 @@ fn deterministic_end_to_end_replay() {
     };
     assert_eq!(fingerprint(), fingerprint());
 }
+
+#[test]
+fn invariants_hold_through_insert_churn_and_rejoin() {
+    use past_invariants::{assert_clean, check_all};
+    // l = 16 keeps k ≤ l/2 for k = 5: a k-set member must be able to see
+    // the whole k-set inside its own leaf set.
+    let mut rng = Rng::seed_from_u64(25);
+    let ids = random_ids(44, &mut rng);
+    let mut net: PastNetwork<Sphere> = PastNetwork::build(
+        Sphere::new(44, 25),
+        PastryConfig {
+            leaf_len: 16,
+            neighborhood_len: 8,
+            ..PastryConfig::default()
+        },
+        PastConfig::default(),
+        25,
+        &ids[..40],
+        &vec![100 * MB; 40],
+        &vec![1_000 * MB; 40],
+        BuildMode::ProtocolJoins,
+    );
+    net.run();
+    assert_clean("after build", &check_all(&net.snapshot()));
+
+    for i in 0..5u64 {
+        let name = format!("inv-{i}");
+        let content = ContentRef::synthetic(16, &name, MB);
+        net.insert((i as usize) % 7, &name, content, 5).unwrap();
+    }
+    net.run();
+    assert_clean("after inserts", &check_all(&net.snapshot()));
+
+    // Fail k = 5 nodes; repair must restore replication *and* keep every
+    // card's ledger exactly backed by stored + in-flight bytes.
+    for a in 10..15 {
+        net.sim.engine.kill(a);
+    }
+    net.sim.stabilize();
+    net.sim.stabilize();
+    net.run();
+    assert_clean("after failing 5 nodes", &check_all(&net.snapshot()));
+
+    // One node recovers with its old state, two fresh nodes join.
+    net.sim.recover_node(10);
+    for (j, id) in ids[40..42].iter().enumerate() {
+        let card = net
+            .broker
+            .issue_card(format!("inv-late-{j}").as_bytes(), 1_000 * MB, 100 * MB);
+        let app = past_core::PastApp::new(PastConfig::default(), card, 100 * MB, &net.broker);
+        net.sim.join_node_nearby(*id, app, 4);
+    }
+    net.sim.stabilize();
+    net.run();
+    assert_clean("after recovery and rejoin", &check_all(&net.snapshot()));
+}
+
+#[test]
+fn reclaimed_diverted_file_is_not_served_from_stale_state() {
+    // Regression: `Store::remove` must drop the diversion pointer and any
+    // cached copy, or a reclaimed file keeps being served. Tiny disks force
+    // diversion; caching is off so a post-reclaim lookup has no legitimate
+    // source.
+    let cfg = PastConfig {
+        t_pri: 0.6,
+        t_div: 0.55,
+        cache_enabled: false,
+        cache_on_insert_path: false,
+        ..PastConfig::default()
+    };
+    let mut net = build(30, 26, 12 * MB, 10_000 * MB, cfg);
+    let mut inserted = Vec::new();
+    for i in 0..10u64 {
+        let name = format!("stale-{i}");
+        let content = ContentRef::synthetic(17, &name, 4 * MB);
+        if net.insert((i as usize) % 30, &name, content, 3).is_err() {
+            continue;
+        }
+        for (_, fid) in insert_ok(&net.run()) {
+            inserted.push(((i as usize) % 30, fid));
+        }
+    }
+    assert!(inserted.len() >= 3, "need a few successful inserts");
+    for (owner, fid) in inserted {
+        net.reclaim(owner, fid);
+        net.run();
+        net.lookup((owner + 11) % 30, fid);
+        let events = net.run();
+        assert!(
+            events
+                .iter()
+                .any(|(_, _, e)| matches!(e, PastOut::LookupFailed { file_id } if *file_id == fid)),
+            "reclaimed file must not be found: {events:?}"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|(_, _, e)| matches!(e, PastOut::LookupOk { file_id, .. } if *file_id == fid)),
+            "reclaimed file served from stale pointer/cache state"
+        );
+        assert!(net.replica_holders(&fid).is_empty());
+    }
+}
+
+#[test]
+fn duplicate_insert_conserves_quota_exactly() {
+    use past_invariants::{assert_clean, check_quota};
+    // Regression: a holder that already stores the file acks with a
+    // zero-`stored` receipt and the client must credit the whole duplicate
+    // debit back — quota conservation (I5) holds across the duplicate.
+    let mut net = build(30, 27, 100 * MB, 1_000 * MB, PastConfig::default());
+    let content = ContentRef::synthetic(18, "dup", 2 * MB);
+    net.insert(4, "dup", content, 3).unwrap();
+    net.run();
+    let q1 = net.sim.engine.node(4).app.card.quota_remaining();
+
+    net.insert(4, "dup", content, 3).unwrap();
+    let events = net.run();
+    assert_eq!(insert_ok(&events).len(), 1, "duplicate insert still acks");
+    let q2 = net.sim.engine.node(4).app.card.quota_remaining();
+    assert_eq!(q2, q1, "duplicate insert must not leak quota");
+    assert_clean("after duplicate insert", &check_quota(&net.snapshot()));
+}

@@ -1,0 +1,24 @@
+//! CI gate: run the canned scenarios and fail on any invariant violation.
+//!
+//! Each violation is reported as `<invariant> @node <addr>: <detail>`.
+
+fn main() {
+    let mut failed = false;
+    for (name, violations) in past_invariants::scenarios::run_all() {
+        if violations.is_empty() {
+            println!("invariants: scenario {name:<14} ok (I1-I5 hold at every quiesce point)");
+        } else {
+            failed = true;
+            println!(
+                "invariants: scenario {name:<14} FAILED with {} violation(s):",
+                violations.len()
+            );
+            for v in &violations {
+                println!("  {v}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Canned simulation scenarios for the CI invariant gate.
+//!
+//! Each scenario builds a PAST deployment, drives a workload to
+//! quiescence, snapshots the whole system, and returns every I1–I5
+//! violation found (an empty vector means the gate passes). The same
+//! scenarios back the `invariants` binary run by `scripts/ci.sh`.
+
+use crate::{check_all, Violation};
+use past_core::{BuildMode, ContentRef, PastApp, PastConfig, PastNetwork};
+use past_crypto::rng::Rng;
+use past_netsim::Sphere;
+use past_pastry::{random_ids, Config as PastryConfig, Id};
+
+const MB: u64 = 1 << 20;
+
+fn pastry_cfg() -> PastryConfig {
+    // l = 16 keeps k ≤ l/2 for k = 5 (the paper's configuration): a k-set
+    // member must be able to see the whole k-set inside its own leaf set,
+    // or it cannot tell whether it still belongs to it.
+    PastryConfig {
+        leaf_len: 16,
+        neighborhood_len: 8,
+        ..PastryConfig::default()
+    }
+}
+
+/// Builds an `n`-node network over a topology with `slots ≥ n` seats
+/// (spare seats allow later joins).
+fn build_net(
+    slots: usize,
+    n: usize,
+    seed: u64,
+    capacity: u64,
+    quota: u64,
+    past_cfg: PastConfig,
+) -> (PastNetwork<Sphere>, Vec<Id>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let ids = random_ids(slots, &mut rng);
+    let net = PastNetwork::build(
+        Sphere::new(slots, seed),
+        pastry_cfg(),
+        past_cfg,
+        seed,
+        &ids[..n],
+        &vec![capacity; n],
+        &vec![quota; n],
+        BuildMode::ProtocolJoins,
+    );
+    (net, ids)
+}
+
+fn check_at(context: &str, net: &PastNetwork<Sphere>, out: &mut Vec<Violation>) {
+    for mut v in check_all(&net.snapshot()) {
+        v.detail = format!("[{context}] {}", v.detail);
+        out.push(v);
+    }
+}
+
+/// Scenario 1 — bulk join: 40 protocol joins, an insert/lookup workload,
+/// and a duplicate insert (which must conserve quota via zero-`stored`
+/// receipts).
+pub fn bulk_join(seed: u64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (mut net, _) = build_net(40, 40, seed, 200 * MB, 2_000 * MB, PastConfig::default());
+    net.run();
+    check_at("after bulk join", &net, &mut violations);
+
+    let mut fids = Vec::new();
+    for i in 0..8u64 {
+        let name = format!("bulk-{i}");
+        let content = ContentRef::synthetic(seed as usize, &name, (1 + i % 3) * MB);
+        let client = (i as usize * 5) % 40;
+        if net.insert(client, &name, content, 5).is_ok() {
+            let events = net.run();
+            for (_, _, e) in events {
+                if let past_core::PastOut::InsertOk { file_id, .. } = e {
+                    fids.push((client, name.clone(), content, file_id));
+                }
+            }
+        }
+    }
+    for (_, fid) in fids.iter().map(|(c, _, _, f)| (c, f)) {
+        net.lookup(7, *fid);
+    }
+    net.run();
+    check_at("after insert/lookup workload", &net, &mut violations);
+
+    // Re-insert an existing file: holders answer with zero-`stored`
+    // receipts and the duplicate debit must be returned in full.
+    if let Some((client, name, content, _)) = fids.first() {
+        let _ = net.insert(*client, name, *content, 5);
+        net.run();
+        check_at("after duplicate insert", &net, &mut violations);
+    }
+    violations
+}
+
+/// Scenario 2 — churn: an insert workload, then node failures, repair,
+/// recoveries and fresh joins, checking at every quiesce point.
+pub fn churn(seed: u64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (mut net, ids) = build_net(48, 40, seed, 200 * MB, 2_000 * MB, PastConfig::default());
+
+    for i in 0..6u64 {
+        let name = format!("churn-{i}");
+        let content = ContentRef::synthetic((seed ^ 1) as usize, &name, MB);
+        let _ = net.insert((i as usize) % 6, &name, content, 5);
+    }
+    net.run();
+    check_at("after insert workload", &net, &mut violations);
+
+    // Fail 5 nodes (disjoint from the client set 0..6).
+    for a in 20..25 {
+        net.sim.engine.kill(a);
+    }
+    net.sim.stabilize();
+    net.sim.stabilize();
+    net.run();
+    check_at("after failing 5 nodes", &net, &mut violations);
+
+    // Two failed nodes come back with their old state...
+    for a in 20..22 {
+        net.sim.recover_node(a);
+    }
+    net.sim.stabilize();
+    net.run();
+    check_at("after recovering 2 nodes", &net, &mut violations);
+
+    // ...and 3 brand-new nodes join.
+    for (j, id) in ids[40..43].iter().enumerate() {
+        let card = net
+            .broker
+            .issue_card(format!("late-{j}").as_bytes(), 2_000 * MB, 200 * MB);
+        let app = PastApp::new(net.past_cfg(), card, 200 * MB, &net.broker);
+        net.sim.join_node_nearby(*id, app, 4);
+        net.run();
+    }
+    net.sim.stabilize();
+    net.run();
+    check_at("after 3 fresh joins", &net, &mut violations);
+    violations
+}
+
+/// Scenario 3 — quota/reclaim under storage pressure: tiny disks force
+/// replica diversion (pointers), then reclaims must settle every card's
+/// quota exactly.
+pub fn quota_reclaim(seed: u64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let cfg = PastConfig {
+        t_pri: 0.6,
+        t_div: 0.55,
+        ..PastConfig::default()
+    };
+    let (mut net, _) = build_net(30, 30, seed, 12 * MB, 10_000 * MB, cfg);
+
+    let mut rng = Rng::seed_from_u64(seed ^ 2);
+    let mut inserted = Vec::new();
+    for i in 0..20u64 {
+        let name = format!("press-{i}");
+        let content = ContentRef::synthetic((seed ^ 3) as usize, &name, 4 * MB);
+        let client = rng.random_range(0..30);
+        if net.insert(client, &name, content, 3).is_err() {
+            continue;
+        }
+        let events = net.run();
+        for (_, _, e) in events {
+            if let past_core::PastOut::InsertOk { file_id, .. } = e {
+                inserted.push((client, file_id));
+            }
+        }
+    }
+    check_at("after pressure workload", &net, &mut violations);
+
+    // Reclaim every other successful insert.
+    for (client, fid) in inserted.iter().step_by(2) {
+        net.reclaim(*client, *fid);
+        net.run();
+    }
+    check_at("after reclaims", &net, &mut violations);
+    violations
+}
+
+/// Runs every scenario with its default seed; `(name, violations)` pairs.
+pub fn run_all() -> Vec<(&'static str, Vec<Violation>)> {
+    vec![
+        ("bulk-join", bulk_join(1)),
+        ("churn", churn(2)),
+        ("quota-reclaim", quota_reclaim(3)),
+    ]
+}

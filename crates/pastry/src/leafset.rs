@@ -18,6 +18,19 @@ pub enum Side {
     Larger,
 }
 
+/// The outcome of offering a node to the leaf set.
+///
+/// `evicted` reports the member displaced when a nearer node filled an
+/// already-full half; the caller must not silently forget it — the
+/// displaced node is still live and belongs in the routing table.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeafInsert {
+    /// True if the set changed (the offered node was admitted).
+    pub changed: bool,
+    /// The member displaced to make room, if any.
+    pub evicted: Option<NodeHandle>,
+}
+
 /// The leaf set of one node: up to `l/2` ring neighbors on each side,
 /// each half sorted nearest-first.
 #[derive(Clone, Debug)]
@@ -55,10 +68,20 @@ impl LeafSet {
         }
     }
 
-    /// Offers a node for membership. Returns true if the set changed.
-    pub fn insert(&mut self, h: NodeHandle) -> bool {
-        if h.id == self.own || self.contains_addr(h.addr) {
-            return false;
+    /// Offers a node for membership.
+    ///
+    /// Duplicates are rejected by address *and* by id: two handles with
+    /// the same id but different addresses cannot both be ring members,
+    /// and admitting the second would desynchronize the set from the
+    /// global ring (invariant I2).
+    ///
+    /// When a nearer node displaces the farthest member of a full half,
+    /// the displaced handle is returned in [`LeafInsert::evicted`] so the
+    /// caller can demote it to the routing table instead of forgetting a
+    /// live node.
+    pub fn insert(&mut self, h: NodeHandle) -> LeafInsert {
+        if h.id == self.own || self.contains_addr(h.addr) || self.contains_id(&h.id) {
+            return LeafInsert::default();
         }
         let own = self.own;
         let half = self.half;
@@ -71,11 +94,14 @@ impl LeafSet {
             .position(|m| key(&own, &m.id) > key(&own, &h.id))
             .unwrap_or(vec.len());
         if pos >= half {
-            return false;
+            return LeafInsert::default();
         }
         vec.insert(pos, h);
-        vec.truncate(half);
-        true
+        let evicted = if vec.len() > half { vec.pop() } else { None };
+        LeafInsert {
+            changed: true,
+            evicted,
+        }
     }
 
     /// Removes the member at `addr`, returning it.
@@ -94,6 +120,16 @@ impl LeafSet {
             .iter()
             .chain(&self.larger)
             .any(|m| m.addr == addr)
+    }
+
+    /// True if a member carries `id`.
+    pub fn contains_id(&self, id: &Id) -> bool {
+        self.smaller.iter().chain(&self.larger).any(|m| m.id == *id)
+    }
+
+    /// Members per half (`l/2`).
+    pub fn half(&self) -> usize {
+        self.half
     }
 
     /// All members, smaller side first (each half nearest-first).
@@ -182,10 +218,10 @@ mod tests {
     #[test]
     fn sides_and_insertion_order() {
         let mut ls = set();
-        assert!(ls.insert(h(1010, 1)));
-        assert!(ls.insert(h(1005, 2)));
-        assert!(ls.insert(h(995, 3)));
-        assert!(ls.insert(h(990, 4)));
+        assert!(ls.insert(h(1010, 1)).changed);
+        assert!(ls.insert(h(1005, 2)).changed);
+        assert!(ls.insert(h(995, 3)).changed);
+        assert!(ls.insert(h(990, 4)).changed);
         assert_eq!(
             ls.side_members(Side::Larger)
                 .iter()
@@ -208,7 +244,7 @@ mod tests {
         ls.insert(h(1010, 1));
         ls.insert(h(1020, 2));
         // Nearer node displaces the farthest once the half is full.
-        assert!(ls.insert(h(1005, 3)));
+        assert!(ls.insert(h(1005, 3)).changed);
         let addrs: Vec<Addr> = ls
             .side_members(Side::Larger)
             .iter()
@@ -217,17 +253,46 @@ mod tests {
         assert_eq!(addrs, vec![3, 1]);
         // The displaced node (1020) is gone and a farther node is
         // rejected outright.
-        assert!(!ls.insert(h(1030, 4)));
+        assert!(!ls.insert(h(1030, 4)).changed);
         assert_eq!(ls.len(), 2);
+    }
+
+    #[test]
+    fn displaced_member_is_returned_not_dropped() {
+        // Regression: `insert` used to truncate the half silently, losing
+        // the displaced live node.
+        let mut ls = set();
+        ls.insert(h(1010, 1));
+        ls.insert(h(1020, 2));
+        let out = ls.insert(h(1005, 3));
+        assert!(out.changed);
+        let evicted = out.evicted.expect("full half must report the evictee");
+        assert_eq!(evicted.addr, 2);
+        assert_eq!(evicted.id, Id(1020));
+        // No eviction while a half has room.
+        let mut ls = set();
+        assert!(ls.insert(h(1010, 1)).evicted.is_none());
+        assert!(ls.insert(h(1005, 2)).evicted.is_none());
     }
 
     #[test]
     fn rejects_own_id_and_duplicates() {
         let mut ls = set();
-        assert!(!ls.insert(h(1000, 9)));
-        assert!(ls.insert(h(1001, 1)));
-        assert!(!ls.insert(h(1001, 1)));
+        assert!(!ls.insert(h(1000, 9)).changed);
+        assert!(ls.insert(h(1001, 1)).changed);
+        assert!(!ls.insert(h(1001, 1)).changed);
         assert_eq!(ls.len(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_id_with_different_addr() {
+        // Regression: dedup was by addr only, so two handles with the
+        // same id but different addrs could coexist in one half.
+        let mut ls = set();
+        assert!(ls.insert(h(1001, 1)).changed);
+        assert!(!ls.insert(h(1001, 2)).changed, "same id, new addr");
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls.side_members(Side::Larger)[0].addr, 1);
     }
 
     #[test]

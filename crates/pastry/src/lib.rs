@@ -34,9 +34,9 @@ pub mod table;
 pub use app::{App, AppCtx, NullApp, PastryOut, RouteInfo};
 pub use handle::NodeHandle;
 pub use id::{Config, Id};
-pub use leafset::{LeafSet, Side};
+pub use leafset::{LeafInsert, LeafSet, Side};
 pub use msg::{PastryMsg, PayloadSize, RouteEnvelope};
 pub use node::{Behavior, PastryNode};
 pub use route::{next_hop, NextHop};
-pub use sim::{random_ids, static_build, DeliveryRecord, PastrySim};
+pub use sim::{random_ids, static_build, DeliveryRecord, NodeSnapshot, OverlaySnapshot, PastrySim};
 pub use state::PastryState;

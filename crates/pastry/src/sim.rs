@@ -8,6 +8,7 @@
 use crate::app::{App, PastryOut};
 use crate::handle::NodeHandle;
 use crate::id::{Config, Id};
+use crate::leafset::Side;
 use crate::msg::{PastryMsg, RouteEnvelope};
 use crate::node::{PastryNode, TIMER_HEARTBEAT};
 use past_crypto::rng::Rng;
@@ -31,6 +32,46 @@ pub struct DeliveryRecord {
     pub path_us: u64,
     /// Simulated completion time.
     pub at: SimTime,
+}
+
+/// Frozen routing state of one node, captured at a quiesce point for
+/// protocol-invariant checking (leaf-set symmetry/correctness, routing
+/// prefix validity — the Zave-style mechanical invariants).
+#[derive(Clone, Debug)]
+pub struct NodeSnapshot {
+    /// The node's address.
+    pub addr: Addr,
+    /// The node's ring id.
+    pub id: Id,
+    /// True if the node was alive when the snapshot was taken.
+    pub live: bool,
+    /// True once the join protocol completed.
+    pub joined: bool,
+    /// Digit width `b` in force.
+    pub b: u8,
+    /// Per-half leaf-set capacity (`l/2`).
+    pub leaf_half: usize,
+    /// Smaller-side leaf members, nearest first.
+    pub leaf_smaller: Vec<NodeHandle>,
+    /// Larger-side leaf members, nearest first.
+    pub leaf_larger: Vec<NodeHandle>,
+    /// Populated routing-table slots as `(row, col, entry)`.
+    pub table_slots: Vec<(usize, usize, NodeHandle)>,
+}
+
+/// A whole-overlay snapshot: every node's routing state plus liveness.
+#[derive(Clone, Debug, Default)]
+pub struct OverlaySnapshot {
+    /// One snapshot per node, indexed by address.
+    pub nodes: Vec<NodeSnapshot>,
+}
+
+impl OverlaySnapshot {
+    /// Snapshots of live, joined nodes (the ones protocol invariants
+    /// quantify over).
+    pub fn live_joined(&self) -> impl Iterator<Item = &NodeSnapshot> {
+        self.nodes.iter().filter(|n| n.live && n.joined)
+    }
 }
 
 /// A Pastry overlay running inside the discrete-event engine.
@@ -211,6 +252,26 @@ impl<A: App, T: Topology> PastrySim<A, T> {
                 .inject(addr, peer, PastryMsg::Announce { from: me }, 0);
         }
         self.engine.run_until_quiet(QUIET_BUDGET);
+        // The pre-death leaf set can miss true ring neighbors: a slot may
+        // have been held by a peer that died at the same time, hiding the
+        // node beyond it. Announce once more to the *refreshed* leaf set
+        // so every current neighbor learns of the revival (leaf-set
+        // symmetry, invariant I1).
+        let current_leaf: Vec<Addr> = self
+            .engine
+            .node(addr)
+            .state
+            .leaf
+            .members()
+            .map(|h| h.addr)
+            .collect();
+        for &peer in &current_leaf {
+            if !last_leaf.contains(&peer) {
+                self.engine
+                    .inject(addr, peer, PastryMsg::Announce { from: me }, 0);
+            }
+        }
+        self.engine.run_until_quiet(QUIET_BUDGET);
         last_leaf.len()
     }
 
@@ -246,6 +307,32 @@ impl<A: App, T: Topology> PastrySim<A, T> {
             }
         }
         self.engine.run_until_quiet(QUIET_BUDGET);
+    }
+
+    /// Captures every node's routing state for invariant checking.
+    ///
+    /// Meant to be called at a quiesce point (after
+    /// [`Self::drain_deliveries`], [`Self::stabilize`], or a completed
+    /// join), when no repair traffic is in flight.
+    pub fn snapshot_overlay(&self) -> OverlaySnapshot {
+        let nodes = (0..self.engine.len())
+            .map(|addr| {
+                let node = self.engine.node(addr);
+                let st = &node.state;
+                NodeSnapshot {
+                    addr,
+                    id: st.me.id,
+                    live: self.engine.is_alive(addr),
+                    joined: node.joined,
+                    b: st.cfg.b,
+                    leaf_half: st.leaf.half(),
+                    leaf_smaller: st.leaf.side_members(Side::Smaller).to_vec(),
+                    leaf_larger: st.leaf.side_members(Side::Larger).to_vec(),
+                    table_slots: st.table.slots().collect(),
+                }
+            })
+            .collect();
+        OverlaySnapshot { nodes }
     }
 
     /// The handle of node `addr`.

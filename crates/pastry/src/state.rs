@@ -57,7 +57,15 @@ impl PastryState {
         }
         self.table.consider(h, proximity_us);
         self.neighborhood.consider(h, proximity_us);
-        self.leaf.insert(h)
+        let outcome = self.leaf.insert(h);
+        if let Some(evicted) = outcome.evicted {
+            // The displaced member is still a live ring neighbor: demote
+            // it to the routing table rather than forgetting it. Its
+            // proximity is unknown here, so it only fills an empty slot
+            // (any measured candidate will replace it later).
+            self.table.consider(evicted, u64::MAX);
+        }
+        outcome.changed
     }
 
     /// Forgets a (presumed failed) node everywhere.
@@ -147,6 +155,33 @@ mod tests {
         assert_eq!(r.leaf_handle.unwrap().addr, 1);
         assert!(!r.table_slots.is_empty());
         assert_eq!(s.state_size(), 0);
+    }
+
+    #[test]
+    fn evicted_leaf_member_is_demoted_to_the_table() {
+        // Regression: a nearer node displacing a full leaf-set half used
+        // to drop the displaced member on the floor; it must be offered
+        // back to the routing table.
+        let mut s = st(); // leaf half = 2
+        let far = h((1 << 100) + 20, 2);
+        s.add_node(h((1 << 100) + 10, 1), 50);
+        s.add_node(far, 50);
+        // Vacate the far node's table slot so only the demotion path can
+        // re-install it.
+        let (row, col) = s.table.slot_for(&far.id).expect("far has a slot");
+        s.table.remove_addr(2);
+        assert!(s.table.get(row, col).is_none());
+        // A nearer node evicts `far` from the full larger half.
+        s.add_node(h((1 << 100) + 5, 3), 50);
+        assert!(
+            !s.leaf.contains_addr(2),
+            "far was evicted from the leaf set"
+        );
+        assert_eq!(
+            s.table.get(row, col).map(|e| e.addr),
+            Some(2),
+            "evicted member demoted into its routing-table slot"
+        );
     }
 
     #[test]

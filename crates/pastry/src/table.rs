@@ -109,6 +109,16 @@ impl RoutingTable {
         vacated
     }
 
+    /// All populated slots as `(row, col, entry)` (snapshot/invariant
+    /// support).
+    pub fn slots(&self) -> impl Iterator<Item = (usize, usize, NodeHandle)> + '_ {
+        self.rows.iter().enumerate().flat_map(|(r, row)| {
+            row.iter()
+                .enumerate()
+                .filter_map(move |(c, s)| s.map(|s| (r, c, s.handle)))
+        })
+    }
+
     /// All populated entries.
     pub fn entries(&self) -> impl Iterator<Item = NodeHandle> + '_ {
         self.rows

@@ -406,3 +406,60 @@ fn b_one_and_b_eight_configurations_route() {
         }
     }
 }
+
+#[test]
+fn leaf_and_table_invariants_hold_through_churn() {
+    use past_invariants::{assert_clean, check_overlay};
+    let n = 50;
+    let mut sim = build_network(
+        n,
+        117,
+        Config {
+            leaf_len: 16,
+            neighborhood_len: 8,
+            ..Config::default()
+        },
+    );
+    assert_clean("after bulk join", &check_overlay(&sim.snapshot_overlay()));
+
+    // Fail 5 nodes and repair through heartbeats.
+    for a in 30..35 {
+        sim.engine.kill(a);
+    }
+    sim.stabilize();
+    sim.stabilize();
+    assert_clean("after failures", &check_overlay(&sim.snapshot_overlay()));
+
+    // Two of them come back with their old state.
+    sim.recover_node(30);
+    sim.recover_node(31);
+    sim.stabilize();
+    assert_clean("after recovery", &check_overlay(&sim.snapshot_overlay()));
+}
+
+#[test]
+fn recovery_reaches_neighbors_beyond_the_stale_leaf_set() {
+    use past_invariants::{assert_clean, check_overlay};
+    // Regression: a node that dies together with its nearest smaller-side
+    // neighbor revives with a leaf set that never contained the node just
+    // beyond that neighbor — yet after the buddy's death that node is a
+    // true ring neighbor and must learn of the revival (I1 symmetry).
+    let n = 60;
+    let mut sim = build_network(n, 71, small_cfg());
+    let victim = 17;
+    let buddy = {
+        let snap = sim.snapshot_overlay();
+        let v = snap.nodes.iter().find(|nd| nd.addr == victim).unwrap();
+        v.leaf_smaller[0].addr
+    };
+    sim.engine.kill(victim);
+    sim.engine.kill(buddy);
+    sim.stabilize();
+    sim.stabilize();
+    sim.recover_node(victim);
+    sim.stabilize();
+    assert_clean(
+        "after masked recovery",
+        &check_overlay(&sim.snapshot_overlay()),
+    );
+}

@@ -38,6 +38,7 @@ const DECISION_CRATES: &[&str] = &[
     "crates/netsim/",
     "crates/sim/",
     "crates/baselines/",
+    "crates/invariants/",
 ];
 
 /// Crates under the panic policy (rule P1): protocol code must surface

@@ -12,6 +12,9 @@ cargo fmt --check
 echo "== xtask check (hermeticity / determinism / panic policy)"
 cargo run --offline -q -p xtask -- check
 
+echo "== invariant gate (I1-I5 over bulk-join / churn / quota-reclaim)"
+cargo run --offline -q -p past-invariants --bin invariants
+
 echo "== cargo build --release"
 cargo build --offline --release --workspace
 
