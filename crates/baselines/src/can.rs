@@ -117,8 +117,16 @@ pub enum CanMsg {
 }
 
 impl Message for CanMsg {
-    fn kind(&self) -> &'static str {
-        "can_lookup"
+    const KINDS: &'static [&'static str] = &["can_lookup"];
+
+    fn kind_id(&self) -> usize {
+        0
+    }
+
+    fn wire_size(&self) -> u64 {
+        // One f64 per torus coordinate plus origin/hop/delay header.
+        let CanMsg::Lookup(lk) = self;
+        24 + 8 * lk.target.len() as u64
     }
 }
 

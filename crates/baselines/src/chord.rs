@@ -36,8 +36,16 @@ pub enum ChordMsg {
 }
 
 impl Message for ChordMsg {
-    fn kind(&self) -> &'static str {
-        "chord_lookup"
+    const KINDS: &'static [&'static str] = &["chord_lookup"];
+
+    fn kind_id(&self) -> usize {
+        0
+    }
+
+    fn wire_size(&self) -> u64 {
+        // 16-byte key + origin + hop/delay accounting + header.
+        let ChordMsg::Lookup(_) = self;
+        48
     }
 }
 

@@ -1,0 +1,131 @@
+//! `bench_macro` — the end-to-end simulator benchmark, published as
+//! `BENCH_macro.json` at the repository root.
+//!
+//! One run builds a 10 000-node Pastry overlay with the static builder on
+//! the sphere topology, routes 10 000 seeded keys through it, then kills
+//! 5 % of the nodes and runs a stabilize round — the three phases every
+//! large experiment in EXPERIMENTS.md is built from. Wall-clock time per
+//! phase plus the simulation's own counters (hops, messages, bytes) give
+//! future PRs a macro-level perf trajectory; the counters double as a
+//! coarse determinism check (same seed ⇒ same counters on any machine).
+//!
+//! Usage: `cargo run --release -p past-bench --bin bench_macro --
+//! [--smoke] [--out PATH]`. `--smoke` shrinks the network so CI can
+//! assert the binary runs and emits valid JSON in under a second.
+
+use past_bench::json;
+use past_crypto::rng::Rng;
+use past_netsim::Sphere;
+use past_pastry::{random_ids, static_build, Config, Id, NullApp};
+use std::time::Instant;
+
+struct Phase {
+    name: &'static str,
+    wall_ms: f64,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = format!("{}/../../BENCH_macro.json", env!("CARGO_MANIFEST_DIR"));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other}; supported: --smoke, --out PATH"),
+        }
+    }
+    let (n, routes) = if smoke { (300, 200) } else { (10_000, 10_000) };
+    let kills = n / 20;
+    let mut phases: Vec<Phase> = Vec::new();
+
+    // Phase 1: static build.
+    let mut rng = Rng::seed_from_u64(2001);
+    let ids = random_ids(n, &mut rng);
+    let t = Instant::now();
+    let mut sim = static_build(
+        Sphere::new(n, 2001),
+        Config::default(),
+        2001,
+        &ids,
+        |_| NullApp,
+        3,
+    );
+    phases.push(Phase {
+        name: "static_build",
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+    });
+
+    // Phase 2: routes.
+    let mut key_rng = Rng::seed_from_u64(42);
+    let t = Instant::now();
+    let mut delivered = 0u64;
+    let mut total_hops = 0u64;
+    for _ in 0..routes {
+        let key = Id(key_rng.random());
+        let from = key_rng.random_range(0..n);
+        sim.route(from, key, ());
+        for rec in sim.drain_deliveries() {
+            delivered += 1;
+            total_hops += rec.hops as u64;
+        }
+    }
+    phases.push(Phase {
+        name: "routes",
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+    });
+    let route_msgs = sim.engine.stats.total_msgs;
+    let route_bytes = sim.engine.stats.total_bytes;
+
+    // Phase 3: churn + stabilize.
+    let t = Instant::now();
+    for i in 0..kills {
+        // Spread the failures deterministically across the address space.
+        sim.engine.kill((i * 19 + 7) % n);
+    }
+    sim.stabilize();
+    phases.push(Phase {
+        name: "churn_stabilize",
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+    });
+
+    let doc = json::Obj::new()
+        .str("schema", "past-bench/v1")
+        .str("bench", "macro")
+        .str("mode", if smoke { "smoke" } else { "full" })
+        .int("nodes", n as u64)
+        .int("routes", routes as u64)
+        .int("kills", kills as u64)
+        .raw(
+            "phases",
+            &json::array(phases.iter().map(|p| {
+                json::Obj::new()
+                    .str("name", p.name)
+                    .num("wall_ms", p.wall_ms)
+                    .build()
+            })),
+        )
+        .raw(
+            "sim",
+            &json::Obj::new()
+                .int("delivered", delivered)
+                .num("mean_hops", total_hops as f64 / delivered.max(1) as f64)
+                .int("route_msgs", route_msgs)
+                .int("route_bytes", route_bytes)
+                .int("total_msgs", sim.engine.stats.total_msgs)
+                .int("total_bytes", sim.engine.stats.total_bytes)
+                .int("final_us", sim.engine.now().as_micros())
+                .build(),
+        )
+        .build();
+    json::validate(&doc).expect("bench output must be valid JSON");
+    std::fs::write(&out, format!("{doc}\n")).expect("write bench output");
+    for p in &phases {
+        println!("{:<16} {:10.1} ms", p.name, p.wall_ms);
+    }
+    println!(
+        "routes delivered {delivered}, mean hops {:.3}",
+        total_hops as f64 / delivered.max(1) as f64
+    );
+    println!("wrote {out}");
+}

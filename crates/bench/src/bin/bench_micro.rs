@@ -1,0 +1,193 @@
+//! `bench_micro` — microbenchmarks of the measured hot paths, published
+//! as `BENCH_micro.json` at the repository root.
+//!
+//! Covers the three paths the performance work targets: the crypto layer
+//! (Schnorr sign/verify and the modular reduction under them), the Pastry
+//! routing step, and the simulator engine / topology proximity queries.
+//! Successive PRs regenerate the file, leaving a perf trajectory.
+//!
+//! Usage: `cargo run --release -p past-bench --bin bench_micro --
+//! [--smoke] [--out PATH]`. `--smoke` shrinks the measurement budget to a
+//! fraction of a second (CI asserts the binary runs and emits valid
+//! JSON; timings in smoke mode are meaningless).
+
+use past_bench::{json, Bench, Measurement};
+use past_crypto::modmath::{mulmod, powmod};
+use past_crypto::rng::Rng;
+use past_crypto::u256::U256;
+use past_crypto::KeyPair;
+use past_netsim::{Addr, Ctx, Engine, Message, NodeLogic, Plane, Sphere, Topology, UniformRandom};
+use past_pastry::{next_hop, Config, Id, NodeHandle, PastryState};
+use std::hint::black_box;
+
+/// A toy protocol for timing the engine's event loop: every Ping is
+/// answered with a Ping back, so one injected message keeps a pair of
+/// nodes exchanging events until the hop budget runs out.
+#[derive(Clone)]
+struct Ping {
+    hops_left: u32,
+}
+
+impl Message for Ping {
+    const KINDS: &'static [&'static str] = &["ping"];
+
+    fn kind_id(&self) -> usize {
+        0
+    }
+}
+
+struct PingNode;
+
+impl NodeLogic for PingNode {
+    type Msg = Ping;
+    type Out = ();
+
+    fn on_message(&mut self, from: Addr, msg: Ping, ctx: &mut Ctx<'_, Ping, ()>) {
+        if msg.hops_left > 0 {
+            ctx.send(
+                from,
+                Ping {
+                    hops_left: msg.hops_left - 1,
+                },
+            );
+        }
+    }
+}
+
+fn bench_crypto(b: &mut Bench) {
+    b.group("crypto/schnorr");
+    let kp = KeyPair::from_seed(b"bench");
+    let msg = b"a store receipt-sized message for signing benchmarks";
+    b.run("sign", || black_box(kp.sign(black_box(msg))));
+    let sig = kp.sign(msg);
+    b.run("verify", || {
+        black_box(kp.public.verify(black_box(msg), black_box(&sig)))
+    });
+
+    b.group("crypto/modmath");
+    let p = past_crypto::schnorr::group_p();
+    let mut rng = Rng::seed_from_u64(3);
+    let a = U256([rng.random(), rng.random(), rng.random(), 0]);
+    let c = U256([rng.random(), rng.random(), rng.random(), 0]);
+    let e = U256([rng.random(), rng.random(), rng.random(), 0]);
+    b.run("mulmod", || {
+        black_box(mulmod(black_box(&a), black_box(&c), black_box(&p)))
+    });
+    b.run("powmod", || {
+        black_box(powmod(black_box(&a), black_box(&e), black_box(&p)))
+    });
+}
+
+fn routing_state(n: usize, seed: u64, randomization: f64) -> PastryState {
+    let mut cfg = Config::default();
+    cfg.route_randomization = randomization;
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut st = PastryState::new(cfg, NodeHandle::new(Id(rng.random()), 0));
+    for i in 1..n {
+        st.add_node(
+            NodeHandle::new(Id(rng.random()), i),
+            rng.random_range(1..50_000),
+        );
+    }
+    st
+}
+
+fn bench_routing(b: &mut Bench) {
+    b.group("pastry/route");
+    let st = routing_state(1_000, 7, 0.0);
+    let mut key_rng = Rng::seed_from_u64(9);
+    let mut step_rng = Rng::seed_from_u64(1);
+    b.run("next_hop", || {
+        let key = Id(key_rng.random());
+        black_box(next_hop(&st, &key, &mut step_rng))
+    });
+    let st_rand = routing_state(1_000, 8, 0.5);
+    b.run("next_hop_randomized", || {
+        let key = Id(key_rng.random());
+        black_box(next_hop(&st_rand, &key, &mut step_rng))
+    });
+}
+
+fn bench_engine(b: &mut Bench) {
+    b.group("netsim/engine");
+    // 128 events per iteration: one injected ping bounces 127 times.
+    let mut e = Engine::new(
+        UniformRandom::new(2, 5, 10, 100),
+        vec![PingNode, PingNode],
+        5,
+    );
+    b.run("event_128", || {
+        e.inject(0, 1, Ping { hops_left: 127 }, 0);
+        black_box(e.run_until_quiet(1_000))
+    });
+}
+
+fn bench_topology(b: &mut Bench) {
+    b.group("netsim/topology");
+    let n = 4_096;
+    let sphere = Sphere::new(n, 17);
+    let plane = Plane::new(n, 17, 60_000);
+    // Repeat: a small working set of pairs, queried over and over — the
+    // pattern routing and maintenance produce (same neighbors each time).
+    let mut i = 0usize;
+    b.run("sphere_delay_repeat", || {
+        i = (i + 1) & 255;
+        black_box(sphere.delay_us(i, (i * 7 + 1) & 255))
+    });
+    // Scan: a fresh pair nearly every call (static_build's sampling).
+    let mut j = 0usize;
+    b.run("sphere_delay_scan", || {
+        j = (j + 1) & (n - 1);
+        black_box(sphere.delay_us(j, (j * 2_467 + 1) & (n - 1)))
+    });
+    let mut k = 0usize;
+    b.run("plane_delay_repeat", || {
+        k = (k + 1) & 255;
+        black_box(plane.delay_us(k, (k * 7 + 1) & 255))
+    });
+}
+
+fn measurement_json(m: &Measurement) -> String {
+    json::Obj::new()
+        .str("name", &m.name)
+        .num("median_ns", m.median_ns)
+        .num("min_ns", m.min_ns)
+        .int("iters_per_sample", m.iters_per_sample)
+        .build()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = format!("{}/../../BENCH_micro.json", env!("CARGO_MANIFEST_DIR"));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other}; supported: --smoke, --out PATH"),
+        }
+    }
+
+    let mut b = Bench::new();
+    if smoke {
+        b.samples = 2;
+        b.target_sample_ns = 200_000;
+    }
+    bench_crypto(&mut b);
+    bench_routing(&mut b);
+    bench_engine(&mut b);
+    bench_topology(&mut b);
+
+    let doc = json::Obj::new()
+        .str("schema", "past-bench/v1")
+        .str("bench", "micro")
+        .str("mode", if smoke { "smoke" } else { "full" })
+        .raw(
+            "results",
+            &json::array(b.results().iter().map(measurement_json)),
+        )
+        .build();
+    json::validate(&doc).expect("bench output must be valid JSON");
+    std::fs::write(&out, format!("{doc}\n")).expect("write bench output");
+    println!("\nwrote {} ({} results)", out, b.results().len());
+}

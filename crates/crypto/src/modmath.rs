@@ -1,37 +1,114 @@
 //! Modular arithmetic over 256-bit moduli.
 //!
-//! The reduction routine is a bit-serial long division: slow compared to
-//! Montgomery multiplication but simple, allocation-free and obviously
-//! correct, which matters more here — signatures are issued at simulation
-//! time, not on a hot path.
+//! The reduction routine is word-wise long division (Knuth's Algorithm D
+//! over 64-bit limbs): every Schnorr sign/verify performs hundreds of
+//! reductions under `powmod`, so the former bit-serial loop (512 shift-
+//! subtract rounds) dominated signature cost. The bit-serial version is
+//! kept under `#[cfg(test)]` as an independently-derived reference the
+//! word-wise code is checked against on randomized inputs.
 
 use crate::u256::{U256, U512};
 
 /// Reduces a 512-bit value modulo a non-zero 256-bit modulus.
+///
+/// Knuth TAOCP vol. 2, Algorithm 4.3.1 D, remainder only: normalize so
+/// the divisor's top limb has its high bit set, then for each quotient
+/// position estimate the digit from the top two dividend limbs, refine
+/// it with the second divisor limb, and multiply-subtract (with at most
+/// one add-back). Single-limb moduli take a plain `u128 %` fast path.
 ///
 /// # Panics
 ///
 /// Panics if `m` is zero.
 pub fn rem512(x: &U512, m: &U256) -> U256 {
     assert!(!m.is_zero(), "division by zero modulus");
-    let mut r = U256::ZERO;
-    let top = x.bits();
-    for i in (0..top).rev() {
-        let (shifted, carry) = r.shl1();
-        r = shifted;
-        if x.bit(i) {
-            r.0[0] |= 1;
+    // `n` = number of significant 64-bit limbs in the modulus.
+    let n = 4 - m.0.iter().rev().take_while(|&&l| l == 0).count();
+    if n == 1 {
+        // One-limb modulus: fold the dividend down with u128 arithmetic.
+        let d = m.0[0] as u128;
+        let mut r: u128 = 0;
+        for i in (0..8).rev() {
+            r = ((r << 64) | x.0[i] as u128) % d;
         }
-        // Invariant: before the shift r < m, so the true value 2r+bit < 2m;
-        // at most one subtraction restores r < m. If the shift carried out of
-        // 256 bits the true value exceeds 2^256 > m, so subtract (the wrapped
-        // result is exact because 2r + bit - m < m <= 2^256).
-        if carry || r >= *m {
-            let (d, _) = r.overflowing_sub(m);
-            r = d;
+        return U256::from_u64(r as u64);
+    }
+    // Dividend already below the modulus: nothing to do.
+    if x.0[4..].iter().all(|&l| l == 0) {
+        let lo = U256([x.0[0], x.0[1], x.0[2], x.0[3]]);
+        if lo < *m {
+            return lo;
         }
     }
-    r
+    // Normalize: shift both operands left so v[n-1] has its top bit set.
+    // The dividend gains at most 63 bits, caught by a ninth limb.
+    let s = m.0[n - 1].leading_zeros();
+    let mut v = [0u64; 4];
+    let mut u = [0u64; 9];
+    if s == 0 {
+        v[..n].copy_from_slice(&m.0[..n]);
+        u[..8].copy_from_slice(&x.0);
+    } else {
+        for i in (1..n).rev() {
+            v[i] = (m.0[i] << s) | (m.0[i - 1] >> (64 - s));
+        }
+        v[0] = m.0[0] << s;
+        u[8] = x.0[7] >> (64 - s);
+        for i in (1..8).rev() {
+            u[i] = (x.0[i] << s) | (x.0[i - 1] >> (64 - s));
+        }
+        u[0] = x.0[0] << s;
+    }
+    // Main loop: one quotient digit per iteration, most significant first.
+    // Only the remainder (left behind in u[0..n]) is kept.
+    for j in (0..=8 - n).rev() {
+        // Estimate the digit from the top two dividend limbs. Because the
+        // running remainder stays below v, qhat <= B + 1 and the refinement
+        // loop below runs at most twice (Knuth 4.3.1 Theorem B).
+        let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut qhat = top / v[n - 1] as u128;
+        let mut rhat = top % v[n - 1] as u128;
+        while qhat >> 64 != 0 || qhat * v[n - 2] as u128 > (rhat << 64) | u[j + n - 2] as u128 {
+            qhat -= 1;
+            rhat += v[n - 1] as u128;
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+        // Multiply-subtract: u[j..=j+n] -= qhat * v[..n], tracking the
+        // borrow in `k`. `t` is exact in i128 (|t| < 2^66).
+        let mut k: i128 = 0;
+        for i in 0..n {
+            let p = qhat * v[i] as u128;
+            let t = u[i + j] as i128 - k - (p as u64) as i128;
+            u[i + j] = t as u64;
+            k = (p >> 64) as i128 - (t >> 64);
+        }
+        let t = u[j + n] as i128 - k;
+        u[j + n] = t as u64;
+        // The estimate can be one too large; a negative top limb means the
+        // subtraction overshot by exactly one v — add it back.
+        if t < 0 {
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let t2 = u[i + j] as u128 + v[i] as u128 + carry;
+                u[i + j] = t2 as u64;
+                carry = t2 >> 64;
+            }
+            u[j + n] = (u[j + n] as u128 + carry) as u64;
+        }
+    }
+    // Denormalize the remainder: shift right by `s`.
+    let mut r = [0u64; 4];
+    if s == 0 {
+        r[..n].copy_from_slice(&u[..n]);
+    } else {
+        for i in 0..n - 1 {
+            r[i] = (u[i] >> s) | (u[i + 1] << (64 - s));
+        }
+        r[n - 1] = u[n - 1] >> s;
+    }
+    U256(r)
 }
 
 /// Reduces a 256-bit value modulo `m`.
@@ -67,7 +144,10 @@ pub fn mulmod(a: &U256, b: &U256, m: &U256) -> U256 {
     rem512(&a.widening_mul(b), m)
 }
 
-/// Computes `base^exp mod m` by square-and-multiply.
+/// Computes `base^exp mod m` by fixed-window (w = 4) square-and-multiply:
+/// precompute `base^0..base^15`, then per 4-bit exponent window do four
+/// squarings and one table multiply — roughly 64 + 256/4 multiplies for a
+/// 256-bit exponent versus ~384 for the bit-at-a-time ladder.
 ///
 /// # Panics
 ///
@@ -77,15 +157,34 @@ pub fn powmod(base: &U256, exp: &U256, m: &U256) -> U256 {
     if *m == U256::ONE {
         return U256::ZERO;
     }
-    let mut result = U256::ONE;
-    let mut b = rem256(base, m);
     let top = exp.bits();
-    for i in 0..top {
-        if exp.bit(i) {
-            result = mulmod(&result, &b, m);
+    if top == 0 {
+        return U256::ONE;
+    }
+    let b = rem256(base, m);
+    let mut table = [U256::ONE; 16];
+    table[1] = b;
+    for i in 2..16 {
+        table[i] = mulmod(&table[i - 1], &b, m);
+    }
+    let windows = top.div_ceil(4);
+    let mut result = U256::ONE;
+    for w in (0..windows).rev() {
+        if w + 1 < windows {
+            for _ in 0..4 {
+                result = mulmod(&result, &result, m);
+            }
         }
-        if i + 1 < top {
-            b = mulmod(&b, &b, m);
+        let mut digit = 0usize;
+        for bit in (0..4).rev() {
+            let i = w * 4 + bit;
+            digit <<= 1;
+            if i < 256 && exp.bit(i) {
+                digit |= 1;
+            }
+        }
+        if digit != 0 {
+            result = mulmod(&result, &table[digit], m);
         }
     }
     result
@@ -152,10 +251,109 @@ pub fn is_probable_prime(n: &U256) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Rng;
     use crate::u256::U256;
 
     fn u(v: u64) -> U256 {
         U256::from_u64(v)
+    }
+
+    /// The original bit-serial shift-subtract reduction, kept as an
+    /// independently-derived reference for the word-wise Algorithm D.
+    fn rem512_bitserial(x: &U512, m: &U256) -> U256 {
+        assert!(!m.is_zero(), "division by zero modulus");
+        let mut r = U256::ZERO;
+        let top = x.bits();
+        for i in (0..top).rev() {
+            let (shifted, carry) = r.shl1();
+            r = shifted;
+            if x.bit(i) {
+                r.0[0] |= 1;
+            }
+            // Before the shift r < m, so the true value 2r+bit < 2m; at most
+            // one subtraction restores r < m. A carry out of 256 bits means
+            // the true value exceeds 2^256 > m, so subtract (the wrapped
+            // result is exact because 2r + bit - m < m <= 2^256).
+            if carry || r >= *m {
+                let (d, _) = r.overflowing_sub(m);
+                r = d;
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn rem512_matches_bitserial_on_random_inputs() {
+        let mut rng = Rng::seed_from_u64(0x5eed_d1f);
+        for round in 0..2_000 {
+            let x = U512(std::array::from_fn(|_| rng.next_u64()));
+            // Sweep modulus widths so every limb count (and its qhat
+            // refinement path) is exercised.
+            let mut m = U256(std::array::from_fn(|_| rng.next_u64()));
+            let limbs = round % 4;
+            for l in m.0.iter_mut().skip(limbs + 1) {
+                *l = 0;
+            }
+            if m.is_zero() {
+                m = U256::ONE;
+            }
+            assert_eq!(rem512(&x, &m), rem512_bitserial(&x, &m), "x={x:?} m={m:?}");
+        }
+    }
+
+    #[test]
+    fn rem512_edge_moduli() {
+        let mut rng = Rng::seed_from_u64(7);
+        let xs: Vec<U512> = (0..8)
+            .map(|_| U512(std::array::from_fn(|_| rng.next_u64())))
+            .chain([U512([0; 8]), U512([u64::MAX; 8])])
+            .collect();
+        let mut ms = vec![
+            U256::ONE,
+            u(2),
+            u(u64::MAX),
+            U256([0, 1, 0, 0]),                      // 2^64
+            U256([1, 1, 0, 0]),                      // 2^64 + 1
+            U256([0, 0, 0, 1 << 63]),                // 2^255 (already normalized)
+            U256([u64::MAX, u64::MAX, u64::MAX, 1]), // forces add-back paths
+            U256::MAX,
+            crate::schnorr::group_p(),
+        ];
+        ms.push(crate::schnorr::group_q());
+        for x in &xs {
+            for m in &ms {
+                assert_eq!(rem512(x, m), rem512_bitserial(x, m), "m={m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn powmod_matches_bit_ladder_on_random_inputs() {
+        // Reference: the simple LSB-first square-and-multiply the windowed
+        // version replaced.
+        fn powmod_ladder(base: &U256, exp: &U256, m: &U256) -> U256 {
+            let mut result = U256::ONE;
+            let mut b = rem256(base, m);
+            for i in 0..exp.bits() {
+                if exp.bit(i) {
+                    result = mulmod(&result, &b, m);
+                }
+                b = mulmod(&b, &b, m);
+            }
+            result
+        }
+        let mut rng = Rng::seed_from_u64(0xe4_9a11);
+        let p = crate::schnorr::group_p();
+        for _ in 0..40 {
+            let b = U256(std::array::from_fn(|_| rng.next_u64()));
+            let e = U256(std::array::from_fn(|_| rng.next_u64()));
+            assert_eq!(powmod(&b, &e, &p), powmod_ladder(&b, &e, &p));
+        }
+        // Short exponents hit the partial top window.
+        for e in [0u64, 1, 2, 3, 15, 16, 17, 255, 256, 257] {
+            let b = u(0xabcdef);
+            assert_eq!(powmod(&b, &u(e), &p), powmod_ladder(&b, &u(e), &p));
+        }
     }
 
     #[test]

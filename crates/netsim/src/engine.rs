@@ -13,12 +13,24 @@ use crate::event::EventQueue;
 use crate::time::SimTime;
 use crate::topology::{Addr, Topology};
 use past_crypto::rng::Rng;
-use std::collections::HashMap;
 
 /// A simulated wire message.
 pub trait Message: Clone {
+    /// Every kind label this message type can produce, in [`kind_id`]
+    /// order. The engine's per-kind traffic counters are a flat array
+    /// indexed by `kind_id`, so accounting is an array bump instead of a
+    /// string-keyed hash lookup per message.
+    ///
+    /// [`kind_id`]: Message::kind_id
+    const KINDS: &'static [&'static str];
+
+    /// Index of this message's kind within [`Message::KINDS`].
+    fn kind_id(&self) -> usize;
+
     /// A short static label used for per-kind traffic accounting.
-    fn kind(&self) -> &'static str;
+    fn kind(&self) -> &'static str {
+        Self::KINDS[self.kind_id()]
+    }
 
     /// Approximate wire size in bytes (for bandwidth accounting).
     fn wire_size(&self) -> u64 {
@@ -75,8 +87,10 @@ pub struct Ctx<'a, M, O> {
     /// The simulation RNG (shared, seeded once per engine).
     pub rng: &'a mut Rng,
     topo: &'a dyn Topology,
-    effects: Vec<Effect<M>>,
-    emitted: Vec<O>,
+    // Engine-owned scratch buffers, reused across invocations so the
+    // per-event cost is a pointer swap rather than two allocations.
+    effects: &'a mut Vec<Effect<M>>,
+    emitted: &'a mut Vec<O>,
 }
 
 impl<M, O> Ctx<'_, M, O> {
@@ -120,10 +134,16 @@ impl<M, O> Ctx<'_, M, O> {
 }
 
 /// Per-kind traffic counters.
+///
+/// Counters are a flat array parallel to the message type's
+/// [`Message::KINDS`] table, indexed by [`Message::kind_id`]; the by-name
+/// lookup ([`kind_count`]) scans the (short, static) kind table.
+///
+/// [`kind_count`]: NetStats::kind_count
 #[derive(Default, Debug, Clone)]
 pub struct NetStats {
-    /// Messages sent, keyed by [`Message::kind`].
-    pub msgs_by_kind: HashMap<&'static str, u64>,
+    kinds: &'static [&'static str],
+    by_kind: Vec<u64>,
     /// Total messages sent.
     pub total_msgs: u64,
     /// Total bytes sent.
@@ -131,16 +151,33 @@ pub struct NetStats {
 }
 
 impl NetStats {
+    fn for_kinds(kinds: &'static [&'static str]) -> NetStats {
+        NetStats {
+            kinds,
+            by_kind: vec![0; kinds.len()],
+            total_msgs: 0,
+            total_bytes: 0,
+        }
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
-        self.msgs_by_kind.clear();
+        self.by_kind.iter_mut().for_each(|c| *c = 0);
         self.total_msgs = 0;
         self.total_bytes = 0;
     }
 
     /// Messages of one kind.
     pub fn kind_count(&self, kind: &str) -> u64 {
-        self.msgs_by_kind.get(kind).copied().unwrap_or(0)
+        match self.kinds.iter().position(|&k| k == kind) {
+            Some(i) => self.by_kind[i],
+            None => 0,
+        }
+    }
+
+    /// Iterates `(kind, count)` pairs in [`Message::KINDS`] order.
+    pub fn by_kind(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.kinds.iter().copied().zip(self.by_kind.iter().copied())
     }
 }
 
@@ -155,6 +192,9 @@ pub struct Engine<N: NodeLogic, T: Topology> {
     /// Traffic counters (public so harnesses can reset/read them).
     pub stats: NetStats,
     outputs: Vec<(SimTime, Addr, N::Out)>,
+    epoch: u64,
+    scratch_effects: Vec<Effect<N::Msg>>,
+    scratch_emitted: Vec<N::Out>,
 }
 
 impl<N: NodeLogic, T: Topology> Engine<N, T> {
@@ -178,8 +218,11 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
             queue: EventQueue::new(),
             rng: Rng::seed_from_u64(seed),
             now: SimTime::ZERO,
-            stats: NetStats::default(),
+            stats: NetStats::for_kinds(N::Msg::KINDS),
             outputs: Vec::new(),
+            epoch: 0,
+            scratch_effects: Vec::new(),
+            scratch_emitted: Vec::new(),
         }
     }
 
@@ -220,6 +263,7 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
         assert!(addr < self.topo.len(), "no topology slot for new node");
         self.nodes.push(node);
         self.alive.push(true);
+        self.epoch += 1;
         addr
     }
 
@@ -231,11 +275,24 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
     /// Marks a node dead: it silently stops processing and answering.
     pub fn kill(&mut self, a: Addr) {
         self.alive[a] = false;
+        self.epoch += 1;
     }
 
     /// Marks a node live again (recovery).
     pub fn revive(&mut self, a: Addr) {
         self.alive[a] = true;
+        self.epoch += 1;
+    }
+
+    /// Membership epoch: incremented on every [`push_node`], [`kill`] and
+    /// [`revive`], so harness-side caches over the live-node set can be
+    /// invalidated by comparing epochs instead of rescanning.
+    ///
+    /// [`push_node`]: Engine::push_node
+    /// [`kill`]: Engine::kill
+    /// [`revive`]: Engine::revive
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Addresses of all live nodes.
@@ -270,7 +327,7 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
     fn account(&mut self, msg: &N::Msg) {
         self.stats.total_msgs += 1;
         self.stats.total_bytes += msg.wire_size();
-        *self.stats.msgs_by_kind.entry(msg.kind()).or_insert(0) += 1;
+        self.stats.by_kind[msg.kind_id()] += 1;
     }
 
     /// Processes one event; returns false when the queue is empty.
@@ -318,22 +375,26 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
     where
         F: FnOnce(&mut N, &mut Ctx<'_, N::Msg, N::Out>),
     {
+        // Move the engine-owned scratch buffers into the context for the
+        // duration of the handler, then drain and restore them. Handlers
+        // run once per event, so reusing the buffers removes two heap
+        // allocations from every event in the simulation.
+        let mut effects = std::mem::take(&mut self.scratch_effects);
+        let mut emitted = std::mem::take(&mut self.scratch_emitted);
+        debug_assert!(effects.is_empty() && emitted.is_empty());
         let mut ctx = Ctx {
             now: self.now,
             me: at,
             rng: &mut self.rng,
             topo: &self.topo,
-            effects: Vec::new(),
-            emitted: Vec::new(),
+            effects: &mut effects,
+            emitted: &mut emitted,
         };
         f(&mut self.nodes[at], &mut ctx);
-        let Ctx {
-            effects, emitted, ..
-        } = ctx;
-        for out in emitted {
+        for out in emitted.drain(..) {
             self.outputs.push((self.now, at, out));
         }
-        for eff in effects {
+        for eff in effects.drain(..) {
             match eff {
                 Effect::Send { to, msg, extra_us } => {
                     self.account(&msg);
@@ -347,6 +408,8 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
                 }
             }
         }
+        self.scratch_effects = effects;
+        self.scratch_emitted = emitted;
     }
 
     /// Runs until the queue drains or `max_events` is hit; returns the
@@ -395,10 +458,12 @@ mod tests {
     }
 
     impl Message for PingMsg {
-        fn kind(&self) -> &'static str {
+        const KINDS: &'static [&'static str] = &["ping", "pong"];
+
+        fn kind_id(&self) -> usize {
             match self {
-                PingMsg::Ping(_) => "ping",
-                PingMsg::Pong(_) => "pong",
+                PingMsg::Ping(_) => 0,
+                PingMsg::Pong(_) => 1,
             }
         }
     }

@@ -11,9 +11,54 @@
 //! great-circle distance.
 
 use past_crypto::rng::Rng;
+use std::cell::RefCell;
 
 /// A node address: an index into the topology.
 pub type Addr = usize;
+
+/// A direct-mapped memo of pairwise delay queries.
+///
+/// Routing and maintenance ask for the same few (node, neighbor) pairs
+/// over and over, and the geometric topologies pay a trig/sqrt per call.
+/// Each slot holds the last (pair, delay) that hashed to it; a hit
+/// returns exactly the value the geometry produced earlier, so this is
+/// purely an evaluation cache — simulation outcomes are bit-identical
+/// with or without it.
+struct DelayMemo {
+    slots: RefCell<Vec<(u64, u64)>>,
+}
+
+const MEMO_SLOTS: usize = 1 << 15;
+/// Sentinel for an empty slot. Never collides with a real key: packed
+/// keys are `(lo << 32) | hi` with `lo < hi`, so all-ones would require
+/// `lo == hi`, and equal addresses short-circuit before the memo.
+const MEMO_EMPTY: u64 = u64::MAX;
+
+impl DelayMemo {
+    fn new() -> DelayMemo {
+        DelayMemo {
+            slots: RefCell::new(vec![(MEMO_EMPTY, 0); MEMO_SLOTS]),
+        }
+    }
+
+    /// Looks up the unordered pair `(a, b)`, `a != b`, computing and
+    /// caching the delay on a miss.
+    fn get_or(&self, a: Addr, b: Addr, compute: impl FnOnce() -> u64) -> u64 {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let key = ((lo as u64) << 32) | hi as u64;
+        let slot = (mix64(key) as usize) & (MEMO_SLOTS - 1);
+        {
+            let slots = self.slots.borrow();
+            let entry = slots[slot];
+            if entry.0 == key {
+                return entry.1;
+            }
+        }
+        let d = compute();
+        self.slots.borrow_mut()[slot] = (key, d);
+        d
+    }
+}
 
 /// A source of pairwise one-way delays (the proximity metric).
 pub trait Topology {
@@ -38,6 +83,7 @@ pub trait Topology {
 pub struct Sphere {
     points: Vec<[f64; 3]>,
     max_delay_us: u64,
+    memo: DelayMemo,
 }
 
 impl Sphere {
@@ -68,6 +114,7 @@ impl Sphere {
         Sphere {
             points,
             max_delay_us,
+            memo: DelayMemo::new(),
         }
     }
 }
@@ -81,13 +128,15 @@ impl Topology for Sphere {
         if a == b {
             return 0;
         }
-        let pa = self.points[a];
-        let pb = self.points[b];
-        let dot = (pa[0] * pb[0] + pa[1] * pb[1] + pa[2] * pb[2]).clamp(-1.0, 1.0);
-        let angle = dot.acos(); // in [0, pi]
-        let frac = angle / std::f64::consts::PI;
-        // Add 1 to keep distinct nodes at non-zero delay.
-        (frac * self.max_delay_us as f64) as u64 + 1
+        self.memo.get_or(a, b, || {
+            let pa = self.points[a];
+            let pb = self.points[b];
+            let dot = (pa[0] * pb[0] + pa[1] * pb[1] + pa[2] * pb[2]).clamp(-1.0, 1.0);
+            let angle = dot.acos(); // in [0, pi]
+            let frac = angle / std::f64::consts::PI;
+            // Add 1 to keep distinct nodes at non-zero delay.
+            (frac * self.max_delay_us as f64) as u64 + 1
+        })
     }
 }
 
@@ -95,6 +144,7 @@ impl Topology for Sphere {
 pub struct Plane {
     points: Vec<[f64; 2]>,
     scale_us: f64,
+    memo: DelayMemo,
 }
 
 impl Plane {
@@ -107,6 +157,7 @@ impl Plane {
         Plane {
             points,
             scale_us: diag_delay_us as f64 / std::f64::consts::SQRT_2,
+            memo: DelayMemo::new(),
         }
     }
 }
@@ -120,10 +171,12 @@ impl Topology for Plane {
         if a == b {
             return 0;
         }
-        let pa = self.points[a];
-        let pb = self.points[b];
-        let d = ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)).sqrt();
-        (d * self.scale_us) as u64 + 1
+        self.memo.get_or(a, b, || {
+            let pa = self.points[a];
+            let pb = self.points[b];
+            let d = ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)).sqrt();
+            (d * self.scale_us) as u64 + 1
+        })
     }
 }
 

@@ -104,23 +104,41 @@ pub enum PastryMsg<P> {
 const HANDLE_BYTES: u64 = 24; // 16-byte id + address
 
 impl<P: Clone + PayloadSize> Message for PastryMsg<P> {
-    fn kind(&self) -> &'static str {
+    const KINDS: &'static [&'static str] = &[
+        "route",
+        "join_request",
+        "join_reply",
+        "neighborhood_request",
+        "neighborhood_reply",
+        "announce",
+        "leaf_request",
+        "leaf_reply",
+        "row_request",
+        "row_reply",
+        "repair_request",
+        "repair_reply",
+        "heartbeat",
+        "heartbeat_ack",
+        "app_direct",
+    ];
+
+    fn kind_id(&self) -> usize {
         match self {
-            PastryMsg::Route(_) => "route",
-            PastryMsg::JoinRequest { .. } => "join_request",
-            PastryMsg::JoinReply { .. } => "join_reply",
-            PastryMsg::NeighborhoodRequest => "neighborhood_request",
-            PastryMsg::NeighborhoodReply { .. } => "neighborhood_reply",
-            PastryMsg::Announce { .. } => "announce",
-            PastryMsg::LeafRequest => "leaf_request",
-            PastryMsg::LeafReply { .. } => "leaf_reply",
-            PastryMsg::RowRequest { .. } => "row_request",
-            PastryMsg::RowReply { .. } => "row_reply",
-            PastryMsg::RepairRequest { .. } => "repair_request",
-            PastryMsg::RepairReply { .. } => "repair_reply",
-            PastryMsg::Heartbeat => "heartbeat",
-            PastryMsg::HeartbeatAck => "heartbeat_ack",
-            PastryMsg::AppDirect { .. } => "app_direct",
+            PastryMsg::Route(_) => 0,
+            PastryMsg::JoinRequest { .. } => 1,
+            PastryMsg::JoinReply { .. } => 2,
+            PastryMsg::NeighborhoodRequest => 3,
+            PastryMsg::NeighborhoodReply { .. } => 4,
+            PastryMsg::Announce { .. } => 5,
+            PastryMsg::LeafRequest => 6,
+            PastryMsg::LeafReply { .. } => 7,
+            PastryMsg::RowRequest { .. } => 8,
+            PastryMsg::RowReply { .. } => 9,
+            PastryMsg::RepairRequest { .. } => 10,
+            PastryMsg::RepairReply { .. } => 11,
+            PastryMsg::Heartbeat => 12,
+            PastryMsg::HeartbeatAck => 13,
+            PastryMsg::AppDirect { .. } => 14,
         }
     }
 
@@ -136,7 +154,15 @@ impl<P: Clone + PayloadSize> Message for PastryMsg<P> {
             }
             PastryMsg::RowReply { entries } => 16 + HANDLE_BYTES * entries.len() as u64,
             PastryMsg::AppDirect { payload } => 16 + payload.payload_size(),
-            _ => 32,
+            PastryMsg::Announce { .. } => 16 + HANDLE_BYTES,
+            PastryMsg::RepairReply { entry } => 16 + HANDLE_BYTES * entry.is_some() as u64,
+            // Row/slot coordinates ride in the header.
+            PastryMsg::RowRequest { .. } | PastryMsg::RepairRequest { .. } => 24,
+            // Bare request/probe frames: header only.
+            PastryMsg::NeighborhoodRequest
+            | PastryMsg::LeafRequest
+            | PastryMsg::Heartbeat
+            | PastryMsg::HeartbeatAck => 16,
         }
     }
 }

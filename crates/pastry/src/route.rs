@@ -16,6 +16,7 @@ use crate::handle::NodeHandle;
 use crate::id::Id;
 use crate::state::PastryState;
 use past_crypto::rng::Rng;
+use std::cmp::Reverse;
 
 /// The outcome of one routing step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,26 +27,20 @@ pub enum NextHop {
     Forward(NodeHandle),
 }
 
-/// True if forwarding from `state.me` to `n` preserves the no-loop
-/// invariant for `key`: the prefix grows, or stays equal while the numeric
-/// distance strictly shrinks.
-fn valid_step(state: &PastryState, n: &NodeHandle, key: &Id) -> bool {
-    let b = state.cfg.b;
-    let own_prefix = state.me.id.prefix_len(key, b);
-    let n_prefix = n.id.prefix_len(key, b);
-    n_prefix > own_prefix
-        || (n_prefix == own_prefix && n.id.ring_dist(key) < state.me.id.ring_dist(key))
-}
-
 /// Computes the next hop for `key` at this node.
 ///
 /// `rng` drives the randomized variant and is unused when
 /// `cfg.route_randomization == 0.0`.
 pub fn next_hop(state: &PastryState, key: &Id, rng: &mut Rng) -> NextHop {
+    let b = state.cfg.b;
+    // This node's own position relative to the key, shared by every case
+    // below so per-candidate checks don't recompute it.
+    let own_prefix = state.me.id.prefix_len(key, b);
+    let own_dist = state.me.id.ring_dist(key);
+
     // Case 1: the key falls within the leaf set's span — deliver to the
     // numerically closest of {leaf members, self}.
     if state.leaf.covers(key) {
-        let own_dist = state.me.id.ring_dist(key);
         match state.leaf.closest_to(key) {
             None => return NextHop::DeliverHere,
             Some(best) => {
@@ -60,19 +55,38 @@ pub fn next_hop(state: &PastryState, key: &Id, rng: &mut Rng) -> NextHop {
     }
 
     // Case 2: the routing-table entry for the next digit.
-    let p = state.me.id.prefix_len(key, state.cfg.b);
-    let col = key.digit(p, state.cfg.b) as usize;
-    let table_hit = state.table.get(p, col);
+    let col = key.digit(own_prefix, b) as usize;
+    let table_hit = state.table.get(own_prefix, col);
+
+    // No-loop invariant check: forwarding to `n` must grow the shared
+    // prefix, or keep it equal while strictly shrinking the numeric
+    // distance. Returns the candidate's (prefix, distance) sort key when
+    // the step is valid.
+    let step_key = |n: &NodeHandle| -> Option<(usize, u128)> {
+        let n_prefix = n.id.prefix_len(key, b);
+        if n_prefix < own_prefix {
+            return None;
+        }
+        let n_dist = n.id.ring_dist(key);
+        if n_prefix > own_prefix || n_dist < own_dist {
+            Some((n_prefix, n_dist))
+        } else {
+            None
+        }
+    };
 
     let eps = state.cfg.route_randomization;
     if eps > 0.0 {
-        // Randomized routing: gather every valid candidate, bias toward the
-        // table hit (the "best choice").
-        let mut candidates: Vec<NodeHandle> = state
-            .known_nodes()
-            .into_iter()
-            .filter(|n| valid_step(state, n, key))
-            .collect();
+        // Randomized routing: gather every valid candidate (deduplicated
+        // by address, first occurrence wins — the same order and content
+        // `known_nodes()` would produce, keeping RNG draws identical),
+        // bias toward the table hit (the "best choice").
+        let mut candidates: Vec<NodeHandle> = Vec::new();
+        for n in state.known_nodes_iter() {
+            if step_key(&n).is_some() && !candidates.iter().any(|c| c.addr == n.addr) {
+                candidates.push(n);
+            }
+        }
         if let Some(hit) = table_hit {
             if !candidates.iter().any(|c| c.addr == hit.addr) {
                 candidates.push(hit);
@@ -100,13 +114,22 @@ pub fn next_hop(state: &PastryState, key: &Id, rng: &mut Rng) -> NextHop {
 
     // Case 3 (rare): no table entry — fall back to any known node with an
     // equally long prefix but numerically closer, or a longer prefix.
-    let candidates: Vec<NodeHandle> = state
-        .known_nodes()
-        .into_iter()
-        .filter(|n| valid_step(state, n, key))
-        .collect();
-    match best_fallback(state, &candidates, key) {
-        Some(next) => NextHop::Forward(next),
+    // Fold over the raw iterator instead of materializing a candidate
+    // list: prefer the longest prefix, then the numerically closest, then
+    // (for determinism) the smallest id. Distinct nodes never compare
+    // equal (ids are unique), so taking the first strict maximum matches
+    // the previous collect-then-max behavior.
+    let mut best: Option<((usize, Reverse<u128>, Reverse<u128>), NodeHandle)> = None;
+    for n in state.known_nodes_iter() {
+        if let Some((p, d)) = step_key(&n) {
+            let k = (p, Reverse(d), Reverse(n.id.0));
+            if best.as_ref().is_none_or(|(bk, _)| k > *bk) {
+                best = Some((k, n));
+            }
+        }
+    }
+    match best {
+        Some((_, next)) => NextHop::Forward(next),
         None => NextHop::DeliverHere,
     }
 }
@@ -131,6 +154,17 @@ mod tests {
     use super::*;
     use crate::id::Config;
     use past_crypto::rng::Rng;
+
+    /// Independent statement of the no-loop invariant `next_hop` must
+    /// preserve: the prefix grows, or stays equal while the numeric
+    /// distance strictly shrinks.
+    fn valid_step(state: &PastryState, n: &NodeHandle, key: &Id) -> bool {
+        let b = state.cfg.b;
+        let own_prefix = state.me.id.prefix_len(key, b);
+        let n_prefix = n.id.prefix_len(key, b);
+        n_prefix > own_prefix
+            || (n_prefix == own_prefix && n.id.ring_dist(key) < state.me.id.ring_dist(key))
+    }
 
     fn state_with(own: u128, leaf_len: usize, others: &[(u128, usize)]) -> PastryState {
         let cfg = Config {

@@ -13,6 +13,7 @@ use crate::msg::{PastryMsg, RouteEnvelope};
 use crate::node::{PastryNode, TIMER_HEARTBEAT};
 use past_crypto::rng::Rng;
 use past_netsim::{Addr, Engine, SimTime, Topology};
+use std::cell::RefCell;
 
 /// Default cap on events per quiet-run (guards against runaway loops).
 const QUIET_BUDGET: u64 = 50_000_000;
@@ -80,7 +81,15 @@ pub struct PastrySim<A: App, T: Topology> {
     pub engine: Engine<PastryNode<A>, T>,
     /// The shared protocol configuration.
     pub cfg: Config,
+    /// Live handles sorted by id, rebuilt lazily whenever the engine's
+    /// membership epoch moves; `true_root` answers from this index with a
+    /// binary search instead of scanning every node per query.
+    root_index: RefCell<(u64, Vec<NodeHandle>)>,
 }
+
+/// Epoch sentinel forcing the first `true_root` call to build the index
+/// (engine epochs count up from zero and never reach it).
+const STALE_EPOCH: u64 = u64::MAX;
 
 impl<A: App, T: Topology> PastrySim<A, T> {
     /// Creates an empty overlay on `topo`.
@@ -89,6 +98,7 @@ impl<A: App, T: Topology> PastrySim<A, T> {
         PastrySim {
             engine: Engine::new(topo, Vec::new(), seed),
             cfg,
+            root_index: RefCell::new((STALE_EPOCH, Vec::new())),
         }
     }
 
@@ -108,14 +118,13 @@ impl<A: App, T: Topology> PastrySim<A, T> {
     /// Runs the engine until quiet, so joins are sequential as in the
     /// paper's evaluation. Returns the new node's address.
     pub fn join_node_via(&mut self, id: Id, app: A, contact: Addr) -> Addr {
+        // The next address is the current node count; construct the node
+        // once with its real handle instead of rebuilding state afterwards.
+        let joiner = NodeHandle::new(id, self.engine.len());
         let addr = self
             .engine
-            .push_node(PastryNode::new(self.cfg, NodeHandle::new(id, 0), app));
-        // Fix up the self-handle with the real address.
-        self.engine.node_mut(addr).state.me = NodeHandle::new(id, addr);
-        self.engine.node_mut(addr).state =
-            crate::state::PastryState::new(self.cfg, NodeHandle::new(id, addr));
-        let joiner = NodeHandle::new(id, addr);
+            .push_node(PastryNode::new(self.cfg, joiner, app));
+        debug_assert_eq!(addr, joiner.addr);
         self.engine
             .inject(addr, contact, PastryMsg::NeighborhoodRequest, 0);
         self.engine.inject(
@@ -351,10 +360,30 @@ impl<A: App, T: Topology> PastrySim<A, T> {
 
     /// The live node whose id is numerically closest to `key`
     /// (ground truth for delivery-correctness checks).
+    ///
+    /// Answered from a sorted index of live handles, invalidated by the
+    /// engine's membership epoch: the closest node on the ring is always
+    /// one of the key's two sorted-order neighbors (any other node is
+    /// strictly farther in both directions), so one binary search plus a
+    /// two-way compare reproduces the former full scan exactly.
     pub fn true_root(&self, key: &Id) -> Option<NodeHandle> {
-        self.live_handles()
-            .into_iter()
-            .min_by_key(|h| (h.id.ring_dist(key), h.id.0))
+        let epoch = self.engine.epoch();
+        let mut cache = self.root_index.borrow_mut();
+        if cache.0 != epoch {
+            let mut handles = self.live_handles();
+            handles.sort_unstable_by_key(|h| h.id.0);
+            *cache = (epoch, handles);
+        }
+        let ring = &cache.1;
+        if ring.is_empty() {
+            return None;
+        }
+        let i = ring.partition_point(|h| h.id.0 < key.0);
+        let succ = ring[i % ring.len()];
+        let pred = ring[(i + ring.len() - 1) % ring.len()];
+        let kp = (pred.id.ring_dist(key), pred.id.0);
+        let ks = (succ.id.ring_dist(key), succ.id.0);
+        Some(if kp <= ks { pred } else { succ })
     }
 }
 

@@ -82,18 +82,27 @@ impl PastryState {
         removal
     }
 
-    /// Every node this one currently knows (deduplicated by address).
-    pub fn known_nodes(&self) -> Vec<NodeHandle> {
-        let mut seen = std::collections::HashSet::new();
-        let mut out = Vec::new();
-        for h in self
-            .leaf
+    /// Iterates every node this one currently knows, in leaf-set, then
+    /// routing-table, then neighborhood order, *without* deduplication —
+    /// an address present in several structures appears once per
+    /// occurrence (always as the same handle). Routing walks this
+    /// directly to avoid materializing a candidate list per step.
+    pub fn known_nodes_iter(&self) -> impl Iterator<Item = NodeHandle> + '_ {
+        self.leaf
             .members()
             .copied()
             .chain(self.table.entries())
             .chain(self.neighborhood.members().copied())
-        {
-            if seen.insert(h.addr) {
+    }
+
+    /// Every node this one currently knows (deduplicated by address,
+    /// first occurrence wins).
+    pub fn known_nodes(&self) -> Vec<NodeHandle> {
+        // The state holds tens of entries, so a linear-scan dedup beats a
+        // hash set and keeps the exact first-occurrence order.
+        let mut out: Vec<NodeHandle> = Vec::with_capacity(self.state_size());
+        for h in self.known_nodes_iter() {
+            if !out.iter().any(|s| s.addr == h.addr) {
                 out.push(h);
             }
         }

@@ -1,0 +1,104 @@
+//! Golden determinism tests.
+//!
+//! A seeded 512-node overlay is built (once by protocol joins, once by the
+//! static builder, once statically with randomized routing) and 1 000 keys
+//! are routed through it. The exact hop-count histogram, message/byte
+//! counters and final simulated time are asserted against committed
+//! values: any change to the engine, the routing decision, the modular
+//! arithmetic or the topology code that alters simulation outcomes — even
+//! by one message — fails here. Performance refactors must keep these
+//! fingerprints bit-identical.
+//!
+//! If a deliberate semantic change (new message, different wire sizes,
+//! different maintenance fan-out) moves the numbers, regenerate the
+//! constants by running the tests and copying the reported fingerprints.
+
+use past_crypto::rng::Rng;
+use past_netsim::Sphere;
+use past_pastry::{random_ids, static_build, Config, Id, NullApp, PastrySim};
+
+const N: usize = 512;
+const ROUTES: usize = 1_000;
+
+/// Routes `ROUTES` seeded keys and folds everything observable into one
+/// comparable fingerprint string.
+fn fingerprint(sim: &mut PastrySim<NullApp, Sphere>, route_seed: u64) -> String {
+    let build_msgs = sim.engine.stats.total_msgs;
+    let build_bytes = sim.engine.stats.total_bytes;
+    let mut rng = Rng::seed_from_u64(route_seed);
+    let mut hist: Vec<u64> = Vec::new();
+    let mut delivered = 0u64;
+    for _ in 0..ROUTES {
+        let key = Id(rng.random());
+        let from = rng.random_range(0..N);
+        sim.route(from, key, ());
+        for rec in sim.drain_deliveries() {
+            delivered += 1;
+            let h = rec.hops as usize;
+            if hist.len() <= h {
+                hist.resize(h + 1, 0);
+            }
+            hist[h] += 1;
+        }
+    }
+    format!(
+        "build_msgs={build_msgs} build_bytes={build_bytes} delivered={delivered} \
+         hist={hist:?} total_msgs={} total_bytes={} now_us={}",
+        sim.engine.stats.total_msgs,
+        sim.engine.stats.total_bytes,
+        sim.engine.now().as_micros(),
+    )
+}
+
+#[test]
+fn golden_static_build() {
+    let mut rng = Rng::seed_from_u64(2026);
+    let ids = random_ids(N, &mut rng);
+    let mut sim = static_build(
+        Sphere::new(N, 2026),
+        Config::default(),
+        2026,
+        &ids,
+        |_| NullApp,
+        3,
+    );
+    assert_eq!(
+        fingerprint(&mut sim, 77),
+        "build_msgs=0 build_bytes=0 delivered=1000 hist=[2, 78, 655, 265] \
+         total_msgs=3183 total_bytes=254640 now_us=106351091"
+    );
+}
+
+#[test]
+fn golden_static_build_randomized_routing() {
+    let mut rng = Rng::seed_from_u64(4096);
+    let ids = random_ids(N, &mut rng);
+    let cfg = Config {
+        route_randomization: 0.25,
+        ..Config::default()
+    };
+    let mut sim = static_build(Sphere::new(N, 4096), cfg, 4096, &ids, |_| NullApp, 3);
+    assert_eq!(
+        fingerprint(&mut sim, 78),
+        "build_msgs=0 build_bytes=0 delivered=1000 \
+         hist=[5, 60, 466, 306, 126, 28, 5, 3, 1] \
+         total_msgs=3613 total_bytes=289040 now_us=127710951"
+    );
+}
+
+#[test]
+fn golden_protocol_joins() {
+    let mut rng = Rng::seed_from_u64(31337);
+    let ids = random_ids(N, &mut rng);
+    let mut sim = PastrySim::new(Sphere::new(N, 31337), Config::default(), 31337);
+    sim.build_by_joins(&ids, |_| NullApp, 4);
+    for a in 0..N {
+        assert!(sim.engine.node(a).joined, "node {a} failed to join");
+    }
+    assert_eq!(
+        fingerprint(&mut sim, 79),
+        "build_msgs=20618 build_bytes=1998936 delivered=1000 \
+         hist=[2, 68, 629, 301] \
+         total_msgs=23847 total_bytes=2257256 now_us=256385578"
+    );
+}

@@ -21,4 +21,10 @@ cargo build --offline --release --workspace
 echo "== cargo test -q"
 cargo test --offline -q --workspace
 
+echo "== bench smoke (binaries run and emit valid BENCH_*.json)"
+./target/release/bench_micro --smoke --out target/BENCH_micro.smoke.json
+./target/release/bench_macro --smoke --out target/BENCH_macro.smoke.json
+grep -q '"schema": "past-bench/v1"' target/BENCH_micro.smoke.json
+grep -q '"schema": "past-bench/v1"' target/BENCH_macro.smoke.json
+
 echo "tier-1: all green"
