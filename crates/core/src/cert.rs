@@ -46,7 +46,12 @@ impl CardCert {
 }
 
 /// A signed authorization to insert one file.
-#[derive(Clone, Copy, Debug)]
+///
+/// Equality compares every signed field (signatures included), so two
+/// equal certificates are necessarily the same issuance — `inserted_at`
+/// and the signature distinguish a retransmitted insert from a fresh
+/// insert of the same file.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FileCertificate {
     /// The file's 160-bit identifier.
     pub file_id: FileId,

@@ -35,6 +35,6 @@ pub use msg::{NackReason, PastMsg};
 pub use network::{
     BuildMode, CardSnapshot, FileSnapshot, PastEvent, PastNetwork, PastSnapshot, StoreSnapshot,
 };
-pub use node::{PastApp, PastConfig, PastOut};
+pub use node::{PastApp, PastConfig, PastOut, RetryOp};
 pub use smartcard::{CardError, Smartcard};
 pub use storage::{ReplicaKind, Store, StoredFile};

@@ -9,13 +9,13 @@
 use crate::broker::Broker;
 use crate::fileid::{ContentRef, FileId};
 use crate::msg::PastMsg;
-use crate::node::{PastApp, PastConfig, PastOut};
+use crate::node::{PastApp, PastConfig, PastOut, RetryOp};
 use crate::smartcard::CardError;
 use crate::storage::ReplicaKind;
 use past_crypto::Digest256;
 use past_netsim::{Addr, SimTime, Topology};
 use past_pastry::{
-    static_build, Config as PastryConfig, Id, OverlaySnapshot, PastryMsg, PastrySim,
+    static_build, Config as PastryConfig, Id, OverlaySnapshot, PastryMsg, PastrySim, APP_TIMER_BASE,
 };
 
 /// A timestamped application event.
@@ -153,6 +153,18 @@ impl<T: Topology> PastNetwork<T> {
         self.past_cfg
     }
 
+    /// Arms a client-side retransmission timer for `op` when the retry
+    /// layer is configured (no-op otherwise).
+    fn arm_request_timer(&mut self, client: Addr, op: RetryOp) {
+        let Some(delay) = self.past_cfg.request_timeout_us else {
+            return;
+        };
+        let token = self.sim.engine.node_mut(client).app.register_retry(op);
+        self.sim
+            .engine
+            .arm_timer(client, delay, APP_TIMER_BASE + token);
+    }
+
     /// Client operation: insert a file with replication `k`.
     ///
     /// Returns the request id; completion arrives as
@@ -171,6 +183,7 @@ impl<T: Topology> PastNetwork<T> {
             .node_mut(client)
             .app
             .begin_insert(name, content, k, now)?;
+        self.arm_request_timer(client, RetryOp::Insert(cert.file_id));
         self.sim.route(
             client,
             cert.file_id.routing_id(),
@@ -191,6 +204,7 @@ impl<T: Topology> PastNetwork<T> {
             .node_mut(client)
             .app
             .begin_lookup(file_id, now);
+        self.arm_request_timer(client, RetryOp::Lookup(file_id));
         self.sim.route(
             client,
             file_id.routing_id(),
@@ -206,6 +220,7 @@ impl<T: Topology> PastNetwork<T> {
     /// Client operation: reclaim a file's storage.
     pub fn reclaim(&mut self, client: Addr, file_id: FileId) {
         let rcert = self.sim.engine.node_mut(client).app.begin_reclaim(file_id);
+        self.arm_request_timer(client, RetryOp::Reclaim(file_id));
         self.sim.route(
             client,
             file_id.routing_id(),

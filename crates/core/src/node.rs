@@ -9,7 +9,7 @@
 //! fault-injection behaviors the security experiments need.
 
 use crate::broker::Broker;
-use crate::cert::{FileCertificate, ReclaimCertificate};
+use crate::cert::{FileCertificate, ReclaimCertificate, ReclaimReceipt};
 use crate::fileid::{audit_proof, ContentRef, FileId};
 use crate::msg::{NackReason, PastMsg};
 use crate::smartcard::{CardError, Smartcard};
@@ -17,7 +17,7 @@ use crate::storage::{ReplicaKind, Store};
 use past_crypto::{Digest256, PublicKey};
 use past_netsim::Addr;
 use past_pastry::{App, AppCtx, Id, NodeHandle, PastryState, RouteEnvelope, RouteInfo};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Tunable PAST parameters.
 #[derive(Clone, Copy, Debug)]
@@ -47,6 +47,19 @@ pub struct PastConfig {
     /// big-integer arithmetic; structural checks (content hash vs
     /// certificate, sizes) always run.
     pub crypto_checks: bool,
+    /// Client-side request deadline (simulated µs). When set, every
+    /// insert / lookup / reclaim arms a retransmission timer so requests
+    /// lost to a faulty network are retried with exponential backoff and
+    /// eventually surface an explicit failure event — never a silent
+    /// hang. `None` (the default) disables the whole retry layer: no
+    /// timers, no extra state, bit-identical lossless runs.
+    pub request_timeout_us: Option<u64>,
+    /// Total transmissions per request (the original plus retries)
+    /// before the operation is declared failed. Only consulted when
+    /// [`request_timeout_us`] is set.
+    ///
+    /// [`request_timeout_us`]: PastConfig::request_timeout_us
+    pub request_attempts: u32,
 }
 
 impl Default for PastConfig {
@@ -62,6 +75,8 @@ impl Default for PastConfig {
             cache_push: 1,
             cache_on_insert_path: true,
             crypto_checks: true,
+            request_timeout_us: None,
+            request_attempts: 4,
         }
     }
 }
@@ -118,6 +133,11 @@ pub enum PastOut {
         /// The file.
         file_id: FileId,
     },
+    /// A reclaim got no response after all retries (retry layer only).
+    ReclaimFailed {
+        /// The file.
+        file_id: FileId,
+    },
     /// An audited node proved possession.
     AuditPassed {
         /// The audited file.
@@ -139,13 +159,42 @@ struct PendingInsert {
     request_id: u64,
     name: String,
     content: ContentRef,
+    cert: FileCertificate,
     k: u8,
     attempts: u32,
     salt: u64,
     receipts: u8,
-    receipt_keys: HashSet<[u8; 32]>,
+    receipt_keys: BTreeSet<[u8; 32]>,
     nacks: u32,
     fatal: bool,
+    /// Transmissions of this attempt so far (retry layer).
+    sends: u32,
+}
+
+/// An in-flight client lookup.
+struct PendingLookup {
+    started_us: u64,
+    sends: u32,
+}
+
+/// An in-flight client (or internal cleanup) reclaim.
+struct PendingReclaim {
+    rcert: ReclaimCertificate,
+    sends: u32,
+    /// Internal reclaims (failed-insert cleanup) fail silently; the
+    /// insert already reported its own failure.
+    internal: bool,
+}
+
+/// What a retransmission timer is watching (retry layer).
+#[derive(Clone, Copy, Debug)]
+pub enum RetryOp {
+    /// An insert attempt, by the attempt's fileId.
+    Insert(FileId),
+    /// A lookup.
+    Lookup(FileId),
+    /// A reclaim.
+    Reclaim(FileId),
 }
 
 /// Replica-diversion state at a full primary.
@@ -153,6 +202,9 @@ struct DivertState {
     cert: FileCertificate,
     content: ContentRef,
     client: Addr,
+    /// The candidate probed and not yet answered (retransmissions
+    /// re-probe it rather than fanning to fresh candidates).
+    current: Addr,
     candidates: Vec<Addr>,
 }
 
@@ -176,9 +228,26 @@ pub struct PastApp {
     /// receipts at the client, §2.1).
     pub suppresses_replicas: bool,
     pending_inserts: HashMap<FileId, PendingInsert>,
-    pending_lookups: HashMap<FileId, u64>,
+    pending_lookups: HashMap<FileId, PendingLookup>,
     pending_audits: HashMap<FileId, (Digest256, u64)>,
     pending_diverts: HashMap<FileId, DivertState>,
+    pending_reclaims: BTreeMap<FileId, PendingReclaim>,
+    /// Armed retransmission timers, by timer token (retry layer).
+    retry_timers: BTreeMap<u64, RetryOp>,
+    next_retry_token: u64,
+    /// Failed insert attempts: the storer keys whose receipts were
+    /// counted before the attempt concluded. Reclaim receipts from any
+    /// *other* storer of these files are quota-suppressed — their share
+    /// of the debit was already returned as "unstored" (a copy whose
+    /// store receipt the network lost).
+    settled: BTreeMap<FileId, BTreeSet<[u8; 32]>>,
+    /// Reclaim receipts this node issued, kept to re-acknowledge
+    /// retransmitted reclaims for files already freed: `(owner card
+    /// key, receipt)`.
+    issued_reclaim_receipts: BTreeMap<FileId, ([u8; 32], ReclaimReceipt)>,
+    /// Reclaim receipts already processed, by (file, storer): guards
+    /// duplicated deliveries even with crypto checks off.
+    reclaim_seen: BTreeSet<(FileId, [u8; 32])>,
     next_request_id: u64,
 }
 
@@ -199,8 +268,41 @@ impl PastApp {
             pending_lookups: HashMap::new(),
             pending_audits: HashMap::new(),
             pending_diverts: HashMap::new(),
+            pending_reclaims: BTreeMap::new(),
+            retry_timers: BTreeMap::new(),
+            next_retry_token: 0,
+            settled: BTreeMap::new(),
+            issued_reclaim_receipts: BTreeMap::new(),
+            reclaim_seen: BTreeSet::new(),
             next_request_id: 0,
         }
+    }
+
+    /// True when the client-side retry layer is active.
+    fn retry_enabled(&self) -> bool {
+        self.cfg.request_timeout_us.is_some()
+    }
+
+    /// Registers a retransmission watch and returns the app-timer token
+    /// the harness must arm (used from outside an app context; inside
+    /// one, use [`Self::arm_retry`]).
+    pub fn register_retry(&mut self, op: RetryOp) -> u64 {
+        let token = self.next_retry_token;
+        self.next_retry_token += 1;
+        self.retry_timers.insert(token, op);
+        token
+    }
+
+    /// Registers a retransmission watch and arms its timer.
+    fn arm_retry(&mut self, op: RetryOp, delay_us: u64, cx: &mut Cx) {
+        let token = self.register_retry(op);
+        cx.set_app_timer(delay_us, token);
+    }
+
+    /// Exponential backoff: the base timeout doubled per transmission.
+    fn backoff_us(&self, sends: u32) -> u64 {
+        let base = self.cfg.request_timeout_us.unwrap_or(0);
+        base.saturating_mul(1u64 << sends.saturating_sub(1).min(6))
     }
 
     // --- Client-side entry points (invoked by the harness) -------------
@@ -228,13 +330,15 @@ impl PastApp {
                 request_id,
                 name: name.to_string(),
                 content,
+                cert,
                 k,
                 attempts: 1,
                 salt,
                 receipts: 0,
-                receipt_keys: HashSet::new(),
+                receipt_keys: BTreeSet::new(),
                 nacks: 0,
                 fatal: false,
+                sends: 1,
             },
         );
         Ok((request_id, cert))
@@ -242,12 +346,29 @@ impl PastApp {
 
     /// Registers a pending lookup (for latency measurement).
     pub fn begin_lookup(&mut self, file_id: FileId, now_us: u64) {
-        self.pending_lookups.insert(file_id, now_us);
+        self.pending_lookups.insert(
+            file_id,
+            PendingLookup {
+                started_us: now_us,
+                sends: 1,
+            },
+        );
     }
 
     /// Issues a reclaim certificate for a file this card owns.
     pub fn begin_reclaim(&mut self, file_id: FileId) -> ReclaimCertificate {
-        self.card.issue_reclaim_certificate(&file_id)
+        let rcert = self.card.issue_reclaim_certificate(&file_id);
+        if self.retry_enabled() {
+            self.pending_reclaims.insert(
+                file_id,
+                PendingReclaim {
+                    rcert,
+                    sends: 1,
+                    internal: false,
+                },
+            );
+        }
+        rcert
     }
 
     /// Registers an expected audit answer before challenging a node.
@@ -357,13 +478,56 @@ impl PastApp {
                 return;
             }
         }
-        if self.store.get(&cert.file_id).is_some() {
-            // Idempotent: re-acknowledge.
+        if let Some(f) = self.store.get(&cert.file_id) {
+            // Idempotent: re-acknowledge. An identical certificate is the
+            // same issuance — a retransmission of the very insert that
+            // stored this copy — so the ack reports the bytes as stored
+            // (the client deduplicates by storer key either way). A
+            // different certificate is a distinct insert of an existing
+            // file: that copy consumed nothing new, reported as 0.
+            let same_issuance = self.retry_enabled() && f.cert == cert;
             if let Some(c) = client {
-                let receipt = self.card.issue_store_receipt(&cert.file_id, 0, false);
+                let stored = if same_issuance { cert.size } else { 0 };
+                let receipt = self.card.issue_store_receipt(&cert.file_id, stored, false);
                 cx.send_direct(c, PastMsg::StoreAck { receipt });
             }
             return;
+        }
+        if let Some(c) = client {
+            if self.retry_enabled() {
+                // A retransmitted insert must not restart diversion: it
+                // would place a second diverted copy elsewhere. Re-probe
+                // the in-flight candidate, or the recorded holder.
+                if let Some(st) = self.pending_diverts.get(&cert.file_id) {
+                    if st.cert == cert {
+                        let (current, content) = (st.current, st.content);
+                        let me = cx.me();
+                        cx.send_direct(
+                            current,
+                            PastMsg::DivertStore {
+                                cert,
+                                content,
+                                primary: me,
+                                client: c,
+                            },
+                        );
+                        return;
+                    }
+                }
+                if let Some(holder) = self.store.pointer(&cert.file_id) {
+                    let me = cx.me();
+                    cx.send_direct(
+                        holder,
+                        PastMsg::DivertStore {
+                            cert,
+                            content,
+                            primary: me,
+                            client: c,
+                        },
+                    );
+                    return;
+                }
+            }
         }
         match self.store.insert(&cert, ReplicaKind::Primary) {
             Ok(()) => {
@@ -426,6 +590,7 @@ impl PastApp {
                 cert,
                 content,
                 client,
+                current: first,
                 candidates,
             },
         );
@@ -458,6 +623,7 @@ impl PastApp {
             return;
         }
         let next = st.candidates.remove(0);
+        st.current = next;
         let (cert, content, client) = (st.cert, st.content, st.client);
         let me = cx.me();
         cx.send_direct(
@@ -529,14 +695,35 @@ impl PastApp {
         let Some(p) = self.pending_inserts.remove(&fid) else {
             return;
         };
+        let retrying = self.retry_enabled();
         // Unstored copies never consumed storage: credit their debit.
         let unstored = (p.k - p.receipts) as u64 * p.content.size;
         self.card.credit(unstored);
-        // Stored partial copies are reclaimed; their receipts credit later.
-        if p.receipts > 0 {
+        // Stored partial copies are reclaimed; their receipts credit
+        // later. Under loss a holder may have stored a copy whose receipt
+        // vanished: reclaim unconditionally, and record which storers'
+        // receipts were counted — only those reclaim credits may apply,
+        // the rest were just returned in the "unstored" credit above.
+        if p.receipts > 0 || retrying {
+            if retrying {
+                self.settled
+                    .insert(fid, p.receipt_keys.iter().copied().collect());
+            }
             let rcert = self.card.issue_reclaim_certificate(&fid);
             let me = cx.me();
             cx.route(fid.routing_id(), PastMsg::Reclaim { rcert, client: me });
+            if retrying {
+                self.pending_reclaims.insert(
+                    fid,
+                    PendingReclaim {
+                        rcert,
+                        sends: 1,
+                        internal: true,
+                    },
+                );
+                let delay = self.backoff_us(1);
+                self.arm_retry(RetryOp::Reclaim(fid), delay, cx);
+            }
         }
         if p.attempts < self.cfg.max_insert_attempts {
             let salt = p.salt + 1;
@@ -552,13 +739,15 @@ impl PastApp {
                             request_id: p.request_id,
                             name: p.name,
                             content: p.content,
+                            cert,
                             k: p.k,
                             attempts: p.attempts + 1,
                             salt,
                             receipts: 0,
-                            receipt_keys: HashSet::new(),
+                            receipt_keys: BTreeSet::new(),
                             nacks: 0,
                             fatal: false,
+                            sends: 1,
                         },
                     );
                     let me = cx.me();
@@ -570,6 +759,10 @@ impl PastApp {
                             client: me,
                         },
                     );
+                    if retrying {
+                        let delay = self.backoff_us(1);
+                        self.arm_retry(RetryOp::Insert(new_fid), delay, cx);
+                    }
                 }
                 Err(_) => {
                     cx.emit(PastOut::InsertFailed {
@@ -586,6 +779,85 @@ impl PastApp {
                 attempts: p.attempts,
             });
         }
+    }
+
+    /// A retransmission timer fired for an insert attempt: retransmit
+    /// the same certificate (holders are idempotent) or conclude.
+    fn retry_insert(&mut self, fid: FileId, cx: &mut Cx) {
+        let attempts = self.cfg.request_attempts;
+        let Some(p) = self.pending_inserts.get_mut(&fid) else {
+            return; // already completed
+        };
+        if p.sends >= attempts {
+            self.conclude_failed_attempt(fid, cx);
+            return;
+        }
+        p.sends += 1;
+        // Responses count per transmission round: stale nacks from an
+        // earlier round must not conclude the fresh one early.
+        p.nacks = 0;
+        p.fatal = false;
+        let sends = p.sends;
+        let (cert, content) = (p.cert, p.content);
+        let me = cx.me();
+        cx.route(
+            fid.routing_id(),
+            PastMsg::Insert {
+                cert,
+                content,
+                client: me,
+            },
+        );
+        let delay = self.backoff_us(sends);
+        self.arm_retry(RetryOp::Insert(fid), delay, cx);
+    }
+
+    /// A retransmission timer fired for a lookup: retransmit or fail.
+    fn retry_lookup(&mut self, fid: FileId, cx: &mut Cx) {
+        let Some(p) = self.pending_lookups.get_mut(&fid) else {
+            return;
+        };
+        if p.sends >= self.cfg.request_attempts {
+            self.pending_lookups.remove(&fid);
+            cx.emit(PastOut::LookupFailed { file_id: fid });
+            return;
+        }
+        p.sends += 1;
+        let sends = p.sends;
+        let me = cx.me();
+        cx.route(
+            fid.routing_id(),
+            PastMsg::Lookup {
+                file_id: fid,
+                client: me,
+                path: Vec::new(),
+                redirected: false,
+            },
+        );
+        let delay = self.backoff_us(sends);
+        self.arm_retry(RetryOp::Lookup(fid), delay, cx);
+    }
+
+    /// A retransmission timer fired for a reclaim: retransmit or fail.
+    fn retry_reclaim(&mut self, fid: FileId, cx: &mut Cx) {
+        let Some(p) = self.pending_reclaims.get_mut(&fid) else {
+            return;
+        };
+        if p.sends >= self.cfg.request_attempts {
+            let internal = p.internal;
+            self.pending_reclaims.remove(&fid);
+            if !internal {
+                cx.emit(PastOut::ReclaimFailed { file_id: fid });
+            }
+            return;
+        }
+        p.sends += 1;
+        let sends = p.sends;
+        let rcert = p.rcert;
+        let me = cx.me();
+        cx.route(fid.routing_id(), PastMsg::Reclaim { rcert, client: me });
+        let delay = self.backoff_us(sends);
+        self.arm_retry(RetryOp::Reclaim(fid), delay, cx);
     }
 
     /// Handles a reclaim at a holder; roots also propagate to the k-set.
@@ -616,7 +888,23 @@ impl PastApp {
             replication = f.cert.replication;
             let freed = self.store.remove(&fid);
             let receipt = self.card.issue_reclaim_receipt(&fid, freed);
+            if self.retry_enabled() {
+                // Keep the receipt: if this ack is lost, the owner's
+                // retransmitted reclaim finds the file already gone and
+                // must still be answered, or its quota stays debited for
+                // storage nobody holds.
+                self.issued_reclaim_receipts
+                    .insert(fid, (rcert.owner.card_key.to_bytes(), receipt));
+            }
             cx.send_direct(client, PastMsg::ReclaimAck { receipt });
+        } else if self.retry_enabled() {
+            if let Some((owner, receipt)) = self.issued_reclaim_receipts.get(&fid) {
+                if *owner == rcert.owner.card_key.to_bytes() {
+                    // Retransmission of a reclaim already honored: re-ack
+                    // with the cached receipt (the client deduplicates).
+                    cx.send_direct(client, PastMsg::ReclaimAck { receipt: *receipt });
+                }
+            }
         }
         // Any cached copy must go even when no replica is held here:
         // serving a reclaimed file from the cache would resurrect it.
@@ -837,6 +1125,27 @@ impl App for PastApp {
                 primary,
                 client,
             } => {
+                if self.retry_enabled() {
+                    if let Some(f) = self.store.get(&cert.file_id) {
+                        if f.cert == cert {
+                            // Retransmission of a diversion already
+                            // admitted here: re-acknowledge instead of
+                            // refusing, or the lost-ack client would
+                            // never collect its receipt.
+                            let receipt =
+                                self.card
+                                    .issue_store_receipt(&cert.file_id, cert.size, true);
+                            cx.send_direct(client, PastMsg::StoreAck { receipt });
+                            cx.send_direct(
+                                primary,
+                                PastMsg::DivertAck {
+                                    file_id: cert.file_id,
+                                },
+                            );
+                            return;
+                        }
+                    }
+                }
                 let valid = self.insert_valid(&cert, &content);
                 let admitted = valid
                     && self.store.get(&cert.file_id).is_none()
@@ -908,7 +1217,8 @@ impl App for PastApp {
                 }
             }
             PastMsg::FileReply { cert, from_cache } => {
-                if let Some(started_us) = self.pending_lookups.remove(&cert.file_id) {
+                if let Some(pending) = self.pending_lookups.remove(&cert.file_id) {
+                    let started_us = pending.started_us;
                     // "The file certificate is returned along with the
                     // file, and allows the client to verify that the
                     // contents are authentic."
@@ -937,6 +1247,25 @@ impl App for PastApp {
             PastMsg::ReclaimAck { receipt } => {
                 let fid = receipt.file_id;
                 let freed = receipt.freed;
+                if self.retry_enabled() {
+                    // The first ack settles the pending reclaim (other
+                    // holders' acks still credit below).
+                    self.pending_reclaims.remove(&fid);
+                    let storer = receipt.storer.card_key.to_bytes();
+                    if !self.reclaim_seen.insert((fid, storer)) {
+                        return; // duplicated delivery
+                    }
+                    if let Some(counted) = self.settled.get(&fid) {
+                        if !counted.contains(&storer) {
+                            // A copy from a failed insert attempt whose
+                            // store receipt the network lost: its share
+                            // of the debit was already returned as
+                            // "unstored" when the attempt concluded, so
+                            // this reclaim must not credit it again.
+                            return;
+                        }
+                    }
+                }
                 let credited = if self.cfg.crypto_checks {
                     self.card.credit_reclaim(&receipt, &self.broker_key).is_ok()
                 } else {
@@ -951,6 +1280,9 @@ impl App for PastApp {
                 }
             }
             PastMsg::ReclaimDenied { file_id } => {
+                if self.retry_enabled() {
+                    self.pending_reclaims.remove(&file_id);
+                }
                 cx.emit(PastOut::ReclaimDenied { file_id });
             }
             PastMsg::CachePush { cert } => {
@@ -991,30 +1323,80 @@ impl App for PastApp {
         }
     }
 
-    fn on_direct_failed(&mut self, _state: &PastryState, _to: Addr, payload: PastMsg, cx: &mut Cx) {
+    fn on_direct_failed(&mut self, state: &PastryState, to: Addr, payload: PastMsg, cx: &mut Cx) {
         match payload {
             PastMsg::Replicate {
                 cert,
+                content,
                 client: Some(client),
-                ..
             } => {
-                cx.send_direct(
-                    client,
-                    PastMsg::InsertNack {
-                        file_id: cert.file_id,
-                        reason: NackReason::TargetDead,
-                    },
-                );
+                // A replica target died mid-insert. The overlay purged it
+                // before this callback ran, so the recomputed k-set names
+                // its replacement: re-fan the copy there (receivers are
+                // idempotent, the client deduplicates receipts by storer).
+                // Only when no live peer remains does the client learn of
+                // the shortfall.
+                let me = cx.me();
+                let replacements: Vec<Addr> =
+                    Self::kset(state, cert.file_id.routing_id(), cert.replication)
+                        .iter()
+                        .map(|h| h.addr)
+                        .filter(|&a| a != me && a != to)
+                        .collect();
+                if replacements.is_empty() {
+                    cx.send_direct(
+                        client,
+                        PastMsg::InsertNack {
+                            file_id: cert.file_id,
+                            reason: NackReason::TargetDead,
+                        },
+                    );
+                } else {
+                    for a in replacements {
+                        cx.send_direct(
+                            a,
+                            PastMsg::Replicate {
+                                cert,
+                                content,
+                                client: Some(client),
+                            },
+                        );
+                    }
+                }
             }
             PastMsg::DivertStore { cert, .. } => {
                 self.try_next_divert(cert.file_id, cx);
             }
             PastMsg::LookupHop {
-                file_id, client, ..
+                file_id,
+                client,
+                path,
+                ..
             } => {
-                cx.send_direct(client, PastMsg::LookupMiss { file_id });
+                // The probed holder died; re-route the lookup with the
+                // purged state instead of reporting a spurious miss.
+                cx.route(
+                    file_id.routing_id(),
+                    PastMsg::Lookup {
+                        file_id,
+                        client,
+                        path,
+                        redirected: true,
+                    },
+                );
             }
             _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _state: &PastryState, kind: u64, cx: &mut Cx) {
+        let Some(op) = self.retry_timers.remove(&kind) else {
+            return;
+        };
+        match op {
+            RetryOp::Insert(fid) => self.retry_insert(fid, cx),
+            RetryOp::Lookup(fid) => self.retry_lookup(fid, cx),
+            RetryOp::Reclaim(fid) => self.retry_reclaim(fid, cx),
         }
     }
 

@@ -73,6 +73,42 @@ fn insert_stores_k_replicas_on_closest_nodes() {
 }
 
 #[test]
+fn insert_survives_replica_holder_dying_mid_insert() {
+    let mut net = build(40, 21, 100 * MB, 1_000 * MB, PastConfig::default());
+    let client = 0;
+    let content = ContentRef::synthetic(9, "fragile", 2 * MB);
+    // Predict the fileId (salt 0) to find the prospective replica set.
+    let owner = net.sim.engine.node(client).app.card.public();
+    let fid = FileId::derive("fragile", &owner, 0);
+    let rid = fid.routing_id();
+    let mut all = net.sim.live_handles();
+    all.sort_by_key(|h| (h.id.ring_dist(&rid), h.id.0));
+    // Kill a non-root replica target while the insert is in flight: the
+    // root's Replicate to it bounces, and the copy must be re-fanned to
+    // the recomputed k-set rather than surfacing as a client nack.
+    let victim = all[1].addr;
+    assert_ne!(victim, client, "victim must not be the client");
+    net.insert(client, "fragile", content, 5).unwrap();
+    net.sim.engine.kill(victim);
+    let events = net.run();
+    let ok: Vec<u8> = events
+        .iter()
+        .filter_map(|(_, _, e)| match e {
+            PastOut::InsertOk { receipts, .. } => Some(*receipts),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        ok,
+        vec![5],
+        "insert must complete with all k receipts: {events:?}"
+    );
+    let holders = net.replica_holders(&fid);
+    assert_eq!(holders.len(), 5, "k live replicas after the death");
+    assert!(!holders.contains(&victim));
+}
+
+#[test]
 fn lookup_returns_file_and_verifies_certificate() {
     let mut net = build(40, 2, 100 * MB, 1_000 * MB, PastConfig::default());
     let content = ContentRef::synthetic(1, "file-a", MB);

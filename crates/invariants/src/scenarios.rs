@@ -6,10 +6,11 @@
 //! scenarios back the `invariants` binary run by `scripts/ci.sh`.
 
 use crate::{check_all, Violation};
-use past_core::{BuildMode, ContentRef, PastApp, PastConfig, PastNetwork};
+use past_core::{BuildMode, ContentRef, PastApp, PastConfig, PastNetwork, PastOut};
 use past_crypto::rng::Rng;
-use past_netsim::Sphere;
-use past_pastry::{random_ids, Config as PastryConfig, Id};
+use past_netsim::{FaultConfig, Sphere};
+use past_pastry::{random_ids, Config as PastryConfig, Id, RecoveryConfig};
+use std::collections::BTreeSet;
 
 const MB: u64 = 1 << 20;
 
@@ -180,11 +181,165 @@ pub fn quota_reclaim(seed: u64) -> Vec<Violation> {
     violations
 }
 
+/// Scenario 4 — lossy churn: the churn scenario's shape re-run over a
+/// faulty network (5% loss, 1% duplication, 20 ms jitter) with the
+/// recovery machinery on. Beyond I1–I5 at every quiesce point, it
+/// asserts liveness: every client operation issued under loss must
+/// terminate in an explicit success or failure event (reported as a
+/// synthetic "OP" violation otherwise — a hung request).
+pub fn lossy_churn(seed: u64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let cfg = PastConfig {
+        request_timeout_us: Some(800_000),
+        request_attempts: 5,
+        ..PastConfig::default()
+    };
+    // Ample disks and quotas: this scenario stresses message loss, not
+    // storage pressure.
+    let (mut net, ids) = build_net(48, 40, seed, 400 * MB, 4_000 * MB, cfg);
+    net.run();
+
+    // Switch the overlay into loss-recovery mode, then turn the faults on.
+    net.sim.set_recovery(RecoveryConfig::default());
+    net.sim.engine.set_faults(
+        FaultConfig {
+            loss: 0.05,
+            duplicate: 0.01,
+            jitter_us: 20_000,
+        },
+        seed ^ 0xfa17,
+    );
+
+    let mut events: Vec<past_core::PastEvent> = Vec::new();
+    let mut insert_reqs = BTreeSet::new();
+    for i in 0..8u64 {
+        let name = format!("lossy-{i}");
+        let content = ContentRef::synthetic((seed ^ 4) as usize, &name, (1 + i % 3) * MB);
+        if let Ok(req) = net.insert((i as usize) % 8, &name, content, 5) {
+            insert_reqs.insert(req);
+        }
+        events.extend(net.run());
+    }
+    net.sim.stabilize();
+    events.extend(net.run());
+    check_at("lossy: after insert workload", &net, &mut violations);
+
+    // Fail 5 nodes; failure detection now needs missed-ack rounds, so run
+    // enough heartbeat rounds for every neighbor to pass the limit and
+    // for the anti-entropy traffic to heal the holes.
+    for a in 20..25 {
+        net.sim.engine.kill(a);
+    }
+    for _ in 0..5 {
+        net.sim.stabilize();
+    }
+    events.extend(net.run());
+    check_at("lossy: after failing 5 nodes", &net, &mut violations);
+
+    // Two failed nodes recover with their old state and three brand-new
+    // nodes join through the retried join protocol.
+    for a in 20..22 {
+        net.sim.recover_node(a);
+    }
+    for _ in 0..3 {
+        net.sim.stabilize();
+    }
+    events.extend(net.run());
+    for (j, id) in ids[40..43].iter().enumerate() {
+        let card =
+            net.broker
+                .issue_card(format!("lossy-late-{j}").as_bytes(), 4_000 * MB, 400 * MB);
+        let app = PastApp::new(net.past_cfg(), card, 400 * MB, &net.broker);
+        net.sim.join_node_nearby(*id, app, 4);
+        events.extend(net.run());
+    }
+    net.sim.stabilize();
+    events.extend(net.run());
+    check_at(
+        "lossy: after recoveries and fresh joins",
+        &net,
+        &mut violations,
+    );
+
+    // Look up everything inserted, reclaim every other file, and demand
+    // explicit termination for each operation.
+    let inserted: Vec<_> = events
+        .iter()
+        .filter_map(|(_, _, e)| match e {
+            PastOut::InsertOk { file_id, .. } => Some(*file_id),
+            _ => None,
+        })
+        .collect();
+    for fid in &inserted {
+        net.lookup(7, *fid);
+        events.extend(net.run());
+    }
+    let reclaimed: Vec<_> = inserted.iter().copied().step_by(2).collect();
+    for fid in &reclaimed {
+        net.reclaim(1, *fid);
+        events.extend(net.run());
+    }
+    net.sim.stabilize();
+    net.sim.stabilize();
+    events.extend(net.run());
+    check_at("lossy: final", &net, &mut violations);
+
+    // Liveness: every issued operation produced a terminal event.
+    let mut insert_done = BTreeSet::new();
+    let mut lookup_done = BTreeSet::new();
+    let mut reclaim_done = BTreeSet::new();
+    for (_, _, e) in &events {
+        match e {
+            PastOut::InsertOk { request_id, .. } | PastOut::InsertFailed { request_id, .. } => {
+                insert_done.insert(*request_id);
+            }
+            PastOut::LookupOk { file_id, .. } | PastOut::LookupFailed { file_id } => {
+                lookup_done.insert(*file_id);
+            }
+            PastOut::ReclaimCredited { file_id, .. }
+            | PastOut::ReclaimDenied { file_id }
+            | PastOut::ReclaimFailed { file_id } => {
+                reclaim_done.insert(*file_id);
+            }
+            _ => {}
+        }
+    }
+    for req in &insert_reqs {
+        if !insert_done.contains(req) {
+            violations.push(Violation {
+                invariant: "OP",
+                addr: None,
+                detail: format!("[lossy] insert request {req} never terminated"),
+            });
+        }
+    }
+    for fid in &inserted {
+        if !lookup_done.contains(fid) {
+            violations.push(Violation {
+                invariant: "OP",
+                addr: None,
+                detail: format!("[lossy] lookup of {fid:?} never terminated"),
+            });
+        }
+    }
+    for fid in &reclaimed {
+        if !reclaim_done.contains(fid) {
+            violations.push(Violation {
+                invariant: "OP",
+                addr: None,
+                detail: format!("[lossy] reclaim of {fid:?} never terminated"),
+            });
+        }
+    }
+    violations
+}
+
 /// Runs every scenario with its default seed; `(name, violations)` pairs.
 pub fn run_all() -> Vec<(&'static str, Vec<Violation>)> {
     vec![
         ("bulk-join", bulk_join(1)),
         ("churn", churn(2)),
         ("quota-reclaim", quota_reclaim(3)),
+        ("lossy-churn", lossy_churn(4)),
     ]
 }

@@ -69,6 +69,37 @@ enum Event<M> {
     Timer { at: Addr, kind: u64 },
 }
 
+/// Link-fault injection parameters.
+///
+/// The all-zero default disables fault injection entirely: no RNG draws
+/// happen, so a faultless engine is bit-identical to one that never heard
+/// of faults. Faults are drawn from a dedicated RNG (seeded by
+/// [`Engine::set_faults`]), independent of the protocol RNG, so enabling
+/// them never perturbs routing/tie-break decisions and identical seeds
+/// reproduce identical drop/duplicate/jitter sequences.
+///
+/// Self-sends (`from == to`, e.g. a node handing a message to its own
+/// routing logic) are exempt: they never cross a link.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a message is silently lost in transit. Loss produces
+    /// *no* send-failure notification — that signal models an RPC timeout
+    /// against a dead peer, and a lossy link gives the sender nothing.
+    pub loss: f64,
+    /// Probability a surviving message is delivered twice (the duplicate
+    /// takes an independent jitter draw).
+    pub duplicate: f64,
+    /// Extra per-message delay, drawn uniformly from `0..=jitter_us`.
+    pub jitter_us: u64,
+}
+
+impl FaultConfig {
+    /// True if any fault class is enabled.
+    pub fn is_active(&self) -> bool {
+        self.loss > 0.0 || self.duplicate > 0.0 || self.jitter_us > 0
+    }
+}
+
 enum Effect<M> {
     Send { to: Addr, msg: M, extra_us: u64 },
     Timer { delay_us: u64, kind: u64 },
@@ -148,6 +179,16 @@ pub struct NetStats {
     pub total_msgs: u64,
     /// Total bytes sent.
     pub total_bytes: u64,
+    /// Messages silently lost by fault injection ([`FaultConfig::loss`]).
+    pub dropped: u64,
+    /// Extra deliveries created by fault injection
+    /// ([`FaultConfig::duplicate`]).
+    pub duplicated: u64,
+    /// Messages that reached a dead destination (each schedules a
+    /// send-failure notification back at a live sender). Protocols that
+    /// ignore [`NodeLogic::on_send_failed`] still show up here, keeping
+    /// cross-protocol failure comparisons honest.
+    pub failed_sends: u64,
 }
 
 impl NetStats {
@@ -157,6 +198,9 @@ impl NetStats {
             by_kind: vec![0; kinds.len()],
             total_msgs: 0,
             total_bytes: 0,
+            dropped: 0,
+            duplicated: 0,
+            failed_sends: 0,
         }
     }
 
@@ -165,6 +209,9 @@ impl NetStats {
         self.by_kind.iter_mut().for_each(|c| *c = 0);
         self.total_msgs = 0;
         self.total_bytes = 0;
+        self.dropped = 0;
+        self.duplicated = 0;
+        self.failed_sends = 0;
     }
 
     /// Messages of one kind.
@@ -188,6 +235,10 @@ pub struct Engine<N: NodeLogic, T: Topology> {
     alive: Vec<bool>,
     queue: EventQueue<Event<N::Msg>>,
     rng: Rng,
+    faults: FaultConfig,
+    // Separate from `rng` so enabling faults never shifts protocol
+    // decisions, and a fault sequence depends only on its own seed.
+    fault_rng: Rng,
     now: SimTime,
     /// Traffic counters (public so harnesses can reset/read them).
     pub stats: NetStats,
@@ -217,6 +268,8 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
             alive,
             queue: EventQueue::new(),
             rng: Rng::seed_from_u64(seed),
+            faults: FaultConfig::default(),
+            fault_rng: Rng::seed_from_u64(seed ^ 0x5eed_fa17),
             now: SimTime::ZERO,
             stats: NetStats::for_kinds(N::Msg::KINDS),
             outputs: Vec::new(),
@@ -305,12 +358,73 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
         &mut self.rng
     }
 
+    /// Enables (or reconfigures) link-fault injection.
+    ///
+    /// `seed` initializes the dedicated fault RNG: the same seed and
+    /// configuration reproduce the exact same drop/duplicate/jitter
+    /// sequence over the same message stream. Passing
+    /// [`FaultConfig::default`] turns faults off again.
+    pub fn set_faults(&mut self, faults: FaultConfig, seed: u64) {
+        assert!((0.0..=1.0).contains(&faults.loss), "loss out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&faults.duplicate),
+            "duplicate out of [0,1]"
+        );
+        self.faults = faults;
+        self.fault_rng = Rng::seed_from_u64(seed);
+    }
+
+    /// The fault configuration in force.
+    pub fn faults(&self) -> FaultConfig {
+        self.faults
+    }
+
     /// Injects a message into `to` as if sent by `from`, arriving after the
     /// topology delay (plus `extra_us`).
     pub fn inject(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64) {
+        self.dispatch(from, to, msg, extra_us);
+    }
+
+    /// Accounts and schedules one message, applying the fault model to
+    /// anything that crosses a link (`from != to`). Shared by harness
+    /// injection and node-effect sends so both face the same network.
+    fn dispatch(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64) {
         self.account(&msg);
-        let at = self.now + self.topo.delay_us(from, to) + extra_us;
+        let base = self.now + self.topo.delay_us(from, to) + extra_us;
+        if from == to || !self.faults.is_active() {
+            self.queue.push(base, Event::Deliver { from, to, msg });
+            return;
+        }
+        // Per-field gating: an inactive fault class draws nothing, so a
+        // partially-enabled config stays reproducible field by field.
+        if self.faults.loss > 0.0 && self.fault_rng.random::<f64>() < self.faults.loss {
+            self.stats.dropped += 1;
+            return;
+        }
+        let duplicate =
+            self.faults.duplicate > 0.0 && self.fault_rng.random::<f64>() < self.faults.duplicate;
+        let at = base + self.draw_jitter();
+        if duplicate {
+            self.stats.duplicated += 1;
+            let echo = base + self.draw_jitter();
+            self.queue.push(
+                echo,
+                Event::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
         self.queue.push(at, Event::Deliver { from, to, msg });
+    }
+
+    fn draw_jitter(&mut self) -> u64 {
+        if self.faults.jitter_us > 0 {
+            self.fault_rng.random_range(0..=self.faults.jitter_us)
+        } else {
+            0
+        }
     }
 
     /// Arms a timer on a node from the harness side.
@@ -340,6 +454,7 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
         match ev {
             Event::Deliver { from, to, msg } => {
                 if !self.alive[to] {
+                    self.stats.failed_sends += 1;
                     // Timeout model: the sender learns of the failure one
                     // further delay later (round-trip worth in total).
                     if self.alive[from] && from != to {
@@ -397,10 +512,7 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
         for eff in effects.drain(..) {
             match eff {
                 Effect::Send { to, msg, extra_us } => {
-                    self.account(&msg);
-                    let at_time = self.now + self.topo.delay_us(at, to) + extra_us;
-                    self.queue
-                        .push(at_time, Event::Deliver { from: at, to, msg });
+                    self.dispatch(at, to, msg, extra_us);
                 }
                 Effect::Timer { delay_us, kind } => {
                     self.queue
@@ -582,5 +694,141 @@ mod tests {
             (e.now(), e.stats.total_msgs)
         };
         assert_eq!(run(), run());
+    }
+
+    /// A seeded ping flood under a given fault configuration, folded into
+    /// one comparable tuple.
+    fn fault_run(faults: FaultConfig, fault_seed: u64) -> (SimTime, u64, u64, u64, u64) {
+        let mut e = engine(8);
+        e.set_faults(faults, fault_seed);
+        for round in 0..50u32 {
+            for i in 0..8 {
+                e.inject(i, (i + round as usize) % 8, PingMsg::Ping(round), 0);
+            }
+        }
+        e.run_until_quiet(100_000);
+        let pongs: u64 = (0..8).map(|a| e.node(a).pongs.len() as u64).sum();
+        (
+            e.now(),
+            e.stats.total_msgs,
+            e.stats.dropped,
+            e.stats.duplicated,
+            pongs,
+        )
+    }
+
+    #[test]
+    fn fault_sequences_replay_bit_identically() {
+        let faults = FaultConfig {
+            loss: 0.2,
+            duplicate: 0.1,
+            jitter_us: 700,
+        };
+        let a = fault_run(faults, 99);
+        let b = fault_run(faults, 99);
+        assert_eq!(a, b, "same fault seed must reproduce the same run");
+        assert!(a.2 > 0, "a 20% loss flood must drop something");
+        assert!(a.3 > 0, "a 10% duplicate flood must duplicate something");
+    }
+
+    #[test]
+    fn fault_seed_changes_the_drop_pattern() {
+        let faults = FaultConfig {
+            loss: 0.2,
+            duplicate: 0.0,
+            jitter_us: 0,
+        };
+        let a = fault_run(faults, 1);
+        let b = fault_run(faults, 2);
+        assert_ne!(
+            (a.0, a.2),
+            (b.0, b.2),
+            "different fault seeds should not produce identical runs"
+        );
+    }
+
+    #[test]
+    fn zero_fault_config_is_bit_identical_to_no_faults() {
+        let clean = fault_run(FaultConfig::default(), 123);
+        let mut e = engine(8);
+        for round in 0..50u32 {
+            for i in 0..8 {
+                e.inject(i, (i + round as usize) % 8, PingMsg::Ping(round), 0);
+            }
+        }
+        e.run_until_quiet(100_000);
+        let pongs: u64 = (0..8).map(|a| e.node(a).pongs.len() as u64).sum();
+        assert_eq!(
+            clean,
+            (e.now(), e.stats.total_msgs, 0, 0, pongs),
+            "an all-zero fault config must not perturb the simulation"
+        );
+    }
+
+    #[test]
+    fn lost_messages_produce_no_send_failure() {
+        let mut e = engine(2);
+        e.set_faults(
+            FaultConfig {
+                loss: 1.0,
+                duplicate: 0.0,
+                jitter_us: 0,
+            },
+            7,
+        );
+        e.inject(0, 1, PingMsg::Ping(1), 0);
+        e.run_until_quiet(100);
+        assert!(e.node(0).failures.is_empty(), "loss must be silent");
+        assert!(e.node(0).pongs.is_empty());
+        assert_eq!(e.stats.dropped, 1);
+        // Accounting still counts the send: the bytes hit the wire.
+        assert_eq!(e.stats.total_msgs, 1);
+    }
+
+    #[test]
+    fn self_sends_are_exempt_from_loss() {
+        let mut e = engine(2);
+        e.set_faults(
+            FaultConfig {
+                loss: 1.0,
+                duplicate: 0.0,
+                jitter_us: 0,
+            },
+            7,
+        );
+        // 0 → 0: the ping crosses no link, so it must arrive; the pong
+        // back to self is likewise exempt.
+        e.inject(0, 0, PingMsg::Ping(5), 0);
+        e.run_until_quiet(100);
+        assert_eq!(e.node(0).pongs, vec![6]);
+        assert_eq!(e.stats.dropped, 0);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let mut e = engine(2);
+        e.set_faults(
+            FaultConfig {
+                loss: 0.0,
+                duplicate: 1.0,
+                jitter_us: 0,
+            },
+            7,
+        );
+        e.inject(0, 1, PingMsg::Ping(1), 0);
+        e.run_until_quiet(100);
+        // Ping doubled, each answered; pongs doubled again at node 0.
+        assert_eq!(e.node(0).pongs, vec![2, 2, 2, 2]);
+        assert_eq!(e.stats.duplicated, 3);
+    }
+
+    #[test]
+    fn dead_destinations_are_counted() {
+        let mut e = engine(3);
+        e.kill(1);
+        e.inject(0, 1, PingMsg::Ping(0), 0);
+        e.inject(2, 1, PingMsg::Ping(0), 0);
+        e.run_until_quiet(100);
+        assert_eq!(e.stats.failed_sends, 2);
     }
 }

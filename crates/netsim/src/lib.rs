@@ -19,7 +19,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use engine::{Ctx, Engine, Message, NetStats, NodeLogic};
+pub use engine::{Ctx, Engine, FaultConfig, Message, NetStats, NodeLogic};
 pub use stats::{summarize, Histogram, Summary};
 pub use time::SimTime;
 pub use topology::{Addr, Plane, Sphere, Topology, TransitStub, UniformRandom};

@@ -34,6 +34,12 @@ pub enum PastryOut<O> {
         /// Hops the join request took.
         hops: u32,
     },
+    /// This node's join retries were exhausted without a reply (loss
+    /// recovery mode only; crash-only joins cannot fail).
+    JoinFailed {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
     /// A routed message exceeded the hop TTL (routing cycle caused by
     /// inconsistent state after overlapping failures) and was dropped.
     RouteDropped {

@@ -11,12 +11,61 @@ use crate::msg::{PastryMsg, RouteEnvelope};
 use crate::route::{next_hop, NextHop};
 use crate::state::PastryState;
 use past_netsim::{Addr, Ctx, NodeLogic};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Timer id for leaf-set heartbeats.
 pub const TIMER_HEARTBEAT: u64 = 1;
+/// Timer id for the heartbeat-ack deadline (loss recovery only).
+pub const TIMER_HEARTBEAT_CHECK: u64 = 2;
+/// Timer id driving join initiation and bounded join retries (loss
+/// recovery only).
+pub const TIMER_JOIN_RETRY: u64 = 3;
 /// Application timers are offset by this base.
 pub const APP_TIMER_BASE: u64 = 1 << 32;
+
+/// Loss-recovery parameters for the maintenance protocol.
+///
+/// `None` (the default on every node) preserves the crash-only behavior:
+/// failure detection relies purely on send-failure notifications, joins
+/// are single-shot, and no extra timers or messages exist — runs without
+/// faults stay bit-identical. With a config installed, heartbeat rounds
+/// track acknowledgments (suspecting silent peers after
+/// [`missed_ack_limit`] quiet rounds), piggyback anti-entropy traffic
+/// that re-teaches state lost to dropped messages, and joins retry with
+/// a deadline.
+///
+/// [`missed_ack_limit`]: RecoveryConfig::missed_ack_limit
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryConfig {
+    /// How long after a heartbeat round the ack check fires. Must exceed
+    /// a round trip to the farthest leaf-set member.
+    pub heartbeat_timeout_us: u64,
+    /// Consecutive unacknowledged rounds before a peer is suspected dead.
+    pub missed_ack_limit: u32,
+    /// Deadline for one join attempt before the next retry.
+    pub join_timeout_us: u64,
+    /// Join attempts before giving up with [`PastryOut::JoinFailed`].
+    pub join_attempts: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            // The default sphere topology's one-way delay tops out at
+            // 120 ms; 500 ms clears a round trip with ample jitter room.
+            heartbeat_timeout_us: 500_000,
+            missed_ack_limit: 3,
+            join_timeout_us: 2_000_000,
+            join_attempts: 5,
+        }
+    }
+}
+
+/// An in-flight (possibly retried) join.
+struct PendingJoin {
+    contact: Addr,
+    attempts: u32,
+}
 
 /// Failure-injection behavior of a node.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -45,12 +94,21 @@ pub struct PastryNode<A: App> {
     pub heartbeat_interval_us: Option<u64>,
     /// Hops taken by this node's join request, once joined.
     pub join_hops: Option<u32>,
+    /// Loss-recovery parameters; `None` keeps crash-only behavior.
+    pub recovery: Option<RecoveryConfig>,
     /// Peers this node has observed failing. State offered by other nodes
     /// (leaf-set merges, repair replies) is ignored for suspected peers,
     /// or the gossip would keep re-installing dead entries and the repair
     /// traffic would never converge. Hearing *from* a peer clears the
     /// suspicion (it is evidently alive again).
     suspected: HashSet<Addr>,
+    /// Leaf-set peers probed in the current heartbeat round that have not
+    /// answered yet (recovery mode only).
+    awaiting_ack: BTreeSet<Addr>,
+    /// Consecutive heartbeat rounds each peer has stayed silent.
+    missed_acks: BTreeMap<Addr, u32>,
+    /// The join this node is still trying to complete.
+    pending_join: Option<PendingJoin>,
 }
 
 impl<A: App> PastryNode<A> {
@@ -63,13 +121,27 @@ impl<A: App> PastryNode<A> {
             joined: false,
             heartbeat_interval_us: None,
             join_hops: None,
+            recovery: None,
             suspected: HashSet::new(),
+            awaiting_ack: BTreeSet::new(),
+            missed_acks: BTreeMap::new(),
+            pending_join: None,
         }
     }
 
     /// True if this node currently suspects `addr` of being dead.
     pub fn suspects(&self, addr: Addr) -> bool {
         self.suspected.contains(&addr)
+    }
+
+    /// Registers a join through `contact`; the harness arms
+    /// [`TIMER_JOIN_RETRY`] at delay 0 to start the first attempt
+    /// (recovery mode only — crash-only joins inject directly).
+    pub fn begin_join(&mut self, contact: Addr) {
+        self.pending_join = Some(PendingJoin {
+            contact,
+            attempts: 0,
+        });
     }
 
     /// Routes or delivers an envelope currently held by this node.
@@ -175,8 +247,11 @@ impl<A: App> NodeLogic for PastryNode<A> {
     type Out = PastryOut<A::Out>;
 
     fn on_message(&mut self, from: Addr, msg: Self::Msg, ctx: &mut NodeCtx<'_, A>) {
-        // Hearing from a peer proves it alive; drop any suspicion.
+        // Hearing from a peer proves it alive: drop any suspicion, settle
+        // the current heartbeat round, and reset its missed-ack count.
         self.suspected.remove(&from);
+        self.awaiting_ack.remove(&from);
+        self.missed_acks.remove(&from);
         match msg {
             PastryMsg::Route(env) => {
                 if self.behavior == Behavior::DropRoutes && env.origin != ctx.me {
@@ -244,8 +319,15 @@ impl<A: App> NodeLogic for PastryNode<A> {
                 all.extend(leaf);
                 all.push(z);
                 self.learn_batch(&all, ctx);
+                if self.joined {
+                    // A duplicate or late reply from a retried (or
+                    // duplicated) join: the state merge above is all it
+                    // is still good for.
+                    return;
+                }
                 self.joined = true;
                 self.join_hops = Some(hops);
+                self.pending_join = None;
                 // "Notify interested nodes that need to know of its
                 // arrival, thereby restoring all of Pastry's invariants."
                 let me = self.state.me;
@@ -293,6 +375,8 @@ impl<A: App> NodeLogic for PastryNode<A> {
             PastryMsg::Heartbeat => {
                 ctx.send(from, PastryMsg::HeartbeatAck);
             }
+            // The proof-of-life prelude above already settled the round
+            // and cleared the sender's missed-ack count.
             PastryMsg::HeartbeatAck => {}
             PastryMsg::AppDirect { payload } => {
                 let mut cx = AppCtx { ctx };
@@ -359,14 +443,80 @@ impl<A: App> NodeLogic for PastryNode<A> {
                 .on_timer(&self.state, kind - APP_TIMER_BASE, &mut cx);
             return;
         }
-        if kind == TIMER_HEARTBEAT {
-            let members: Vec<Addr> = self.state.leaf.members().map(|m| m.addr).collect();
-            for addr in members {
-                ctx.send(addr, PastryMsg::Heartbeat);
+        match kind {
+            TIMER_HEARTBEAT => {
+                let members: Vec<Addr> = self.state.leaf.members().map(|m| m.addr).collect();
+                if let Some(rc) = self.recovery {
+                    // Loss-aware round: remember who owes an ack, and
+                    // piggyback anti-entropy — re-announcing ourselves and
+                    // pulling each member's leaf set re-teaches state that
+                    // lossy links may have swallowed (dropped Announces
+                    // leave asymmetric leaf sets that nothing else heals).
+                    self.awaiting_ack.clear();
+                    let me = self.state.me;
+                    for &addr in &members {
+                        ctx.send(addr, PastryMsg::Heartbeat);
+                        ctx.send(addr, PastryMsg::Announce { from: me });
+                        ctx.send(addr, PastryMsg::LeafRequest);
+                        self.awaiting_ack.insert(addr);
+                    }
+                    if !members.is_empty() {
+                        ctx.set_timer(rc.heartbeat_timeout_us, TIMER_HEARTBEAT_CHECK);
+                    }
+                } else {
+                    for addr in members {
+                        ctx.send(addr, PastryMsg::Heartbeat);
+                    }
+                }
+                if let Some(period) = self.heartbeat_interval_us {
+                    ctx.set_timer(period, TIMER_HEARTBEAT);
+                }
             }
-            if let Some(period) = self.heartbeat_interval_us {
-                ctx.set_timer(period, TIMER_HEARTBEAT);
+            TIMER_HEARTBEAT_CHECK => {
+                let Some(rc) = self.recovery else { return };
+                // Anyone still owing an ack stayed silent the whole round.
+                let overdue: Vec<Addr> =
+                    std::mem::take(&mut self.awaiting_ack).into_iter().collect();
+                for addr in overdue {
+                    let missed = self.missed_acks.entry(addr).or_insert(0);
+                    *missed += 1;
+                    if *missed >= rc.missed_ack_limit {
+                        self.missed_acks.remove(&addr);
+                        self.handle_peer_failure(addr, ctx);
+                    }
+                }
             }
+            TIMER_JOIN_RETRY => {
+                if self.joined {
+                    self.pending_join = None;
+                    return;
+                }
+                let Some(rc) = self.recovery else { return };
+                let Some(pj) = &mut self.pending_join else {
+                    return;
+                };
+                if pj.attempts >= rc.join_attempts {
+                    let attempts = pj.attempts;
+                    self.pending_join = None;
+                    ctx.emit(PastryOut::JoinFailed { attempts });
+                    return;
+                }
+                pj.attempts += 1;
+                let contact = pj.contact;
+                let joiner = self.state.me;
+                ctx.send(contact, PastryMsg::NeighborhoodRequest);
+                ctx.send(
+                    contact,
+                    PastryMsg::JoinRequest {
+                        joiner,
+                        rows: Vec::new(),
+                        rows_done: 0,
+                        hops: 0,
+                    },
+                );
+                ctx.set_timer(rc.join_timeout_us, TIMER_JOIN_RETRY);
+            }
+            _ => {}
         }
     }
 }

@@ -10,7 +10,7 @@ use crate::handle::NodeHandle;
 use crate::id::{Config, Id};
 use crate::leafset::Side;
 use crate::msg::{PastryMsg, RouteEnvelope};
-use crate::node::{PastryNode, TIMER_HEARTBEAT};
+use crate::node::{PastryNode, RecoveryConfig, TIMER_HEARTBEAT, TIMER_JOIN_RETRY};
 use past_crypto::rng::Rng;
 use past_netsim::{Addr, Engine, SimTime, Topology};
 use std::cell::RefCell;
@@ -81,6 +81,9 @@ pub struct PastrySim<A: App, T: Topology> {
     pub engine: Engine<PastryNode<A>, T>,
     /// The shared protocol configuration.
     pub cfg: Config,
+    /// Loss-recovery parameters applied to every node; `None` (default)
+    /// keeps the crash-only maintenance protocol.
+    recovery: Option<RecoveryConfig>,
     /// Live handles sorted by id, rebuilt lazily whenever the engine's
     /// membership epoch moves; `true_root` answers from this index with a
     /// binary search instead of scanning every node per query.
@@ -98,8 +101,23 @@ impl<A: App, T: Topology> PastrySim<A, T> {
         PastrySim {
             engine: Engine::new(topo, Vec::new(), seed),
             cfg,
+            recovery: None,
             root_index: RefCell::new((STALE_EPOCH, Vec::new())),
         }
+    }
+
+    /// Installs loss-recovery parameters on every current and future node
+    /// (ack-tracked heartbeats, anti-entropy rounds, join retries).
+    pub fn set_recovery(&mut self, rc: RecoveryConfig) {
+        self.recovery = Some(rc);
+        for a in 0..self.engine.len() {
+            self.engine.node_mut(a).recovery = Some(rc);
+        }
+    }
+
+    /// The loss-recovery parameters in force.
+    pub fn recovery(&self) -> Option<RecoveryConfig> {
+        self.recovery
     }
 
     /// Adds the first node of the network (no join needed).
@@ -110,6 +128,7 @@ impl<A: App, T: Topology> PastrySim<A, T> {
             app,
         ));
         self.engine.node_mut(addr).joined = true;
+        self.engine.node_mut(addr).recovery = self.recovery;
         addr
     }
 
@@ -125,21 +144,30 @@ impl<A: App, T: Topology> PastrySim<A, T> {
             .engine
             .push_node(PastryNode::new(self.cfg, joiner, app));
         debug_assert_eq!(addr, joiner.addr);
-        self.engine
-            .inject(addr, contact, PastryMsg::NeighborhoodRequest, 0);
-        self.engine.inject(
-            addr,
-            contact,
-            PastryMsg::JoinRequest {
-                joiner,
-                rows: Vec::new(),
-                rows_done: 0,
-                hops: 0,
-            },
-            0,
-        );
-        self.engine.run_until_quiet(QUIET_BUDGET);
-        debug_assert!(self.engine.node(addr).joined, "join did not complete");
+        if self.recovery.is_some() {
+            // Loss-recovery mode: the node drives its own join from a
+            // timer so lost requests/replies are retried with a deadline.
+            self.engine.node_mut(addr).recovery = self.recovery;
+            self.engine.node_mut(addr).begin_join(contact);
+            self.engine.arm_timer(addr, 0, TIMER_JOIN_RETRY);
+            self.engine.run_until_quiet(QUIET_BUDGET);
+        } else {
+            self.engine
+                .inject(addr, contact, PastryMsg::NeighborhoodRequest, 0);
+            self.engine.inject(
+                addr,
+                contact,
+                PastryMsg::JoinRequest {
+                    joiner,
+                    rows: Vec::new(),
+                    rows_done: 0,
+                    hops: 0,
+                },
+                0,
+            );
+            self.engine.run_until_quiet(QUIET_BUDGET);
+            debug_assert!(self.engine.node(addr).joined, "join did not complete");
+        }
         addr
     }
 

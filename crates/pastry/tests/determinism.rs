@@ -14,7 +14,7 @@
 //! constants by running the tests and copying the reported fingerprints.
 
 use past_crypto::rng::Rng;
-use past_netsim::Sphere;
+use past_netsim::{FaultConfig, Sphere};
 use past_pastry::{random_ids, static_build, Config, Id, NullApp, PastrySim};
 
 const N: usize = 512;
@@ -62,6 +62,28 @@ fn golden_static_build() {
         |_| NullApp,
         3,
     );
+    assert_eq!(
+        fingerprint(&mut sim, 77),
+        "build_msgs=0 build_bytes=0 delivered=1000 hist=[2, 78, 655, 265] \
+         total_msgs=3183 total_bytes=254640 now_us=106351091"
+    );
+}
+
+/// Installing an all-zero fault config must not perturb the golden run:
+/// the fault layer draws no randomness unless a fault rate is non-zero.
+#[test]
+fn golden_static_build_with_zero_fault_config() {
+    let mut rng = Rng::seed_from_u64(2026);
+    let ids = random_ids(N, &mut rng);
+    let mut sim = static_build(
+        Sphere::new(N, 2026),
+        Config::default(),
+        2026,
+        &ids,
+        |_| NullApp,
+        3,
+    );
+    sim.engine.set_faults(FaultConfig::default(), 0xdead_beef);
     assert_eq!(
         fingerprint(&mut sim, 77),
         "build_msgs=0 build_bytes=0 delivered=1000 hist=[2, 78, 655, 265] \

@@ -57,6 +57,10 @@ pub struct Row {
     pub hops: f64,
     /// Mean route-delay / direct-delay ratio.
     pub ratio: f64,
+    /// Sends that bounced off dead or unreachable peers during the run
+    /// (0 on a healthy static network — a liveness smoke signal per
+    /// scheme, not a paper metric).
+    pub failed_sends: u64,
 }
 
 /// E11 result.
@@ -103,6 +107,7 @@ pub fn run(p: &Params) -> Result {
                 n,
                 hops: hops as f64 / probes.len() as f64,
                 ratio: ratios.iter().sum::<f64>() / ratios.len().max(1) as f64,
+                failed_sends: sim.engine.stats.failed_sends,
             });
         }
 
@@ -125,6 +130,7 @@ pub fn run(p: &Params) -> Result {
                 n,
                 hops: hops as f64 / probes.len() as f64,
                 ratio: ratios.iter().sum::<f64>() / ratios.len().max(1) as f64,
+                failed_sends: sim.engine.stats.failed_sends,
             });
         }
 
@@ -147,6 +153,7 @@ pub fn run(p: &Params) -> Result {
                 n,
                 hops: hops as f64 / probes.len() as f64,
                 ratio: ratios.iter().sum::<f64>() / ratios.len().max(1) as f64,
+                failed_sends: sim.engine.stats.failed_sends,
             });
         }
     }
@@ -158,7 +165,7 @@ impl Result {
     pub fn table(&self) -> ExpTable {
         let mut t = ExpTable::new(
             "E11: Pastry vs Chord vs CAN (same sphere topology, same keys)",
-            &["scheme", "N", "mean hops", "distance ratio"],
+            &["scheme", "N", "mean hops", "distance ratio", "failed sends"],
         );
         for r in &self.rows {
             t.row(vec![
@@ -166,9 +173,11 @@ impl Result {
                 r.n.to_string(),
                 f2(r.hops),
                 f2(r.ratio),
+                r.failed_sends.to_string(),
             ]);
         }
         t.note("paper: Chord lacks locality; CAN hops grow faster than log N");
+        t.note("failed sends: bounced messages per scheme (0 = fully reachable)");
         t
     }
 }
@@ -210,5 +219,12 @@ mod tests {
             chord.hops,
             pastry.hops
         );
+        for row in &r.rows {
+            assert_eq!(
+                row.failed_sends, 0,
+                "{}: no sends may bounce on a healthy static network",
+                row.scheme
+            );
+        }
     }
 }

@@ -12,7 +12,7 @@ cargo fmt --check
 echo "== xtask check (hermeticity / determinism / panic policy)"
 cargo run --offline -q -p xtask -- check
 
-echo "== invariant gate (I1-I5 over bulk-join / churn / quota-reclaim)"
+echo "== invariant gate (I1-I5 over bulk-join / churn / quota-reclaim / lossy-churn)"
 cargo run --offline -q -p past-invariants --bin invariants
 
 echo "== cargo build --release"
@@ -24,7 +24,9 @@ cargo test --offline -q --workspace
 echo "== bench smoke (binaries run and emit valid BENCH_*.json)"
 ./target/release/bench_micro --smoke --out target/BENCH_micro.smoke.json
 ./target/release/bench_macro --smoke --out target/BENCH_macro.smoke.json
+./target/release/bench_loss --smoke --out target/BENCH_loss.smoke.json
 grep -q '"schema": "past-bench/v1"' target/BENCH_micro.smoke.json
 grep -q '"schema": "past-bench/v1"' target/BENCH_macro.smoke.json
+grep -q '"schema": "past-bench/v1"' target/BENCH_loss.smoke.json
 
 echo "tier-1: all green"
