@@ -18,7 +18,7 @@
 use past_bench::json;
 use past_core::{BuildMode, ContentRef, PastConfig, PastNetwork, PastOut};
 use past_crypto::rng::Rng;
-use past_netsim::{FaultConfig, Sphere};
+use past_netsim::{FaultConfig, Sphere, TraceConfig};
 use past_pastry::{random_ids, Config as PastryConfig, RecoveryConfig};
 use std::time::Instant;
 
@@ -38,6 +38,10 @@ struct Level {
     failed_sends: u64,
     total_msgs: u64,
     wall_ms: f64,
+    /// Fault-injected drops per message kind (non-zero entries only).
+    dropped_by_kind: Vec<(&'static str, u64)>,
+    /// Fault-injected duplicates per message kind (non-zero entries only).
+    duplicated_by_kind: Vec<(&'static str, u64)>,
 }
 
 fn run_level(loss: f64, n: usize, files: u64) -> Level {
@@ -64,6 +68,9 @@ fn run_level(loss: f64, n: usize, files: u64) -> Level {
         BuildMode::Static,
     );
     net.sim.set_recovery(RecoveryConfig::default());
+    // Metrics only: per-kind drop/duplicate attribution without paying
+    // for event records.
+    net.sim.engine.set_tracing(TraceConfig::metrics_only());
     net.sim.engine.set_faults(
         FaultConfig {
             loss,
@@ -86,6 +93,8 @@ fn run_level(loss: f64, n: usize, files: u64) -> Level {
         failed_sends: 0,
         total_msgs: 0,
         wall_ms: 0.0,
+        dropped_by_kind: Vec::new(),
+        duplicated_by_kind: Vec::new(),
     };
     let mut events = Vec::new();
     for i in 0..files {
@@ -125,7 +134,22 @@ fn run_level(loss: f64, n: usize, files: u64) -> Level {
     lvl.duplicated = stats.duplicated;
     lvl.failed_sends = stats.failed_sends;
     lvl.total_msgs = stats.total_msgs;
+    let metrics = &net.sim.engine.tracer().metrics;
+    lvl.dropped_by_kind = metrics.dropped_by_kind().filter(|(_, c)| *c > 0).collect();
+    lvl.duplicated_by_kind = metrics
+        .duplicated_by_kind()
+        .filter(|(_, c)| *c > 0)
+        .collect();
     lvl
+}
+
+/// Renders `(kind, count)` pairs as a JSON object.
+fn kind_obj(pairs: &[(&'static str, u64)]) -> String {
+    let mut o = json::Obj::new();
+    for (k, c) in pairs {
+        o = o.int(k, *c);
+    }
+    o.build()
 }
 
 fn main() {
@@ -167,6 +191,8 @@ fn main() {
                     .int("failed_sends", l.failed_sends)
                     .int("total_msgs", l.total_msgs)
                     .num("wall_ms", l.wall_ms)
+                    .raw("dropped_by_kind", &kind_obj(&l.dropped_by_kind))
+                    .raw("duplicated_by_kind", &kind_obj(&l.duplicated_by_kind))
                     .build()
             })),
         )

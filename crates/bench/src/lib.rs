@@ -8,7 +8,7 @@
 //!   (hashing, signatures, routing steps, cache ops).
 //! - `src/bin/exp_*.rs` run individual experiments at paper scale.
 
-pub mod json;
+pub use past_trace::json;
 pub mod timing;
 
 pub use timing::{Bench, Measurement};

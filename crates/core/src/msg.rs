@@ -4,7 +4,7 @@
 use crate::cert::{FileCertificate, ReclaimCertificate, ReclaimReceipt, StoreReceipt};
 use crate::fileid::{ContentRef, FileId};
 use past_crypto::Digest256;
-use past_netsim::Addr;
+use past_netsim::{Addr, OpId};
 use past_pastry::PayloadSize;
 
 /// Why an insertion response was negative.
@@ -41,6 +41,8 @@ pub enum PastMsg {
         content: ContentRef,
         /// The requesting client.
         client: Addr,
+        /// The client operation this request belongs to (trace attribution).
+        op: OpId,
     },
     /// Lookup request; accumulates the route path for cache placement.
     Lookup {
@@ -53,6 +55,8 @@ pub enum PastMsg {
         /// Set once a covering node has redirected the lookup to its
         /// proximity-nearest replica holder (at most one redirect).
         redirected: bool,
+        /// The client operation this request belongs to (trace attribution).
+        op: OpId,
     },
     /// Reclaim request.
     Reclaim {
@@ -60,6 +64,8 @@ pub enum PastMsg {
         rcert: ReclaimCertificate,
         /// The requesting client.
         client: Addr,
+        /// The client operation this request belongs to (trace attribution).
+        op: OpId,
     },
 
     // --- Direct node-to-node -------------------------------------------
@@ -72,6 +78,9 @@ pub enum PastMsg {
         content: ContentRef,
         /// The client awaiting receipts, if any.
         client: Option<Addr>,
+        /// The client operation this copy belongs to (none for
+        /// maintenance replication).
+        op: OpId,
     },
     /// Full primary → leaf neighbor: hold this replica for me
     /// (replica diversion).
@@ -84,21 +93,29 @@ pub enum PastMsg {
         primary: Addr,
         /// The client awaiting a receipt.
         client: Addr,
+        /// The client operation this diversion serves.
+        op: OpId,
     },
     /// Diversion accepted; sender now holds the replica.
     DivertAck {
         /// The diverted file.
         file_id: FileId,
+        /// The client operation the diversion served.
+        op: OpId,
     },
     /// Diversion refused.
     DivertNack {
         /// The refused file.
         file_id: FileId,
+        /// The client operation the diversion would have served.
+        op: OpId,
     },
     /// Storage node → client: copy stored, receipt enclosed.
     StoreAck {
         /// The signed store receipt.
         receipt: StoreReceipt,
+        /// The client operation being acknowledged.
+        op: OpId,
     },
     /// Storage node → client: copy not stored.
     InsertNack {
@@ -106,6 +123,8 @@ pub enum PastMsg {
         file_id: FileId,
         /// Why.
         reason: NackReason,
+        /// The client operation being refused.
+        op: OpId,
     },
     /// Root → replica holder: answer this lookup if you can.
     LookupHop {
@@ -118,6 +137,8 @@ pub enum PastMsg {
         /// Terminal hops answer miss directly; non-terminal ones
         /// (nearest-replica redirects) re-route toward the root instead.
         terminal: bool,
+        /// The client operation this hop serves.
+        op: OpId,
     },
     /// Storage node → client: the file (certificate stands in for content).
     FileReply {
@@ -125,11 +146,15 @@ pub enum PastMsg {
         cert: FileCertificate,
         /// Whether a cached copy served the request.
         from_cache: bool,
+        /// The client operation being answered.
+        op: OpId,
     },
     /// Storage node → client: file not found here.
     LookupMiss {
         /// The file.
         file_id: FileId,
+        /// The client operation being answered.
+        op: OpId,
     },
     /// Root → k-set member / pointer holder: free this file.
     ReclaimFree {
@@ -137,16 +162,23 @@ pub enum PastMsg {
         rcert: ReclaimCertificate,
         /// The client awaiting receipts.
         client: Addr,
+        /// The client operation this free belongs to (none for
+        /// internal quota-pressure reclaims).
+        op: OpId,
     },
     /// Storage node → client: storage freed, receipt enclosed.
     ReclaimAck {
         /// The signed reclaim receipt.
         receipt: ReclaimReceipt,
+        /// The client operation being acknowledged.
+        op: OpId,
     },
     /// Storage node → client: reclaim refused (not the owner).
     ReclaimDenied {
         /// The file.
         file_id: FileId,
+        /// The client operation being refused.
+        op: OpId,
     },
     /// Push a file into a nearby node's cache (sent to route-path nodes).
     CachePush {
@@ -187,6 +219,31 @@ impl PayloadSize for PastMsg {
             _ => 40,
         }
     }
+
+    fn op_id(&self) -> OpId {
+        match self {
+            PastMsg::Insert { op, .. }
+            | PastMsg::Lookup { op, .. }
+            | PastMsg::Reclaim { op, .. }
+            | PastMsg::Replicate { op, .. }
+            | PastMsg::DivertStore { op, .. }
+            | PastMsg::DivertAck { op, .. }
+            | PastMsg::DivertNack { op, .. }
+            | PastMsg::StoreAck { op, .. }
+            | PastMsg::InsertNack { op, .. }
+            | PastMsg::LookupHop { op, .. }
+            | PastMsg::FileReply { op, .. }
+            | PastMsg::LookupMiss { op, .. }
+            | PastMsg::ReclaimFree { op, .. }
+            | PastMsg::ReclaimAck { op, .. }
+            | PastMsg::ReclaimDenied { op, .. } => *op,
+            // Caching and audits are background maintenance: never part of
+            // a client operation.
+            PastMsg::CachePush { .. }
+            | PastMsg::AuditChallenge { .. }
+            | PastMsg::AuditProof { .. } => OpId::NONE,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -211,11 +268,17 @@ mod tests {
             cert,
             content,
             client: 0,
+            op: OpId(7),
         };
         assert!(insert.payload_size() > 10_000);
+        assert_eq!(insert.op_id(), OpId(7));
         let miss = PastMsg::LookupMiss {
             file_id: cert.file_id,
+            op: OpId::NONE,
         };
         assert!(miss.payload_size() < 100);
+        assert_eq!(miss.op_id(), OpId::NONE);
+        let push = PastMsg::CachePush { cert };
+        assert_eq!(push.op_id(), OpId::NONE);
     }
 }

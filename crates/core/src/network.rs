@@ -13,7 +13,7 @@ use crate::node::{PastApp, PastConfig, PastOut, RetryOp};
 use crate::smartcard::CardError;
 use crate::storage::ReplicaKind;
 use past_crypto::Digest256;
-use past_netsim::{Addr, SimTime, Topology};
+use past_netsim::{Addr, OpId, SimTime, Topology};
 use past_pastry::{
     static_build, Config as PastryConfig, Id, OverlaySnapshot, PastryMsg, PastrySim, APP_TIMER_BASE,
 };
@@ -92,6 +92,9 @@ pub struct PastNetwork<T: Topology> {
     /// The broker that issued all smartcards.
     pub broker: Broker,
     past_cfg: PastConfig,
+    /// Next client-operation id for trace attribution (0 is reserved
+    /// for [`OpId::NONE`]).
+    next_op: u64,
 }
 
 /// How to construct the overlay.
@@ -145,7 +148,16 @@ impl<T: Topology> PastNetwork<T> {
             sim,
             broker,
             past_cfg,
+            next_op: 1,
         }
+    }
+
+    /// Allocates the next operation id (always, so runs with tracing on
+    /// and off stay event-for-event identical).
+    fn alloc_op(&mut self) -> OpId {
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        op
     }
 
     /// The PAST parameters in force.
@@ -177,12 +189,21 @@ impl<T: Topology> PastNetwork<T> {
         k: u8,
     ) -> Result<u64, CardError> {
         let now = self.sim.engine.now().as_micros();
+        let op = self.alloc_op();
         let (request_id, cert) = self
             .sim
             .engine
             .node_mut(client)
             .app
-            .begin_insert(name, content, k, now)?;
+            .begin_insert(name, content, k, now, op)?;
+        self.sim.engine.tracer_mut().op_start(
+            now,
+            op,
+            client,
+            "insert",
+            cert.file_id.routing_id().0,
+            u32::from(k),
+        );
         self.arm_request_timer(client, RetryOp::Insert(cert.file_id));
         self.sim.route(
             client,
@@ -191,6 +212,7 @@ impl<T: Topology> PastNetwork<T> {
                 cert,
                 content,
                 client,
+                op,
             },
         );
         Ok(request_id)
@@ -199,11 +221,16 @@ impl<T: Topology> PastNetwork<T> {
     /// Client operation: look up a file.
     pub fn lookup(&mut self, client: Addr, file_id: FileId) {
         let now = self.sim.engine.now().as_micros();
+        let op = self.alloc_op();
         self.sim
             .engine
             .node_mut(client)
             .app
-            .begin_lookup(file_id, now);
+            .begin_lookup(file_id, now, op);
+        self.sim
+            .engine
+            .tracer_mut()
+            .op_start(now, op, client, "lookup", file_id.routing_id().0, 1);
         self.arm_request_timer(client, RetryOp::Lookup(file_id));
         self.sim.route(
             client,
@@ -213,18 +240,34 @@ impl<T: Topology> PastNetwork<T> {
                 client,
                 path: Vec::new(),
                 redirected: false,
+                op,
             },
         );
     }
 
     /// Client operation: reclaim a file's storage.
     pub fn reclaim(&mut self, client: Addr, file_id: FileId) {
-        let rcert = self.sim.engine.node_mut(client).app.begin_reclaim(file_id);
+        let now = self.sim.engine.now().as_micros();
+        let op = self.alloc_op();
+        let rcert = self
+            .sim
+            .engine
+            .node_mut(client)
+            .app
+            .begin_reclaim(file_id, op);
+        self.sim.engine.tracer_mut().op_start(
+            now,
+            op,
+            client,
+            "reclaim",
+            file_id.routing_id().0,
+            1,
+        );
         self.arm_request_timer(client, RetryOp::Reclaim(file_id));
         self.sim.route(
             client,
             file_id.routing_id(),
-            PastMsg::Reclaim { rcert, client },
+            PastMsg::Reclaim { rcert, client, op },
         );
     }
 

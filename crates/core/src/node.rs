@@ -15,7 +15,7 @@ use crate::msg::{NackReason, PastMsg};
 use crate::smartcard::{CardError, Smartcard};
 use crate::storage::{ReplicaKind, Store};
 use past_crypto::{Digest256, PublicKey};
-use past_netsim::Addr;
+use past_netsim::{Addr, OpId};
 use past_pastry::{App, AppCtx, Id, NodeHandle, PastryState, RouteEnvelope, RouteInfo};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
@@ -169,12 +169,17 @@ struct PendingInsert {
     fatal: bool,
     /// Transmissions of this attempt so far (retry layer).
     sends: u32,
+    /// Trace attribution for the whole client operation (stable across
+    /// file-diversion re-salts and retransmissions).
+    op: OpId,
 }
 
 /// An in-flight client lookup.
 struct PendingLookup {
     started_us: u64,
     sends: u32,
+    /// Trace attribution for the operation.
+    op: OpId,
 }
 
 /// An in-flight client (or internal cleanup) reclaim.
@@ -184,6 +189,8 @@ struct PendingReclaim {
     /// Internal reclaims (failed-insert cleanup) fail silently; the
     /// insert already reported its own failure.
     internal: bool,
+    /// Trace attribution ([`OpId::NONE`] for internal reclaims).
+    op: OpId,
 }
 
 /// What a retransmission timer is watching (retry layer).
@@ -202,6 +209,8 @@ struct DivertState {
     cert: FileCertificate,
     content: ContentRef,
     client: Addr,
+    /// The client operation the diversion serves.
+    op: OpId,
     /// The candidate probed and not yet answered (retransmissions
     /// re-probe it rather than fanning to fresh candidates).
     current: Addr,
@@ -317,6 +326,7 @@ impl PastApp {
         content: ContentRef,
         k: u8,
         now_us: u64,
+        op: OpId,
     ) -> Result<(u64, FileCertificate), CardError> {
         let salt = 0;
         let cert = self
@@ -339,24 +349,26 @@ impl PastApp {
                 nacks: 0,
                 fatal: false,
                 sends: 1,
+                op,
             },
         );
         Ok((request_id, cert))
     }
 
     /// Registers a pending lookup (for latency measurement).
-    pub fn begin_lookup(&mut self, file_id: FileId, now_us: u64) {
+    pub fn begin_lookup(&mut self, file_id: FileId, now_us: u64, op: OpId) {
         self.pending_lookups.insert(
             file_id,
             PendingLookup {
                 started_us: now_us,
                 sends: 1,
+                op,
             },
         );
     }
 
     /// Issues a reclaim certificate for a file this card owns.
-    pub fn begin_reclaim(&mut self, file_id: FileId) -> ReclaimCertificate {
+    pub fn begin_reclaim(&mut self, file_id: FileId, op: OpId) -> ReclaimCertificate {
         let rcert = self.card.issue_reclaim_certificate(&file_id);
         if self.retry_enabled() {
             self.pending_reclaims.insert(
@@ -365,6 +377,7 @@ impl PastApp {
                     rcert,
                     sends: 1,
                     internal: false,
+                    op,
                 },
             );
         }
@@ -404,12 +417,26 @@ impl PastApp {
 
     /// Serves `fid` to `client` if held; optionally pushes cache copies to
     /// route-path nodes. Returns true if served.
-    fn reply_file(&mut self, fid: &FileId, client: Addr, path: &[Addr], cx: &mut Cx) -> bool {
+    fn reply_file(
+        &mut self,
+        fid: &FileId,
+        client: Addr,
+        path: &[Addr],
+        op: OpId,
+        cx: &mut Cx,
+    ) -> bool {
         let me = cx.me();
         let Some((cert, from_cache)) = self.store.serve(fid) else {
             return false;
         };
-        cx.send_direct(client, PastMsg::FileReply { cert, from_cache });
+        cx.send_direct(
+            client,
+            PastMsg::FileReply {
+                cert,
+                from_cache,
+                op,
+            },
+        );
         if self.cfg.cache_enabled && self.cfg.cache_push > 0 {
             // "Caches copies of popular files close to interested
             // clients": the earliest path entries are nearest the client.
@@ -438,6 +465,7 @@ impl PastApp {
         cert: FileCertificate,
         content: ContentRef,
         client: Option<Addr>,
+        op: OpId,
         state: &PastryState,
         cx: &mut Cx,
     ) {
@@ -448,6 +476,7 @@ impl PastApp {
                     PastMsg::InsertNack {
                         file_id: cert.file_id,
                         reason: NackReason::BadCertificate,
+                        op,
                     },
                 );
             }
@@ -460,7 +489,7 @@ impl PastApp {
                 let receipt = self
                     .card
                     .issue_store_receipt(&cert.file_id, cert.size, false);
-                cx.send_direct(c, PastMsg::StoreAck { receipt });
+                cx.send_direct(c, PastMsg::StoreAck { receipt, op });
             }
             return;
         }
@@ -489,7 +518,7 @@ impl PastApp {
             if let Some(c) = client {
                 let stored = if same_issuance { cert.size } else { 0 };
                 let receipt = self.card.issue_store_receipt(&cert.file_id, stored, false);
-                cx.send_direct(c, PastMsg::StoreAck { receipt });
+                cx.send_direct(c, PastMsg::StoreAck { receipt, op });
             }
             return;
         }
@@ -509,6 +538,7 @@ impl PastApp {
                                 content,
                                 primary: me,
                                 client: c,
+                                op,
                             },
                         );
                         return;
@@ -523,6 +553,7 @@ impl PastApp {
                             content,
                             primary: me,
                             client: c,
+                            op,
                         },
                     );
                     return;
@@ -531,16 +562,19 @@ impl PastApp {
         }
         match self.store.insert(&cert, ReplicaKind::Primary) {
             Ok(()) => {
+                let (now, me) = (cx.now_us(), cx.me());
+                cx.tracer()
+                    .replica_stored(now, op, me, cert.file_id.routing_id().0, false);
                 if let Some(c) = client {
                     let receipt = self
                         .card
                         .issue_store_receipt(&cert.file_id, cert.size, false);
-                    cx.send_direct(c, PastMsg::StoreAck { receipt });
+                    cx.send_direct(c, PastMsg::StoreAck { receipt, op });
                 }
             }
             Err(_) => {
                 if let Some(c) = client {
-                    self.start_diversion(cert, content, c, state, cx);
+                    self.start_diversion(cert, content, c, op, state, cx);
                 }
                 // Maintenance copies are best-effort: no diversion.
             }
@@ -553,6 +587,7 @@ impl PastApp {
         cert: FileCertificate,
         content: ContentRef,
         client: Addr,
+        op: OpId,
         state: &PastryState,
         cx: &mut Cx,
     ) {
@@ -579,6 +614,7 @@ impl PastApp {
                 PastMsg::InsertNack {
                     file_id: cert.file_id,
                     reason: NackReason::StoreRefused,
+                    op,
                 },
             );
             return;
@@ -590,6 +626,7 @@ impl PastApp {
                 cert,
                 content,
                 client,
+                op,
                 current: first,
                 candidates,
             },
@@ -601,6 +638,7 @@ impl PastApp {
                 content,
                 primary: cx.me(),
                 client,
+                op,
             },
         );
     }
@@ -611,20 +649,21 @@ impl PastApp {
             return;
         };
         if st.candidates.is_empty() {
-            let client = st.client;
+            let (client, op) = (st.client, st.op);
             self.pending_diverts.remove(&fid);
             cx.send_direct(
                 client,
                 PastMsg::InsertNack {
                     file_id: fid,
                     reason: NackReason::StoreRefused,
+                    op,
                 },
             );
             return;
         }
         let next = st.candidates.remove(0);
         st.current = next;
-        let (cert, content, client) = (st.cert, st.content, st.client);
+        let (cert, content, client, op) = (st.cert, st.content, st.client, st.op);
         let me = cx.me();
         cx.send_direct(
             next,
@@ -633,6 +672,7 @@ impl PastApp {
                 content,
                 primary: me,
                 client,
+                op,
             },
         );
     }
@@ -678,6 +718,9 @@ impl PastApp {
             let Some(p) = self.pending_inserts.remove(&fid) else {
                 return;
             };
+            let (now, me) = (cx.now_us(), cx.me());
+            cx.tracer()
+                .op_end(now, p.op, me, "insert", true, u32::from(p.receipts));
             cx.emit(PastOut::InsertOk {
                 request_id: p.request_id,
                 file_id: fid,
@@ -711,7 +754,15 @@ impl PastApp {
             }
             let rcert = self.card.issue_reclaim_certificate(&fid);
             let me = cx.me();
-            cx.route(fid.routing_id(), PastMsg::Reclaim { rcert, client: me });
+            // Cleanup reclaims are not client operations: no attribution.
+            cx.route(
+                fid.routing_id(),
+                PastMsg::Reclaim {
+                    rcert,
+                    client: me,
+                    op: OpId::NONE,
+                },
+            );
             if retrying {
                 self.pending_reclaims.insert(
                     fid,
@@ -719,6 +770,7 @@ impl PastApp {
                         rcert,
                         sends: 1,
                         internal: true,
+                        op: OpId::NONE,
                     },
                 );
                 let delay = self.backoff_us(1);
@@ -748,15 +800,19 @@ impl PastApp {
                             nacks: 0,
                             fatal: false,
                             sends: 1,
+                            op: p.op,
                         },
                     );
-                    let me = cx.me();
+                    let (now, me) = (cx.now_us(), cx.me());
+                    cx.tracer()
+                        .op_retry(now, p.op, me, "insert", p.attempts + 1);
                     cx.route(
                         new_fid.routing_id(),
                         PastMsg::Insert {
                             cert,
                             content: p.content,
                             client: me,
+                            op: p.op,
                         },
                     );
                     if retrying {
@@ -765,6 +821,9 @@ impl PastApp {
                     }
                 }
                 Err(_) => {
+                    let (now, me) = (cx.now_us(), cx.me());
+                    cx.tracer()
+                        .op_end(now, p.op, me, "insert", false, u32::from(p.receipts));
                     cx.emit(PastOut::InsertFailed {
                         request_id: p.request_id,
                         size: p.content.size,
@@ -773,6 +832,9 @@ impl PastApp {
                 }
             }
         } else {
+            let (now, me) = (cx.now_us(), cx.me());
+            cx.tracer()
+                .op_end(now, p.op, me, "insert", false, u32::from(p.receipts));
             cx.emit(PastOut::InsertFailed {
                 request_id: p.request_id,
                 size: p.content.size,
@@ -798,14 +860,16 @@ impl PastApp {
         p.nacks = 0;
         p.fatal = false;
         let sends = p.sends;
-        let (cert, content) = (p.cert, p.content);
-        let me = cx.me();
+        let (cert, content, op) = (p.cert, p.content, p.op);
+        let (now, me) = (cx.now_us(), cx.me());
+        cx.tracer().op_retry(now, op, me, "insert", sends);
         cx.route(
             fid.routing_id(),
             PastMsg::Insert {
                 cert,
                 content,
                 client: me,
+                op,
             },
         );
         let delay = self.backoff_us(sends);
@@ -818,13 +882,17 @@ impl PastApp {
             return;
         };
         if p.sends >= self.cfg.request_attempts {
+            let op = p.op;
             self.pending_lookups.remove(&fid);
+            let (now, me) = (cx.now_us(), cx.me());
+            cx.tracer().op_end(now, op, me, "lookup", false, 0);
             cx.emit(PastOut::LookupFailed { file_id: fid });
             return;
         }
         p.sends += 1;
-        let sends = p.sends;
-        let me = cx.me();
+        let (sends, op) = (p.sends, p.op);
+        let (now, me) = (cx.now_us(), cx.me());
+        cx.tracer().op_retry(now, op, me, "lookup", sends);
         cx.route(
             fid.routing_id(),
             PastMsg::Lookup {
@@ -832,6 +900,7 @@ impl PastApp {
                 client: me,
                 path: Vec::new(),
                 redirected: false,
+                op,
             },
         );
         let delay = self.backoff_us(sends);
@@ -844,18 +913,27 @@ impl PastApp {
             return;
         };
         if p.sends >= self.cfg.request_attempts {
-            let internal = p.internal;
+            let (internal, op) = (p.internal, p.op);
             self.pending_reclaims.remove(&fid);
             if !internal {
+                let (now, me) = (cx.now_us(), cx.me());
+                cx.tracer().op_end(now, op, me, "reclaim", false, 0);
                 cx.emit(PastOut::ReclaimFailed { file_id: fid });
             }
             return;
         }
         p.sends += 1;
-        let sends = p.sends;
-        let rcert = p.rcert;
-        let me = cx.me();
-        cx.route(fid.routing_id(), PastMsg::Reclaim { rcert, client: me });
+        let (sends, rcert, op) = (p.sends, p.rcert, p.op);
+        let (now, me) = (cx.now_us(), cx.me());
+        cx.tracer().op_retry(now, op, me, "reclaim", sends);
+        cx.route(
+            fid.routing_id(),
+            PastMsg::Reclaim {
+                rcert,
+                client: me,
+                op,
+            },
+        );
         let delay = self.backoff_us(sends);
         self.arm_retry(RetryOp::Reclaim(fid), delay, cx);
     }
@@ -865,13 +943,14 @@ impl PastApp {
         &mut self,
         rcert: ReclaimCertificate,
         client: Addr,
+        op: OpId,
         propagate: bool,
         state: &PastryState,
         cx: &mut Cx,
     ) {
         let fid = rcert.file_id;
         if self.cfg.crypto_checks && !rcert.verify(&self.broker_key) {
-            cx.send_direct(client, PastMsg::ReclaimDenied { file_id: fid });
+            cx.send_direct(client, PastMsg::ReclaimDenied { file_id: fid, op });
             return;
         }
         let mut replication = self.cfg.default_k;
@@ -882,7 +961,7 @@ impl PastApp {
             // signature in the reclaim certificate matches that in the
             // file certificate stored with the file."
             if f.cert.owner.card_key != rcert.owner.card_key {
-                cx.send_direct(client, PastMsg::ReclaimDenied { file_id: fid });
+                cx.send_direct(client, PastMsg::ReclaimDenied { file_id: fid, op });
                 return;
             }
             replication = f.cert.replication;
@@ -896,13 +975,19 @@ impl PastApp {
                 self.issued_reclaim_receipts
                     .insert(fid, (rcert.owner.card_key.to_bytes(), receipt));
             }
-            cx.send_direct(client, PastMsg::ReclaimAck { receipt });
+            cx.send_direct(client, PastMsg::ReclaimAck { receipt, op });
         } else if self.retry_enabled() {
             if let Some((owner, receipt)) = self.issued_reclaim_receipts.get(&fid) {
                 if *owner == rcert.owner.card_key.to_bytes() {
                     // Retransmission of a reclaim already honored: re-ack
                     // with the cached receipt (the client deduplicates).
-                    cx.send_direct(client, PastMsg::ReclaimAck { receipt: *receipt });
+                    cx.send_direct(
+                        client,
+                        PastMsg::ReclaimAck {
+                            receipt: *receipt,
+                            op,
+                        },
+                    );
                 }
             }
         }
@@ -911,13 +996,13 @@ impl PastApp {
         self.store.cache.invalidate(&fid);
         self.store.remove_pointer(&fid);
         if let Some(holder) = diverted_to {
-            cx.send_direct(holder, PastMsg::ReclaimFree { rcert, client });
+            cx.send_direct(holder, PastMsg::ReclaimFree { rcert, client, op });
         }
         if propagate {
             let me = cx.me();
             for h in Self::kset(state, fid.routing_id(), replication) {
                 if h.addr != me {
-                    cx.send_direct(h.addr, PastMsg::ReclaimFree { rcert, client });
+                    cx.send_direct(h.addr, PastMsg::ReclaimFree { rcert, client, op });
                 }
             }
         }
@@ -941,6 +1026,7 @@ impl App for PastApp {
                 cert,
                 content,
                 client,
+                op,
             } => {
                 if !self.insert_valid(&cert, &content) {
                     cx.send_direct(
@@ -948,6 +1034,7 @@ impl App for PastApp {
                         PastMsg::InsertNack {
                             file_id: cert.file_id,
                             reason: NackReason::BadCertificate,
+                            op,
                         },
                     );
                     return;
@@ -967,6 +1054,7 @@ impl App for PastApp {
                                 cert,
                                 content,
                                 client: Some(client),
+                                op,
                             },
                         );
                     }
@@ -980,11 +1068,12 @@ impl App for PastApp {
                         PastMsg::InsertNack {
                             file_id: cert.file_id,
                             reason: NackReason::InsufficientNodes,
+                            op,
                         },
                     );
                 }
                 if store_here {
-                    self.try_store_primary(cert, content, Some(client), state, cx);
+                    self.try_store_primary(cert, content, Some(client), op, state, cx);
                 }
             }
             PastMsg::Lookup {
@@ -992,8 +1081,9 @@ impl App for PastApp {
                 client,
                 path,
                 redirected: _,
+                op,
             } => {
-                if self.reply_file(&file_id, client, &path, cx) {
+                if self.reply_file(&file_id, client, &path, op, cx) {
                     return;
                 }
                 if let Some(holder) = self.store.pointer(&file_id) {
@@ -1004,6 +1094,7 @@ impl App for PastApp {
                             client,
                             path,
                             terminal: true,
+                            op,
                         },
                     );
                     return;
@@ -1020,14 +1111,15 @@ impl App for PastApp {
                             client,
                             path,
                             terminal: true,
+                            op,
                         },
                     );
                 } else {
-                    cx.send_direct(client, PastMsg::LookupMiss { file_id });
+                    cx.send_direct(client, PastMsg::LookupMiss { file_id, op });
                 }
             }
-            PastMsg::Reclaim { rcert, client } => {
-                self.handle_reclaim(rcert, client, true, state, cx);
+            PastMsg::Reclaim { rcert, client, op } => {
+                self.handle_reclaim(rcert, client, op, true, state, cx);
             }
             // Direct-only messages routed here would be a logic error;
             // ignore them defensively.
@@ -1062,11 +1154,12 @@ impl App for PastApp {
                 client,
                 path,
                 redirected,
+                op,
             } => {
-                let (fid, client) = (*file_id, *client);
+                let (fid, client, op) = (*file_id, *client, *op);
                 if self.store.can_serve(&fid) {
                     let path = path.clone();
-                    self.reply_file(&fid, client, &path, cx);
+                    self.reply_file(&fid, client, &path, op, cx);
                     return false;
                 }
                 // "Messages have a tendency to first reach a node, among
@@ -1096,6 +1189,7 @@ impl App for PastApp {
                                 client,
                                 path,
                                 terminal: false,
+                                op,
                             },
                         );
                         return false;
@@ -1116,14 +1210,16 @@ impl App for PastApp {
                 cert,
                 content,
                 client,
+                op,
             } => {
-                self.try_store_primary(cert, content, client, state, cx);
+                self.try_store_primary(cert, content, client, op, state, cx);
             }
             PastMsg::DivertStore {
                 cert,
                 content,
                 primary,
                 client,
+                op,
             } => {
                 if self.retry_enabled() {
                     if let Some(f) = self.store.get(&cert.file_id) {
@@ -1135,11 +1231,12 @@ impl App for PastApp {
                             let receipt =
                                 self.card
                                     .issue_store_receipt(&cert.file_id, cert.size, true);
-                            cx.send_direct(client, PastMsg::StoreAck { receipt });
+                            cx.send_direct(client, PastMsg::StoreAck { receipt, op });
                             cx.send_direct(
                                 primary,
                                 PastMsg::DivertAck {
                                     file_id: cert.file_id,
+                                    op,
                                 },
                             );
                             return;
@@ -1152,14 +1249,18 @@ impl App for PastApp {
                     && !self.drops_stored_files
                     && self.store.insert(&cert, ReplicaKind::Diverted).is_ok();
                 if admitted {
+                    let (now, me) = (cx.now_us(), cx.me());
+                    cx.tracer()
+                        .replica_stored(now, op, me, cert.file_id.routing_id().0, true);
                     let receipt = self
                         .card
                         .issue_store_receipt(&cert.file_id, cert.size, true);
-                    cx.send_direct(client, PastMsg::StoreAck { receipt });
+                    cx.send_direct(client, PastMsg::StoreAck { receipt, op });
                     cx.send_direct(
                         primary,
                         PastMsg::DivertAck {
                             file_id: cert.file_id,
+                            op,
                         },
                     );
                 } else {
@@ -1167,19 +1268,20 @@ impl App for PastApp {
                         primary,
                         PastMsg::DivertNack {
                             file_id: cert.file_id,
+                            op,
                         },
                     );
                 }
             }
-            PastMsg::DivertAck { file_id } => {
+            PastMsg::DivertAck { file_id, .. } => {
                 if self.pending_diverts.remove(&file_id).is_some() {
                     self.store.add_pointer(file_id, from);
                 }
             }
-            PastMsg::DivertNack { file_id } => {
+            PastMsg::DivertNack { file_id, .. } => {
                 self.try_next_divert(file_id, cx);
             }
-            PastMsg::StoreAck { receipt } => {
+            PastMsg::StoreAck { receipt, .. } => {
                 if !self.cfg.crypto_checks || receipt.verify(&self.broker_key) {
                     self.note_insert_response(
                         receipt.file_id,
@@ -1189,7 +1291,9 @@ impl App for PastApp {
                     );
                 }
             }
-            PastMsg::InsertNack { file_id, reason } => {
+            PastMsg::InsertNack {
+                file_id, reason, ..
+            } => {
                 self.note_insert_response(file_id, None, reason.is_fatal(), cx);
             }
             PastMsg::LookupHop {
@@ -1197,10 +1301,11 @@ impl App for PastApp {
                 client,
                 path,
                 terminal,
+                op,
             } => {
-                if !self.reply_file(&file_id, client, &path, cx) {
+                if !self.reply_file(&file_id, client, &path, op, cx) {
                     if terminal {
-                        cx.send_direct(client, PastMsg::LookupMiss { file_id });
+                        cx.send_direct(client, PastMsg::LookupMiss { file_id, op });
                     } else {
                         // Not a holder after all (e.g. a just-joined k-set
                         // member): continue the lookup toward the root.
@@ -1211,18 +1316,25 @@ impl App for PastApp {
                                 client,
                                 path,
                                 redirected: true,
+                                op,
                             },
                         );
                     }
                 }
             }
-            PastMsg::FileReply { cert, from_cache } => {
+            PastMsg::FileReply {
+                cert, from_cache, ..
+            } => {
                 if let Some(pending) = self.pending_lookups.remove(&cert.file_id) {
                     let started_us = pending.started_us;
                     // "The file certificate is returned along with the
                     // file, and allows the client to verify that the
                     // contents are authentic."
-                    if !self.cfg.crypto_checks || cert.verify(&self.broker_key) {
+                    let verified = !self.cfg.crypto_checks || cert.verify(&self.broker_key);
+                    let (now, me) = (cx.now_us(), cx.me());
+                    cx.tracer()
+                        .op_end(now, pending.op, me, "lookup", verified, 0);
+                    if verified {
                         cx.emit(PastOut::LookupOk {
                             file_id: cert.file_id,
                             server: from,
@@ -1236,21 +1348,28 @@ impl App for PastApp {
                     }
                 }
             }
-            PastMsg::LookupMiss { file_id } => {
-                if self.pending_lookups.remove(&file_id).is_some() {
+            PastMsg::LookupMiss { file_id, .. } => {
+                if let Some(pending) = self.pending_lookups.remove(&file_id) {
+                    let (now, me) = (cx.now_us(), cx.me());
+                    cx.tracer().op_end(now, pending.op, me, "lookup", false, 0);
                     cx.emit(PastOut::LookupFailed { file_id });
                 }
             }
-            PastMsg::ReclaimFree { rcert, client } => {
-                self.handle_reclaim(rcert, client, false, state, cx);
+            PastMsg::ReclaimFree { rcert, client, op } => {
+                self.handle_reclaim(rcert, client, op, false, state, cx);
             }
-            PastMsg::ReclaimAck { receipt } => {
+            PastMsg::ReclaimAck { receipt, .. } => {
                 let fid = receipt.file_id;
                 let freed = receipt.freed;
                 if self.retry_enabled() {
                     // The first ack settles the pending reclaim (other
                     // holders' acks still credit below).
-                    self.pending_reclaims.remove(&fid);
+                    if let Some(pending) = self.pending_reclaims.remove(&fid) {
+                        if !pending.internal {
+                            let (now, me) = (cx.now_us(), cx.me());
+                            cx.tracer().op_end(now, pending.op, me, "reclaim", true, 0);
+                        }
+                    }
                     let storer = receipt.storer.card_key.to_bytes();
                     if !self.reclaim_seen.insert((fid, storer)) {
                         return; // duplicated delivery
@@ -1279,9 +1398,14 @@ impl App for PastApp {
                     });
                 }
             }
-            PastMsg::ReclaimDenied { file_id } => {
+            PastMsg::ReclaimDenied { file_id, .. } => {
                 if self.retry_enabled() {
-                    self.pending_reclaims.remove(&file_id);
+                    if let Some(pending) = self.pending_reclaims.remove(&file_id) {
+                        if !pending.internal {
+                            let (now, me) = (cx.now_us(), cx.me());
+                            cx.tracer().op_end(now, pending.op, me, "reclaim", false, 0);
+                        }
+                    }
                 }
                 cx.emit(PastOut::ReclaimDenied { file_id });
             }
@@ -1329,6 +1453,7 @@ impl App for PastApp {
                 cert,
                 content,
                 client: Some(client),
+                op,
             } => {
                 // A replica target died mid-insert. The overlay purged it
                 // before this callback ran, so the recomputed k-set names
@@ -1349,6 +1474,7 @@ impl App for PastApp {
                         PastMsg::InsertNack {
                             file_id: cert.file_id,
                             reason: NackReason::TargetDead,
+                            op,
                         },
                     );
                 } else {
@@ -1359,6 +1485,7 @@ impl App for PastApp {
                                 cert,
                                 content,
                                 client: Some(client),
+                                op,
                             },
                         );
                     }
@@ -1371,6 +1498,7 @@ impl App for PastApp {
                 file_id,
                 client,
                 path,
+                op,
                 ..
             } => {
                 // The probed holder died; re-route the lookup with the
@@ -1382,6 +1510,7 @@ impl App for PastApp {
                         client,
                         path,
                         redirected: true,
+                        op,
                     },
                 );
             }
@@ -1460,6 +1589,7 @@ impl App for PastApp {
                         cert,
                         content,
                         client: None,
+                        op: OpId::NONE,
                     },
                 );
             }

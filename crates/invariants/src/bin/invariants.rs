@@ -1,10 +1,57 @@
 //! CI gate: run the canned scenarios and fail on any invariant violation.
 //!
 //! Each violation is reported as `<invariant> @node <addr>: <detail>`.
+//!
+//! With `--emit-trace PATH`, the lossy-churn scenario runs with the
+//! operation-lifecycle trace classes enabled and its trace is written to
+//! `PATH` as JSONL, ready for `tracecheck --require-clean`.
+
+use past_invariants::scenarios::{
+    bulk_join, churn, lossy_churn, lossy_churn_traced, quota_reclaim,
+};
+use past_netsim::TraceConfig;
 
 fn main() {
+    let mut emit_trace: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--emit-trace" => {
+                let Some(path) = args.next() else {
+                    eprintln!("invariants: --emit-trace needs a path");
+                    std::process::exit(2);
+                };
+                emit_trace = Some(path);
+            }
+            other => {
+                eprintln!("invariants: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut results = vec![
+        ("bulk-join", bulk_join(1)),
+        ("churn", churn(2)),
+        ("quota-reclaim", quota_reclaim(3)),
+    ];
+    if let Some(path) = &emit_trace {
+        let (violations, tracer) = lossy_churn_traced(4, TraceConfig::lifecycle());
+        if let Err(e) = std::fs::write(path, tracer.to_jsonl()) {
+            eprintln!("invariants: cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "invariants: wrote {} trace record(s) to {path}",
+            tracer.records().len()
+        );
+        results.push(("lossy-churn", violations));
+    } else {
+        results.push(("lossy-churn", lossy_churn(4)));
+    }
+
     let mut failed = false;
-    for (name, violations) in past_invariants::scenarios::run_all() {
+    for (name, violations) in results {
         if violations.is_empty() {
             println!("invariants: scenario {name:<14} ok (I1-I5 hold at every quiesce point)");
         } else {

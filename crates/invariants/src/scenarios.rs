@@ -8,7 +8,7 @@
 use crate::{check_all, Violation};
 use past_core::{BuildMode, ContentRef, PastApp, PastConfig, PastNetwork, PastOut};
 use past_crypto::rng::Rng;
-use past_netsim::{FaultConfig, Sphere};
+use past_netsim::{FaultConfig, Sphere, TraceConfig, Tracer};
 use past_pastry::{random_ids, Config as PastryConfig, Id, RecoveryConfig};
 use std::collections::BTreeSet;
 
@@ -188,6 +188,15 @@ pub fn quota_reclaim(seed: u64) -> Vec<Violation> {
 /// terminate in an explicit success or failure event (reported as a
 /// synthetic "OP" violation otherwise — a hung request).
 pub fn lossy_churn(seed: u64) -> Vec<Violation> {
+    // Tracing never perturbs the simulation, so delegating with tracing
+    // off yields exactly the violations a dedicated untraced run would.
+    lossy_churn_traced(seed, TraceConfig::off()).0
+}
+
+/// [`lossy_churn`] with a trace sink attached: returns the violations
+/// plus the tracer holding the run's records (fed to `tracecheck` by
+/// the CI gate).
+pub fn lossy_churn_traced(seed: u64, trace: TraceConfig) -> (Vec<Violation>, Tracer) {
     let mut violations = Vec::new();
     let cfg = PastConfig {
         request_timeout_us: Some(800_000),
@@ -197,6 +206,7 @@ pub fn lossy_churn(seed: u64) -> Vec<Violation> {
     // Ample disks and quotas: this scenario stresses message loss, not
     // storage pressure.
     let (mut net, ids) = build_net(48, 40, seed, 400 * MB, 4_000 * MB, cfg);
+    net.sim.engine.set_tracing(trace);
     net.run();
 
     // Switch the overlay into loss-recovery mode, then turn the faults on.
@@ -331,7 +341,7 @@ pub fn lossy_churn(seed: u64) -> Vec<Violation> {
             });
         }
     }
-    violations
+    (violations, net.sim.engine.take_tracer())
 }
 
 /// Runs every scenario with its default seed; `(name, violations)` pairs.

@@ -13,6 +13,7 @@ use crate::event::EventQueue;
 use crate::time::SimTime;
 use crate::topology::{Addr, Topology};
 use past_crypto::rng::Rng;
+use past_trace::{OpId, TraceConfig, Tracer};
 
 /// A simulated wire message.
 pub trait Message: Clone {
@@ -35,6 +36,13 @@ pub trait Message: Clone {
     /// Approximate wire size in bytes (for bandwidth accounting).
     fn wire_size(&self) -> u64 {
         64
+    }
+
+    /// The client operation this message belongs to, for causal trace
+    /// attribution. Protocol messages that are not part of a client
+    /// operation (the default) answer [`OpId::NONE`].
+    fn op_id(&self) -> OpId {
+        OpId::NONE
     }
 }
 
@@ -117,6 +125,11 @@ pub struct Ctx<'a, M, O> {
     pub me: Addr,
     /// The simulation RNG (shared, seeded once per engine).
     pub rng: &'a mut Rng,
+    /// The engine's trace sink. Node logic records protocol-level
+    /// events (route hops, join phases, operation lifecycle) here; the
+    /// engine itself records the message plane. No-op unless enabled
+    /// via [`Engine::set_tracing`].
+    pub tracer: &'a mut Tracer,
     topo: &'a dyn Topology,
     // Engine-owned scratch buffers, reused across invocations so the
     // per-event cost is a pointer swap rather than two allocations.
@@ -242,6 +255,7 @@ pub struct Engine<N: NodeLogic, T: Topology> {
     now: SimTime,
     /// Traffic counters (public so harnesses can reset/read them).
     pub stats: NetStats,
+    tracer: Tracer,
     outputs: Vec<(SimTime, Addr, N::Out)>,
     epoch: u64,
     scratch_effects: Vec<Effect<N::Msg>>,
@@ -272,6 +286,7 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
             fault_rng: Rng::seed_from_u64(seed ^ 0x5eed_fa17),
             now: SimTime::ZERO,
             stats: NetStats::for_kinds(N::Msg::KINDS),
+            tracer: Tracer::for_kinds(N::Msg::KINDS),
             outputs: Vec::new(),
             epoch: 0,
             scratch_effects: Vec::new(),
@@ -379,6 +394,31 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
         self.faults
     }
 
+    /// Selects which trace event classes are recorded. The default is
+    /// everything off: record calls return after one branch, no
+    /// allocation happens, and simulation outcomes are bit-identical
+    /// to an engine that never heard of tracing. Tracing draws no
+    /// randomness, so enabling it never perturbs outcomes either.
+    pub fn set_tracing(&mut self, cfg: TraceConfig) {
+        self.tracer.configure(cfg);
+    }
+
+    /// The trace sink (records + metrics registry).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable trace sink access (harness-side op lifecycle records).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Takes the trace sink out of the engine (for post-run analysis),
+    /// leaving a fresh disabled tracer behind.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::replace(&mut self.tracer, Tracer::for_kinds(N::Msg::KINDS))
+    }
+
     /// Injects a message into `to` as if sent by `from`, arriving after the
     /// topology delay (plus `extra_us`).
     pub fn inject(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64) {
@@ -390,6 +430,11 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
     /// injection and node-effect sends so both face the same network.
     fn dispatch(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64) {
         self.account(&msg);
+        if self.tracer.enabled() {
+            let (t, op) = (self.now.as_micros(), msg.op_id());
+            self.tracer
+                .msg_send(t, op, from, to, msg.kind_id(), msg.wire_size());
+        }
         let base = self.now + self.topo.delay_us(from, to) + extra_us;
         if from == to || !self.faults.is_active() {
             self.queue.push(base, Event::Deliver { from, to, msg });
@@ -399,6 +444,10 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
         // partially-enabled config stays reproducible field by field.
         if self.faults.loss > 0.0 && self.fault_rng.random::<f64>() < self.faults.loss {
             self.stats.dropped += 1;
+            if self.tracer.enabled() {
+                let (t, op) = (self.now.as_micros(), msg.op_id());
+                self.tracer.msg_drop(t, op, from, to, msg.kind_id());
+            }
             return;
         }
         let duplicate =
@@ -406,6 +455,10 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
         let at = base + self.draw_jitter();
         if duplicate {
             self.stats.duplicated += 1;
+            if self.tracer.enabled() {
+                let (t, op) = (self.now.as_micros(), msg.op_id());
+                self.tracer.msg_dup(t, op, from, to, msg.kind_id());
+            }
             let echo = base + self.draw_jitter();
             self.queue.push(
                 echo,
@@ -455,6 +508,10 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
             Event::Deliver { from, to, msg } => {
                 if !self.alive[to] {
                     self.stats.failed_sends += 1;
+                    if self.tracer.enabled() {
+                        let (t, op) = (self.now.as_micros(), msg.op_id());
+                        self.tracer.msg_fail(t, op, from, to, msg.kind_id());
+                    }
                     // Timeout model: the sender learns of the failure one
                     // further delay later (round-trip worth in total).
                     if self.alive[from] && from != to {
@@ -469,6 +526,10 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
                         );
                     }
                     return true;
+                }
+                if self.tracer.enabled() {
+                    let (t, op) = (self.now.as_micros(), msg.op_id());
+                    self.tracer.msg_recv(t, op, from, to, msg.kind_id());
                 }
                 self.invoke(to, |node, ctx| node.on_message(from, msg, ctx));
             }
@@ -501,6 +562,7 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
             now: self.now,
             me: at,
             rng: &mut self.rng,
+            tracer: &mut self.tracer,
             topo: &self.topo,
             effects: &mut effects,
             emitted: &mut emitted,
@@ -830,5 +892,77 @@ mod tests {
         e.inject(2, 1, PingMsg::Ping(0), 0);
         e.run_until_quiet(100);
         assert_eq!(e.stats.failed_sends, 2);
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_records_nothing() {
+        let mut e = engine(4);
+        for i in 0..4 {
+            e.inject(i, (i + 1) % 4, PingMsg::Ping(1), 0);
+        }
+        e.run_until_quiet(1_000);
+        assert!(!e.tracer().enabled());
+        assert!(e.tracer().records().is_empty());
+        assert_eq!(e.tracer().fingerprint(), past_trace::fnv1a(b""));
+    }
+
+    /// Enabling tracing must not perturb a faulty run (the tracer draws
+    /// no randomness), and the same seed must reproduce the same trace.
+    #[test]
+    fn tracing_does_not_perturb_and_replays_bit_identically() {
+        let faults = FaultConfig {
+            loss: 0.2,
+            duplicate: 0.1,
+            jitter_us: 700,
+        };
+        let untraced = fault_run(faults, 99);
+        let traced = |()| {
+            let mut e = engine(8);
+            e.set_faults(faults, 99);
+            e.set_tracing(TraceConfig::full());
+            for round in 0..50u32 {
+                for i in 0..8 {
+                    e.inject(i, (i + round as usize) % 8, PingMsg::Ping(round), 0);
+                }
+            }
+            e.run_until_quiet(100_000);
+            let pongs: u64 = (0..8).map(|a| e.node(a).pongs.len() as u64).sum();
+            let tuple = (
+                e.now(),
+                e.stats.total_msgs,
+                e.stats.dropped,
+                e.stats.duplicated,
+                pongs,
+            );
+            (tuple, e.tracer().fingerprint())
+        };
+        let (a_tuple, a_fp) = traced(());
+        let (b_tuple, b_fp) = traced(());
+        assert_eq!(a_tuple, untraced, "tracing must not change outcomes");
+        assert_eq!(a_tuple, b_tuple);
+        assert_eq!(a_fp, b_fp, "same seed must produce the same trace");
+    }
+
+    #[test]
+    fn message_plane_events_are_recorded() {
+        use past_trace::TraceEvent;
+        let mut e = engine(3);
+        e.set_tracing(TraceConfig::full());
+        e.kill(2);
+        e.inject(0, 1, PingMsg::Ping(1), 0);
+        e.inject(0, 2, PingMsg::Ping(1), 0);
+        e.run_until_quiet(100);
+        let has = |f: &dyn Fn(&TraceEvent) -> bool| e.tracer().records().iter().any(|r| f(&r.ev));
+        assert!(has(&|ev| matches!(
+            ev,
+            TraceEvent::MsgSend { from: 0, to: 1, .. }
+        )));
+        assert!(has(&|ev| matches!(ev, TraceEvent::MsgRecv { to: 1, .. })));
+        assert!(has(&|ev| matches!(ev, TraceEvent::MsgFail { to: 2, .. })));
+        // The per-kind metrics saw the same traffic.
+        assert_eq!(
+            e.tracer().metrics.failed_by_kind().next(),
+            Some(("ping", 1))
+        );
     }
 }

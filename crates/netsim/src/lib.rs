@@ -23,3 +23,8 @@ pub use engine::{Ctx, Engine, FaultConfig, Message, NetStats, NodeLogic};
 pub use stats::{summarize, Histogram, Summary};
 pub use time::SimTime;
 pub use topology::{Addr, Plane, Sphere, Topology, TransitStub, UniformRandom};
+// The trace layer's core handles, re-exported so node logic written
+// against this engine can name them without a separate dependency.
+// (`past_trace::Histogram` is *not* re-exported: `stats::Histogram`
+// already owns that name here.)
+pub use past_trace::{OpId, TraceConfig, Tracer};

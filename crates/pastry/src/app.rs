@@ -12,7 +12,7 @@ use crate::id::Id;
 use crate::msg::{PastryMsg, PayloadSize, RouteEnvelope};
 use crate::state::PastryState;
 use past_crypto::rng::Rng;
-use past_netsim::{Addr, Ctx};
+use past_netsim::{Addr, Ctx, Tracer};
 
 /// Observations surfaced by the overlay (and the app) to the experiment
 /// harness.
@@ -85,6 +85,11 @@ impl<P: Clone + PayloadSize, O> AppCtx<'_, '_, P, O> {
     /// The simulation RNG.
     pub fn rng(&mut self) -> &mut Rng {
         self.ctx.rng
+    }
+
+    /// The engine's trace sink (operation lifecycle records).
+    pub fn tracer(&mut self) -> &mut Tracer {
+        self.ctx.tracer
     }
 
     /// Proximity (one-way delay) to another node.

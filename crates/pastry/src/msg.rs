@@ -2,7 +2,7 @@
 
 use crate::handle::NodeHandle;
 use crate::id::Id;
-use past_netsim::{Addr, Message};
+use past_netsim::{Addr, Message, OpId};
 
 /// A routed application message in flight.
 #[derive(Clone, Debug)]
@@ -165,6 +165,16 @@ impl<P: Clone + PayloadSize> Message for PastryMsg<P> {
             | PastryMsg::HeartbeatAck => 16,
         }
     }
+
+    fn op_id(&self) -> OpId {
+        // Only application traffic can belong to a client operation;
+        // overlay maintenance never does.
+        match self {
+            PastryMsg::Route(env) => env.payload.op_id(),
+            PastryMsg::AppDirect { payload } => payload.op_id(),
+            _ => OpId::NONE,
+        }
+    }
 }
 
 /// Wire-size estimation for application payloads.
@@ -172,6 +182,13 @@ pub trait PayloadSize {
     /// Approximate encoded size in bytes.
     fn payload_size(&self) -> u64 {
         32
+    }
+
+    /// The client operation this payload belongs to, for causal trace
+    /// attribution (default: none). Carried up into
+    /// [`Message::op_id`] by both routed and direct Pastry frames.
+    fn op_id(&self) -> OpId {
+        OpId::NONE
     }
 }
 
@@ -201,6 +218,95 @@ mod tests {
         ];
         let kinds: std::collections::HashSet<&str> = msgs.iter().map(|m| m.kind()).collect();
         assert_eq!(kinds.len(), msgs.len());
+    }
+
+    /// One constructed sample of every variant. The `match` below is
+    /// intentionally exhaustive *without* a `_` arm: adding a variant to
+    /// `PastryMsg` fails compilation here until a sample (and therefore a
+    /// kind id and a `KINDS` label) is provided for it.
+    fn all_variants() -> Vec<PastryMsg<u32>> {
+        let h = NodeHandle::new(Id(1), 0);
+        let samples: Vec<PastryMsg<u32>> = vec![
+            PastryMsg::Route(RouteEnvelope {
+                key: Id(1),
+                payload: 7,
+                origin: 0,
+                hops: 0,
+                path_us: 0,
+            }),
+            PastryMsg::JoinRequest {
+                joiner: h,
+                rows: vec![],
+                rows_done: 0,
+                hops: 0,
+            },
+            PastryMsg::JoinReply {
+                z: h,
+                rows: vec![],
+                leaf: vec![],
+                hops: 0,
+            },
+            PastryMsg::NeighborhoodRequest,
+            PastryMsg::NeighborhoodReply { members: vec![] },
+            PastryMsg::Announce { from: h },
+            PastryMsg::LeafRequest,
+            PastryMsg::LeafReply { members: vec![] },
+            PastryMsg::RowRequest { row: 0 },
+            PastryMsg::RowReply { entries: vec![] },
+            PastryMsg::RepairRequest { row: 0, col: 0 },
+            PastryMsg::RepairReply { entry: None },
+            PastryMsg::Heartbeat,
+            PastryMsg::HeartbeatAck,
+            PastryMsg::AppDirect { payload: 7 },
+        ];
+        for m in &samples {
+            match m {
+                PastryMsg::Route(_)
+                | PastryMsg::JoinRequest { .. }
+                | PastryMsg::JoinReply { .. }
+                | PastryMsg::NeighborhoodRequest
+                | PastryMsg::NeighborhoodReply { .. }
+                | PastryMsg::Announce { .. }
+                | PastryMsg::LeafRequest
+                | PastryMsg::LeafReply { .. }
+                | PastryMsg::RowRequest { .. }
+                | PastryMsg::RowReply { .. }
+                | PastryMsg::RepairRequest { .. }
+                | PastryMsg::RepairReply { .. }
+                | PastryMsg::Heartbeat
+                | PastryMsg::HeartbeatAck
+                | PastryMsg::AppDirect { .. } => {}
+            }
+        }
+        samples
+    }
+
+    /// Every variant must map to a distinct, in-range kind id, and the
+    /// `KINDS` table must cover exactly those ids: a new message kind
+    /// added without extending the table (or vice versa) fails here.
+    #[test]
+    fn kind_ids_are_a_permutation_of_the_kinds_table() {
+        let samples = all_variants();
+        assert_eq!(samples.len(), PastryMsg::<u32>::KINDS.len());
+        let mut seen = vec![false; PastryMsg::<u32>::KINDS.len()];
+        for m in &samples {
+            let id = m.kind_id();
+            assert!(id < seen.len(), "kind_id {id} out of KINDS range");
+            assert!(!seen[id], "kind_id {id} assigned twice");
+            seen[id] = true;
+            assert_eq!(m.kind(), PastryMsg::<u32>::KINDS[id]);
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every KINDS entry must be reachable"
+        );
+    }
+
+    #[test]
+    fn only_app_traffic_carries_an_op_id() {
+        for m in all_variants() {
+            assert_eq!(m.op_id(), OpId::NONE, "u32 payloads carry no op id");
+        }
     }
 
     #[test]

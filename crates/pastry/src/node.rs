@@ -7,7 +7,7 @@
 use crate::app::{App, AppCtx, PastryOut, RouteInfo};
 use crate::handle::NodeHandle;
 use crate::id::Config;
-use crate::msg::{PastryMsg, RouteEnvelope};
+use crate::msg::{PastryMsg, PayloadSize, RouteEnvelope};
 use crate::route::{next_hop, NextHop};
 use crate::state::PastryState;
 use past_netsim::{Addr, Ctx, NodeLogic};
@@ -149,6 +149,8 @@ impl<A: App> PastryNode<A> {
         if env.hops > self.state.cfg.max_route_hops {
             // A cycle through inconsistent (failure-damaged) state; drop
             // and let the client retry after repair.
+            ctx.tracer
+                .route_drop(ctx.now.as_micros(), env.payload.op_id(), ctx.me, env.key.0);
             ctx.emit(PastryOut::RouteDropped {
                 key: env.key,
                 origin: env.origin,
@@ -157,6 +159,14 @@ impl<A: App> PastryNode<A> {
         }
         match next_hop(&self.state, &env.key, ctx.rng) {
             NextHop::DeliverHere => {
+                ctx.tracer.route_deliver(
+                    ctx.now.as_micros(),
+                    env.payload.op_id(),
+                    ctx.me,
+                    env.key.0,
+                    env.hops,
+                    env.path_us,
+                );
                 ctx.emit(PastryOut::Delivered {
                     key: env.key,
                     origin: env.origin,
@@ -176,6 +186,19 @@ impl<A: App> PastryNode<A> {
                 let mut cx = AppCtx { ctx };
                 if !self.app.forward(&self.state, &mut env, next, &mut cx) {
                     return;
+                }
+                if ctx.tracer.config().routes {
+                    // Prefix-match depth: how many digits of the key this
+                    // hop already resolves (computed only when recording).
+                    let depth = self.state.me.id.prefix_len(&env.key, self.state.cfg.b) as u32;
+                    ctx.tracer.route_hop(
+                        ctx.now.as_micros(),
+                        env.payload.op_id(),
+                        ctx.me,
+                        env.key.0,
+                        env.hops,
+                        depth,
+                    );
                 }
                 env.hops += 1;
                 env.path_us += ctx.delay_to(next.addr);
@@ -328,6 +351,8 @@ impl<A: App> NodeLogic for PastryNode<A> {
                 self.joined = true;
                 self.join_hops = Some(hops);
                 self.pending_join = None;
+                ctx.tracer
+                    .join_phase(ctx.now.as_micros(), ctx.me, "complete");
                 // "Notify interested nodes that need to know of its
                 // arrival, thereby restoring all of Pastry's invariants."
                 let me = self.state.me;
@@ -481,7 +506,10 @@ impl<A: App> NodeLogic for PastryNode<A> {
                     let missed = self.missed_acks.entry(addr).or_insert(0);
                     *missed += 1;
                     if *missed >= rc.missed_ack_limit {
+                        let rounds = *missed;
                         self.missed_acks.remove(&addr);
+                        ctx.tracer
+                            .suspect(ctx.now.as_micros(), ctx.me, addr, rounds);
                         self.handle_peer_failure(addr, ctx);
                     }
                 }
@@ -498,10 +526,13 @@ impl<A: App> NodeLogic for PastryNode<A> {
                 if pj.attempts >= rc.join_attempts {
                     let attempts = pj.attempts;
                     self.pending_join = None;
+                    ctx.tracer.join_phase(ctx.now.as_micros(), ctx.me, "failed");
                     ctx.emit(PastryOut::JoinFailed { attempts });
                     return;
                 }
                 pj.attempts += 1;
+                let phase = if pj.attempts == 1 { "start" } else { "retry" };
+                ctx.tracer.join_phase(ctx.now.as_micros(), ctx.me, phase);
                 let contact = pj.contact;
                 let joiner = self.state.me;
                 ctx.send(contact, PastryMsg::NeighborhoodRequest);

@@ -152,6 +152,8 @@ impl<A: App, T: Topology> PastrySim<A, T> {
             self.engine.arm_timer(addr, 0, TIMER_JOIN_RETRY);
             self.engine.run_until_quiet(QUIET_BUDGET);
         } else {
+            let now = self.engine.now().as_micros();
+            self.engine.tracer_mut().join_phase(now, addr, "start");
             self.engine
                 .inject(addr, contact, PastryMsg::NeighborhoodRequest, 0);
             self.engine.inject(

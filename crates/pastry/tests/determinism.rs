@@ -14,7 +14,7 @@
 //! constants by running the tests and copying the reported fingerprints.
 
 use past_crypto::rng::Rng;
-use past_netsim::{FaultConfig, Sphere};
+use past_netsim::{FaultConfig, Sphere, TraceConfig};
 use past_pastry::{random_ids, static_build, Config, Id, NullApp, PastrySim};
 
 const N: usize = 512;
@@ -88,6 +88,44 @@ fn golden_static_build_with_zero_fault_config() {
         fingerprint(&mut sim, 77),
         "build_msgs=0 build_bytes=0 delivered=1000 hist=[2, 78, 655, 265] \
          total_msgs=3183 total_bytes=254640 now_us=106351091"
+    );
+}
+
+/// Tracing is observation, not participation: with every trace class on,
+/// the overlay fingerprint stays bit-identical to the untraced golden,
+/// and the trace itself is deterministic — the same seed produces the
+/// same record stream, pinned by a golden fingerprint of its own.
+#[test]
+fn golden_static_build_with_full_tracing() {
+    let run = || {
+        let mut rng = Rng::seed_from_u64(2026);
+        let ids = random_ids(N, &mut rng);
+        let mut sim = static_build(
+            Sphere::new(N, 2026),
+            Config::default(),
+            2026,
+            &ids,
+            |_| NullApp,
+            3,
+        );
+        sim.engine.set_tracing(TraceConfig::full());
+        let overlay = fingerprint(&mut sim, 77);
+        let trace = sim.engine.tracer().fingerprint();
+        (overlay, trace)
+    };
+    let (overlay, trace) = run();
+    assert_eq!(
+        overlay,
+        "build_msgs=0 build_bytes=0 delivered=1000 hist=[2, 78, 655, 265] \
+         total_msgs=3183 total_bytes=254640 now_us=106351091",
+        "tracing must not perturb the simulation"
+    );
+    let (overlay2, trace2) = run();
+    assert_eq!(overlay, overlay2);
+    assert_eq!(trace, trace2, "same seed must yield the same trace");
+    assert_eq!(
+        trace, 10825256129696016690,
+        "golden trace fingerprint moved"
     );
 }
 

@@ -183,7 +183,7 @@ pub fn run(p: &Params) -> Result {
                 .engine
                 .node_mut(3)
                 .app
-                .begin_insert(&name, content, 3, now)
+                .begin_insert(&name, content, 3, now, past_netsim::OpId::NONE)
                 .expect("quota");
             // Forge: point the fileId at an arbitrary target region.
             let mut raw = *cert.file_id.as_bytes();
@@ -198,6 +198,7 @@ pub fn run(p: &Params) -> Result {
                     cert,
                     content,
                     client: 3,
+                    op: past_netsim::OpId::NONE,
                 },
             );
             net.run();

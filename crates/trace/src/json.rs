@@ -1,12 +1,11 @@
 //! Minimal JSON emission and validation.
 //!
-//! The bench binaries publish their results as `BENCH_micro.json` /
-//! `BENCH_macro.json` at the repository root so successive PRs leave a
-//! machine-readable performance trajectory. The workspace is hermetic
-//! (no serde), so this module provides the ~hundred lines actually
-//! needed: an object/array writer with correct string escaping, and a
-//! recursive-descent validator the binaries (and CI's smoke mode) run
-//! over their own output before writing it.
+//! Both the trace/metrics exports of this crate and the bench binaries'
+//! `BENCH_*.json` documents (re-exported as `past_bench::json`) are
+//! produced through this module. The workspace is hermetic (no serde),
+//! so it provides the ~hundred lines actually needed: an object/array
+//! writer with correct string escaping, and a recursive-descent
+//! validator callers run over their own output before writing it.
 
 /// Escapes a string for inclusion in a JSON document (quotes included).
 pub fn quote(s: &str) -> String {

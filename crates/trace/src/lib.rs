@@ -1,0 +1,1111 @@
+//! Deterministic structured tracing and metrics for the PAST simulator.
+//!
+//! The simulator's results used to be computed from end-state snapshots
+//! and flat traffic counters; this crate gives it an *execution
+//! history*. Three pieces:
+//!
+//! - a [`Tracer`] sink recording typed [`TraceEvent`]s (message
+//!   send/recv/drop/duplicate, route hops with prefix-match depth, join
+//!   phases, suspicion, operation lifecycle) stamped with **simulated
+//!   time** — never wall clock — and a causal [`OpId`] so one client
+//!   insert can be reconstructed hop by hop across nodes;
+//! - a [`Metrics`] registry: per-message-kind and per-node counters,
+//!   gauges, and fixed-bucket integer [`Histogram`]s (route latency,
+//!   hop count, retry count) with exact rank-based percentile
+//!   extraction;
+//! - the analyzer ([`analyze`] + the `tracecheck` binary) that rebuilds
+//!   per-operation timelines from a JSONL trace and reports stuck
+//!   operations, replica fan-out vs. `k`, and the hop distribution vs.
+//!   the `⌈log₂ᵇN⌉` bound.
+//!
+//! Determinism contract: with tracing **off** (the [`TraceConfig::off`]
+//! default) every record method is a branch-and-return — no allocation,
+//! no RNG draw, no behavioral change — so golden fingerprints stay
+//! bit-identical. With tracing **on** the tracer still never draws
+//! randomness or alters event order, so the same seed yields the same
+//! trace ([`Tracer::fingerprint`]) and the same simulation outcome as
+//! an untraced run.
+
+pub mod analyze;
+pub mod json;
+
+use std::collections::BTreeMap;
+
+/// A causal operation identifier threaded through message envelopes.
+///
+/// `OpId(0)` ([`OpId::NONE`]) means "not part of a client operation":
+/// analyzer passes ignore it. Ids are allocated unconditionally by the
+/// harness (a plain counter, no RNG), so enabling tracing never changes
+/// id assignment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+impl OpId {
+    /// The "no operation" id.
+    pub const NONE: OpId = OpId(0);
+
+    /// True for [`OpId::NONE`].
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Which event classes a [`Tracer`] records.
+///
+/// The all-false default records nothing; `metrics` additionally gates
+/// the counter/histogram registry so a pure event trace stays cheap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Per-message events: send, recv, drop, duplicate, dead-dest fail.
+    pub messages: bool,
+    /// Per-hop routing events: hop (with prefix depth), deliver, drop.
+    pub routes: bool,
+    /// Overlay maintenance events: join phases, suspicion.
+    pub overlay: bool,
+    /// Operation lifecycle: start, retry, end, replica stored.
+    pub ops: bool,
+    /// Counter/gauge/histogram registry updates.
+    pub metrics: bool,
+}
+
+impl TraceConfig {
+    /// Records nothing (the default).
+    pub fn off() -> TraceConfig {
+        TraceConfig::default()
+    }
+
+    /// Records every event class and the metrics registry.
+    pub fn full() -> TraceConfig {
+        TraceConfig {
+            messages: true,
+            routes: true,
+            overlay: true,
+            ops: true,
+            metrics: true,
+        }
+    }
+
+    /// Operation lifecycle plus routing events — what `tracecheck`
+    /// needs to judge liveness, fan-out and the hop bound.
+    pub fn lifecycle() -> TraceConfig {
+        TraceConfig {
+            routes: true,
+            ops: true,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Only the metrics registry, no event records.
+    pub fn metrics_only() -> TraceConfig {
+        TraceConfig {
+            metrics: true,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// True if any class is enabled.
+    pub fn any(&self) -> bool {
+        self.messages || self.routes || self.overlay || self.ops || self.metrics
+    }
+}
+
+/// One typed trace event. Message kinds are stored as indices into the
+/// engine's `Message::KINDS` table (the [`Tracer`] holds the table for
+/// name resolution at serialization time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was accounted and scheduled.
+    MsgSend {
+        /// Sender address.
+        from: usize,
+        /// Destination address.
+        to: usize,
+        /// `Message::kind_id()`.
+        kind: usize,
+        /// Wire size in bytes.
+        bytes: u64,
+    },
+    /// A message reached a live destination's handler.
+    MsgRecv {
+        /// Sender address.
+        from: usize,
+        /// Destination address.
+        to: usize,
+        /// `Message::kind_id()`.
+        kind: usize,
+    },
+    /// Fault injection silently dropped a message.
+    MsgDrop {
+        /// Sender address.
+        from: usize,
+        /// Destination address.
+        to: usize,
+        /// `Message::kind_id()`.
+        kind: usize,
+    },
+    /// Fault injection scheduled an extra delivery.
+    MsgDup {
+        /// Sender address.
+        from: usize,
+        /// Destination address.
+        to: usize,
+        /// `Message::kind_id()`.
+        kind: usize,
+    },
+    /// A message reached a dead destination (send-failure bounce).
+    MsgFail {
+        /// Sender address.
+        from: usize,
+        /// Destination address.
+        to: usize,
+        /// `Message::kind_id()`.
+        kind: usize,
+    },
+    /// A node forwarded a routed message one hop closer to the key.
+    RouteHop {
+        /// The forwarding node.
+        node: usize,
+        /// Destination key.
+        key: u128,
+        /// Hop count so far (before this forward).
+        hop: u32,
+        /// Shared-prefix length (in digits) between node id and key.
+        depth: u32,
+    },
+    /// A routed message reached its root and was delivered.
+    RouteDeliver {
+        /// The delivering node.
+        node: usize,
+        /// Destination key.
+        key: u128,
+        /// Total overlay hops taken.
+        hops: u32,
+        /// Accumulated path latency in microseconds.
+        lat_us: u64,
+    },
+    /// A routed message exhausted its TTL and was dropped.
+    RouteDrop {
+        /// The dropping node.
+        node: usize,
+        /// Destination key.
+        key: u128,
+    },
+    /// A node's join protocol changed phase
+    /// (`start`/`retry`/`complete`/`failed`).
+    JoinPhase {
+        /// The joining node.
+        node: usize,
+        /// Phase label.
+        phase: &'static str,
+    },
+    /// A node declared a peer failed after missed heartbeat acks.
+    Suspect {
+        /// The suspecting node.
+        node: usize,
+        /// The suspected peer.
+        peer: usize,
+        /// Consecutive heartbeat rounds without an ack.
+        missed: u32,
+    },
+    /// A client operation (insert/lookup/reclaim) was issued.
+    OpStart {
+        /// The client node.
+        node: usize,
+        /// Operation kind label.
+        kind: &'static str,
+        /// The key the operation targets.
+        key: u128,
+        /// Requested replication factor (0 where not applicable).
+        k: u32,
+    },
+    /// A client operation was retransmitted.
+    OpRetry {
+        /// The client node.
+        node: usize,
+        /// Operation kind label.
+        kind: &'static str,
+        /// Attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A client operation terminated explicitly.
+    OpEnd {
+        /// The client node.
+        node: usize,
+        /// Operation kind label.
+        kind: &'static str,
+        /// Success or explicit failure.
+        ok: bool,
+        /// Replicas confirmed (inserts; 0 where not applicable).
+        fanout: u32,
+    },
+    /// A node accepted a replica of a file (directly or via diversion).
+    ReplicaStored {
+        /// The storing node.
+        node: usize,
+        /// The file's routing key.
+        key: u128,
+        /// True if stored through replica diversion.
+        diverted: bool,
+    },
+}
+
+/// A timestamped, operation-attributed trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time in microseconds.
+    pub t: u64,
+    /// The operation this record belongs to ([`OpId::NONE`] if none).
+    pub op: OpId,
+    /// The event.
+    pub ev: TraceEvent,
+}
+
+/// A fixed-bucket integer histogram with a saturating last bucket.
+///
+/// Values land in bucket `min(v / width, n - 1)`; the final bucket
+/// absorbs everything at or above `width * (n - 1)`. Percentiles are
+/// rank-based — [`Histogram::percentile`] returns the lower bound of
+/// the bucket containing the `⌈p/100 · count⌉`-th smallest sample,
+/// which is *exact* for width-1 histograms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    width: u64,
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new(1, 1)
+    }
+}
+
+impl Histogram {
+    /// A histogram of `nbuckets` buckets of `width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `nbuckets` is zero.
+    pub fn new(width: u64, nbuckets: usize) -> Histogram {
+        assert!(width > 0, "bucket width must be positive");
+        assert!(nbuckets > 0, "need at least one bucket");
+        Histogram {
+            width,
+            buckets: vec![0; nbuckets],
+            count: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let i = ((v / self.width) as usize).min(self.buckets.len() - 1);
+        self.buckets[i] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Raw bucket counts (last bucket saturates).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// True if any sample landed in the saturating last bucket, i.e.
+    /// reported upper percentiles may be clipped.
+    pub fn saturated(&self) -> bool {
+        self.buckets.last().is_some_and(|&c| c > 0)
+    }
+
+    /// Lower bound of the bucket holding the `⌈p/100 · count⌉`-th
+    /// smallest sample (`p` in `1..=100`); `None` on an empty
+    /// histogram.
+    pub fn percentile(&self, p: u32) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = u64::from(p.clamp(1, 100));
+        let rank = (self.count * p).div_ceil(100).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(i as u64 * self.width);
+            }
+        }
+        Some((self.buckets.len() as u64 - 1) * self.width)
+    }
+
+    fn to_json(&self) -> String {
+        let (p50, p95, p99) = (
+            self.percentile(50).unwrap_or(0),
+            self.percentile(95).unwrap_or(0),
+            self.percentile(99).unwrap_or(0),
+        );
+        json::Obj::new()
+            .int("width", self.width)
+            .int("count", self.count)
+            .int("p50", p50)
+            .int("p95", p95)
+            .int("p99", p99)
+            .raw(
+                "buckets",
+                &json::array(self.buckets.iter().map(|c| c.to_string())),
+            )
+            .build()
+    }
+}
+
+/// Per-node traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Messages sent by this node.
+    pub sent: u64,
+    /// Messages received by this node.
+    pub recv: u64,
+}
+
+/// The metrics registry: per-kind and per-node counters, named gauges,
+/// and the standard latency/hop/retry histograms. Updated by the
+/// [`Tracer`] when [`TraceConfig::metrics`] is on.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    kinds: &'static [&'static str],
+    sent_by_kind: Vec<u64>,
+    recv_by_kind: Vec<u64>,
+    dropped_by_kind: Vec<u64>,
+    duplicated_by_kind: Vec<u64>,
+    failed_by_kind: Vec<u64>,
+    per_node: BTreeMap<usize, NodeCounters>,
+    gauges: BTreeMap<(&'static str, usize), u64>,
+    /// Route path latency, 1 ms buckets up to 512 ms.
+    pub route_latency_us: Histogram,
+    /// Overlay hops per delivered route, width 1.
+    pub hop_count: Histogram,
+    /// Retransmission attempt numbers, width 1.
+    pub retry_count: Histogram,
+}
+
+impl Metrics {
+    fn for_kinds(kinds: &'static [&'static str]) -> Metrics {
+        Metrics {
+            kinds,
+            sent_by_kind: vec![0; kinds.len()],
+            recv_by_kind: vec![0; kinds.len()],
+            dropped_by_kind: vec![0; kinds.len()],
+            duplicated_by_kind: vec![0; kinds.len()],
+            failed_by_kind: vec![0; kinds.len()],
+            per_node: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            route_latency_us: Histogram::new(1_000, 512),
+            hop_count: Histogram::new(1, 32),
+            retry_count: Histogram::new(1, 16),
+        }
+    }
+
+    fn bump(v: &mut [u64], kind: usize) {
+        if let Some(c) = v.get_mut(kind) {
+            *c += 1;
+        }
+    }
+
+    /// `(kind, count)` pairs for one per-kind counter family, in
+    /// `Message::KINDS` order.
+    fn kind_pairs<'a>(&'a self, v: &'a [u64]) -> impl Iterator<Item = (&'static str, u64)> + 'a {
+        self.kinds.iter().copied().zip(v.iter().copied())
+    }
+
+    /// Messages sent per kind, in `Message::KINDS` order.
+    pub fn sent_by_kind(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.kind_pairs(&self.sent_by_kind)
+    }
+
+    /// Messages received per kind, in `Message::KINDS` order.
+    pub fn recv_by_kind(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.kind_pairs(&self.recv_by_kind)
+    }
+
+    /// Fault-injected drops per kind, in `Message::KINDS` order.
+    pub fn dropped_by_kind(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.kind_pairs(&self.dropped_by_kind)
+    }
+
+    /// Fault-injected duplicates per kind, in `Message::KINDS` order.
+    pub fn duplicated_by_kind(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.kind_pairs(&self.duplicated_by_kind)
+    }
+
+    /// Dead-destination failures per kind, in `Message::KINDS` order.
+    pub fn failed_by_kind(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.kind_pairs(&self.failed_by_kind)
+    }
+
+    /// Per-node sent/received counters.
+    pub fn node_counters(&self) -> impl Iterator<Item = (usize, NodeCounters)> + '_ {
+        self.per_node.iter().map(|(&a, &c)| (a, c))
+    }
+
+    /// Sets a named per-node gauge to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &'static str, node: usize, value: u64) {
+        self.gauges.insert((name, node), value);
+    }
+
+    /// Reads a named per-node gauge.
+    pub fn gauge(&self, name: &'static str, node: usize) -> Option<u64> {
+        self.gauges.get(&(name, node)).copied()
+    }
+
+    /// Serializes the registry as one `past-trace/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let kind_obj = |v: &[u64]| {
+            let mut o = json::Obj::new();
+            for (k, c) in self.kind_pairs(v) {
+                if c > 0 {
+                    o = o.int(k, c);
+                }
+            }
+            o.build()
+        };
+        json::Obj::new()
+            .str("schema", "past-trace/v1")
+            .raw("sent_by_kind", &kind_obj(&self.sent_by_kind))
+            .raw("recv_by_kind", &kind_obj(&self.recv_by_kind))
+            .raw("dropped_by_kind", &kind_obj(&self.dropped_by_kind))
+            .raw("duplicated_by_kind", &kind_obj(&self.duplicated_by_kind))
+            .raw("failed_by_kind", &kind_obj(&self.failed_by_kind))
+            .raw(
+                "nodes",
+                &json::array(self.per_node.iter().map(|(&a, c)| {
+                    json::Obj::new()
+                        .int("node", a as u64)
+                        .int("sent", c.sent)
+                        .int("recv", c.recv)
+                        .build()
+                })),
+            )
+            .raw(
+                "gauges",
+                &json::array(self.gauges.iter().map(|(&(name, node), &v)| {
+                    json::Obj::new()
+                        .str("name", name)
+                        .int("node", node as u64)
+                        .int("value", v)
+                        .build()
+                })),
+            )
+            .raw("route_latency_us", &self.route_latency_us.to_json())
+            .raw("hop_count", &self.hop_count.to_json())
+            .raw("retry_count", &self.retry_count.to_json())
+            .build()
+    }
+}
+
+/// FNV-1a 64-bit hash (trace fingerprints).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The trace sink: an append-only record buffer plus the [`Metrics`]
+/// registry, both gated by a [`TraceConfig`]. Owned by the engine; all
+/// record methods take the simulated time explicitly so the tracer can
+/// never consult a wall clock.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    cfg: TraceConfig,
+    kinds: &'static [&'static str],
+    records: Vec<TraceRecord>,
+    /// The metrics registry (read directly by harnesses).
+    pub metrics: Metrics,
+}
+
+impl Tracer {
+    /// A disabled tracer bound to a message-kind table.
+    pub fn for_kinds(kinds: &'static [&'static str]) -> Tracer {
+        Tracer {
+            cfg: TraceConfig::off(),
+            kinds,
+            records: Vec::new(),
+            metrics: Metrics::for_kinds(kinds),
+        }
+    }
+
+    /// Sets which event classes are recorded (existing records are
+    /// kept; use [`Tracer::clear`] to reset).
+    pub fn configure(&mut self, cfg: TraceConfig) {
+        self.cfg = cfg;
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> TraceConfig {
+        self.cfg
+    }
+
+    /// True if any event class is enabled.
+    pub fn enabled(&self) -> bool {
+        self.cfg.any()
+    }
+
+    /// All records so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Drops all records and resets the metrics registry.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.metrics = Metrics::for_kinds(self.kinds);
+    }
+
+    // -- message plane -------------------------------------------------
+
+    /// A message was accounted and scheduled.
+    #[inline]
+    pub fn msg_send(&mut self, t: u64, op: OpId, from: usize, to: usize, kind: usize, bytes: u64) {
+        if self.cfg.metrics {
+            Metrics::bump(&mut self.metrics.sent_by_kind, kind);
+            self.metrics.per_node.entry(from).or_default().sent += 1;
+        }
+        if self.cfg.messages {
+            self.push(
+                t,
+                op,
+                TraceEvent::MsgSend {
+                    from,
+                    to,
+                    kind,
+                    bytes,
+                },
+            );
+        }
+    }
+
+    /// A message reached a live destination.
+    #[inline]
+    pub fn msg_recv(&mut self, t: u64, op: OpId, from: usize, to: usize, kind: usize) {
+        if self.cfg.metrics {
+            Metrics::bump(&mut self.metrics.recv_by_kind, kind);
+            self.metrics.per_node.entry(to).or_default().recv += 1;
+        }
+        if self.cfg.messages {
+            self.push(t, op, TraceEvent::MsgRecv { from, to, kind });
+        }
+    }
+
+    /// Fault injection dropped a message.
+    #[inline]
+    pub fn msg_drop(&mut self, t: u64, op: OpId, from: usize, to: usize, kind: usize) {
+        if self.cfg.metrics {
+            Metrics::bump(&mut self.metrics.dropped_by_kind, kind);
+        }
+        if self.cfg.messages {
+            self.push(t, op, TraceEvent::MsgDrop { from, to, kind });
+        }
+    }
+
+    /// Fault injection duplicated a message.
+    #[inline]
+    pub fn msg_dup(&mut self, t: u64, op: OpId, from: usize, to: usize, kind: usize) {
+        if self.cfg.metrics {
+            Metrics::bump(&mut self.metrics.duplicated_by_kind, kind);
+        }
+        if self.cfg.messages {
+            self.push(t, op, TraceEvent::MsgDup { from, to, kind });
+        }
+    }
+
+    /// A message hit a dead destination.
+    #[inline]
+    pub fn msg_fail(&mut self, t: u64, op: OpId, from: usize, to: usize, kind: usize) {
+        if self.cfg.metrics {
+            Metrics::bump(&mut self.metrics.failed_by_kind, kind);
+        }
+        if self.cfg.messages {
+            self.push(t, op, TraceEvent::MsgFail { from, to, kind });
+        }
+    }
+
+    // -- routing plane -------------------------------------------------
+
+    /// A node forwarded a routed message.
+    #[inline]
+    pub fn route_hop(&mut self, t: u64, op: OpId, node: usize, key: u128, hop: u32, depth: u32) {
+        if self.cfg.routes {
+            self.push(
+                t,
+                op,
+                TraceEvent::RouteHop {
+                    node,
+                    key,
+                    hop,
+                    depth,
+                },
+            );
+        }
+    }
+
+    /// A routed message was delivered at its root.
+    #[inline]
+    pub fn route_deliver(
+        &mut self,
+        t: u64,
+        op: OpId,
+        node: usize,
+        key: u128,
+        hops: u32,
+        lat_us: u64,
+    ) {
+        if self.cfg.metrics {
+            self.metrics.hop_count.record(u64::from(hops));
+            self.metrics.route_latency_us.record(lat_us);
+        }
+        if self.cfg.routes {
+            self.push(
+                t,
+                op,
+                TraceEvent::RouteDeliver {
+                    node,
+                    key,
+                    hops,
+                    lat_us,
+                },
+            );
+        }
+    }
+
+    /// A routed message exhausted its TTL.
+    #[inline]
+    pub fn route_drop(&mut self, t: u64, op: OpId, node: usize, key: u128) {
+        if self.cfg.routes {
+            self.push(t, op, TraceEvent::RouteDrop { node, key });
+        }
+    }
+
+    // -- overlay plane -------------------------------------------------
+
+    /// A join protocol phase transition.
+    #[inline]
+    pub fn join_phase(&mut self, t: u64, node: usize, phase: &'static str) {
+        if self.cfg.overlay {
+            self.push(t, OpId::NONE, TraceEvent::JoinPhase { node, phase });
+        }
+    }
+
+    /// A peer was declared failed after missed heartbeat acks.
+    #[inline]
+    pub fn suspect(&mut self, t: u64, node: usize, peer: usize, missed: u32) {
+        if self.cfg.overlay {
+            self.push(t, OpId::NONE, TraceEvent::Suspect { node, peer, missed });
+        }
+    }
+
+    // -- operation plane -----------------------------------------------
+
+    /// A client operation was issued.
+    #[inline]
+    pub fn op_start(
+        &mut self,
+        t: u64,
+        op: OpId,
+        node: usize,
+        kind: &'static str,
+        key: u128,
+        k: u32,
+    ) {
+        if self.cfg.ops && !op.is_none() {
+            self.push(t, op, TraceEvent::OpStart { node, kind, key, k });
+        }
+    }
+
+    /// A client operation was retransmitted.
+    #[inline]
+    pub fn op_retry(&mut self, t: u64, op: OpId, node: usize, kind: &'static str, attempt: u32) {
+        if self.cfg.metrics {
+            self.metrics.retry_count.record(u64::from(attempt));
+        }
+        if self.cfg.ops && !op.is_none() {
+            self.push(
+                t,
+                op,
+                TraceEvent::OpRetry {
+                    node,
+                    kind,
+                    attempt,
+                },
+            );
+        }
+    }
+
+    /// A client operation terminated explicitly.
+    #[inline]
+    pub fn op_end(
+        &mut self,
+        t: u64,
+        op: OpId,
+        node: usize,
+        kind: &'static str,
+        ok: bool,
+        fanout: u32,
+    ) {
+        if self.cfg.ops && !op.is_none() {
+            self.push(
+                t,
+                op,
+                TraceEvent::OpEnd {
+                    node,
+                    kind,
+                    ok,
+                    fanout,
+                },
+            );
+        }
+    }
+
+    /// A node stored a replica on behalf of an insert.
+    #[inline]
+    pub fn replica_stored(&mut self, t: u64, op: OpId, node: usize, key: u128, diverted: bool) {
+        if self.cfg.ops && !op.is_none() {
+            self.push(
+                t,
+                op,
+                TraceEvent::ReplicaStored {
+                    node,
+                    key,
+                    diverted,
+                },
+            );
+        }
+    }
+
+    fn push(&mut self, t: u64, op: OpId, ev: TraceEvent) {
+        self.records.push(TraceRecord { t, op, ev });
+    }
+
+    fn kind_name(&self, kind: usize) -> &'static str {
+        self.kinds.get(kind).copied().unwrap_or("?")
+    }
+
+    /// Serializes the record stream as JSONL (one flat object per
+    /// line, stable field order — the fingerprint hashes these bytes).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            self.write_line(&mut out, r);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn write_line(&self, out: &mut String, r: &TraceRecord) {
+        use std::fmt::Write as _;
+        let head = |out: &mut String, ev: &str| {
+            let _ = write!(out, "{{\"t\":{},\"op\":{},\"ev\":\"{ev}\"", r.t, r.op.0);
+        };
+        let msg = |out: &mut String, ev: &str, from: usize, to: usize, kind: usize| {
+            head(out, ev);
+            let _ = write!(
+                out,
+                ",\"from\":{from},\"to\":{to},\"kind\":\"{}\"",
+                self.kind_name(kind)
+            );
+        };
+        match &r.ev {
+            TraceEvent::MsgSend {
+                from,
+                to,
+                kind,
+                bytes,
+            } => {
+                msg(out, "send", *from, *to, *kind);
+                let _ = write!(out, ",\"bytes\":{bytes}");
+            }
+            TraceEvent::MsgRecv { from, to, kind } => msg(out, "recv", *from, *to, *kind),
+            TraceEvent::MsgDrop { from, to, kind } => msg(out, "drop", *from, *to, *kind),
+            TraceEvent::MsgDup { from, to, kind } => msg(out, "dup", *from, *to, *kind),
+            TraceEvent::MsgFail { from, to, kind } => msg(out, "fail", *from, *to, *kind),
+            TraceEvent::RouteHop {
+                node,
+                key,
+                hop,
+                depth,
+            } => {
+                head(out, "hop");
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"key\":\"{key:032x}\",\"hop\":{hop},\"depth\":{depth}"
+                );
+            }
+            TraceEvent::RouteDeliver {
+                node,
+                key,
+                hops,
+                lat_us,
+            } => {
+                head(out, "deliver");
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"key\":\"{key:032x}\",\"hops\":{hops},\"lat_us\":{lat_us}"
+                );
+            }
+            TraceEvent::RouteDrop { node, key } => {
+                head(out, "route_drop");
+                let _ = write!(out, ",\"node\":{node},\"key\":\"{key:032x}\"");
+            }
+            TraceEvent::JoinPhase { node, phase } => {
+                head(out, "join");
+                let _ = write!(out, ",\"node\":{node},\"phase\":\"{phase}\"");
+            }
+            TraceEvent::Suspect { node, peer, missed } => {
+                head(out, "suspect");
+                let _ = write!(out, ",\"node\":{node},\"peer\":{peer},\"missed\":{missed}");
+            }
+            TraceEvent::OpStart { node, kind, key, k } => {
+                head(out, "op_start");
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"kind\":\"{kind}\",\"key\":\"{key:032x}\",\"k\":{k}"
+                );
+            }
+            TraceEvent::OpRetry {
+                node,
+                kind,
+                attempt,
+            } => {
+                head(out, "op_retry");
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"kind\":\"{kind}\",\"attempt\":{attempt}"
+                );
+            }
+            TraceEvent::OpEnd {
+                node,
+                kind,
+                ok,
+                fanout,
+            } => {
+                head(out, "op_end");
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"kind\":\"{kind}\",\"ok\":{ok},\"fanout\":{fanout}"
+                );
+            }
+            TraceEvent::ReplicaStored {
+                node,
+                key,
+                diverted,
+            } => {
+                head(out, "replica");
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"key\":\"{key:032x}\",\"diverted\":{diverted}"
+                );
+            }
+        }
+        out.push('}');
+    }
+
+    /// FNV-1a 64 fingerprint of the JSONL serialization: the
+    /// same-seed-same-trace determinism check compares these.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.to_jsonl().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: &[&str] = &["ping", "pong"];
+
+    // -- histogram -----------------------------------------------------
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::new(10, 4);
+        // 0..=9 → bucket 0, 10..=19 → bucket 1, 29/30 straddle bucket 2/3,
+        // and everything ≥ 30 saturates into the last bucket.
+        for v in [0, 9, 10, 19, 20, 29, 30, 31, 1_000] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), &[2, 2, 2, 3]);
+        assert_eq!(h.count(), 9);
+        assert!(h.saturated());
+    }
+
+    #[test]
+    fn percentile_on_empty_histogram_is_none() {
+        let h = Histogram::new(1, 8);
+        assert_eq!(h.percentile(50), None);
+        assert_eq!(h.percentile(99), None);
+        assert!(!h.saturated());
+    }
+
+    #[test]
+    fn percentile_on_single_element() {
+        let mut h = Histogram::new(1, 8);
+        h.record(5);
+        for p in [1, 50, 95, 99, 100] {
+            assert_eq!(h.percentile(p), Some(5));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_at_width_one() {
+        let mut h = Histogram::new(1, 101);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Rank-based: p-th percentile of 1..=100 is exactly p.
+        assert_eq!(h.percentile(50), Some(50));
+        assert_eq!(h.percentile(95), Some(95));
+        assert_eq!(h.percentile(99), Some(99));
+        assert_eq!(h.percentile(100), Some(100));
+    }
+
+    #[test]
+    fn percentile_on_saturated_histogram_clips_to_last_bucket() {
+        let mut h = Histogram::new(10, 3);
+        for _ in 0..10 {
+            h.record(500); // all land in the saturating bucket at 20+
+        }
+        assert!(h.saturated());
+        assert_eq!(h.percentile(50), Some(20));
+        assert_eq!(h.percentile(99), Some(20));
+    }
+
+    #[test]
+    fn histogram_json_validates() {
+        let mut h = Histogram::new(2, 4);
+        h.record(0);
+        h.record(3);
+        h.record(7);
+        json::validate(&h.to_json()).expect("histogram JSON must validate");
+    }
+
+    // -- tracer gating -------------------------------------------------
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::for_kinds(KINDS);
+        t.msg_send(1, OpId(1), 0, 1, 0, 64);
+        t.route_deliver(2, OpId(1), 1, 42, 3, 999);
+        t.op_start(3, OpId(1), 0, "insert", 42, 5);
+        assert!(t.records().is_empty());
+        assert_eq!(t.metrics.hop_count.count(), 0);
+        assert_eq!(t.to_jsonl(), "");
+    }
+
+    #[test]
+    fn class_filters_gate_independently() {
+        let mut t = Tracer::for_kinds(KINDS);
+        t.configure(TraceConfig::lifecycle());
+        t.msg_send(1, OpId::NONE, 0, 1, 0, 64); // messages: off
+        t.route_hop(2, OpId(7), 3, 42, 0, 1); // routes: on
+        t.op_start(3, OpId(7), 0, "insert", 42, 5); // ops: on
+        t.join_phase(4, 9, "start"); // overlay: off
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.metrics.sent_by_kind().map(|(_, c)| c).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn op_events_with_no_op_id_are_skipped() {
+        let mut t = Tracer::for_kinds(KINDS);
+        t.configure(TraceConfig::full());
+        t.op_start(1, OpId::NONE, 0, "reclaim", 42, 0);
+        t.op_end(2, OpId::NONE, 0, "reclaim", true, 0);
+        t.replica_stored(3, OpId::NONE, 1, 42, false);
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn metrics_only_counts_without_recording() {
+        let mut t = Tracer::for_kinds(KINDS);
+        t.configure(TraceConfig::metrics_only());
+        t.msg_send(1, OpId::NONE, 0, 1, 0, 64);
+        t.msg_send(2, OpId::NONE, 0, 1, 1, 32);
+        t.msg_recv(3, OpId::NONE, 0, 1, 0);
+        t.msg_drop(4, OpId::NONE, 0, 1, 1);
+        t.msg_dup(5, OpId::NONE, 0, 1, 1);
+        t.route_deliver(6, OpId::NONE, 1, 42, 3, 2_500);
+        assert!(t.records().is_empty());
+        let dropped: Vec<_> = t.metrics.dropped_by_kind().collect();
+        assert_eq!(dropped, vec![("ping", 0), ("pong", 1)]);
+        let dup: u64 = t.metrics.duplicated_by_kind().map(|(_, c)| c).sum();
+        assert_eq!(dup, 1);
+        assert_eq!(t.metrics.hop_count.percentile(50), Some(3));
+        assert_eq!(t.metrics.route_latency_us.percentile(50), Some(2_000));
+        let nodes: Vec<_> = t.metrics.node_counters().collect();
+        assert_eq!(nodes[0], (0, NodeCounters { sent: 2, recv: 0 }));
+        assert_eq!(nodes[1], (1, NodeCounters { sent: 0, recv: 1 }));
+    }
+
+    #[test]
+    fn gauges_read_back_last_write() {
+        let mut t = Tracer::for_kinds(KINDS);
+        t.configure(TraceConfig::metrics_only());
+        t.metrics.set_gauge("used_bytes", 3, 100);
+        t.metrics.set_gauge("used_bytes", 3, 250);
+        assert_eq!(t.metrics.gauge("used_bytes", 3), Some(250));
+        assert_eq!(t.metrics.gauge("used_bytes", 4), None);
+    }
+
+    // -- serialization -------------------------------------------------
+
+    #[test]
+    fn jsonl_lines_are_valid_json_and_fingerprint_is_stable() {
+        let build = || {
+            let mut t = Tracer::for_kinds(KINDS);
+            t.configure(TraceConfig::full());
+            t.msg_send(10, OpId(1), 0, 1, 0, 64);
+            t.msg_recv(20, OpId(1), 0, 1, 0);
+            t.route_hop(20, OpId(1), 1, 0xfeed_beef, 0, 2);
+            t.route_deliver(30, OpId(1), 2, 0xfeed_beef, 1, 12_345);
+            t.join_phase(40, 7, "complete");
+            t.suspect(50, 7, 8, 3);
+            t.op_start(60, OpId(1), 0, "insert", 0xfeed_beef, 5);
+            t.op_retry(70, OpId(1), 0, "insert", 1);
+            t.op_end(80, OpId(1), 0, "insert", true, 5);
+            t.replica_stored(80, OpId(1), 2, 0xfeed_beef, true);
+            t
+        };
+        let t = build();
+        for line in t.to_jsonl().lines() {
+            json::validate(line).expect("every trace line must be valid JSON");
+        }
+        assert_eq!(t.fingerprint(), build().fingerprint());
+        assert_ne!(t.fingerprint(), fnv1a(b""));
+    }
+
+    #[test]
+    fn metrics_json_validates() {
+        let mut t = Tracer::for_kinds(KINDS);
+        t.configure(TraceConfig::full());
+        t.msg_send(1, OpId::NONE, 0, 1, 0, 64);
+        t.metrics.set_gauge("used_bytes", 0, 9);
+        json::validate(&t.metrics.to_json()).expect("metrics JSON must validate");
+    }
+
+    #[test]
+    fn clear_resets_records_and_metrics() {
+        let mut t = Tracer::for_kinds(KINDS);
+        t.configure(TraceConfig::full());
+        t.msg_send(1, OpId(1), 0, 1, 0, 64);
+        t.clear();
+        assert!(t.records().is_empty());
+        assert_eq!(t.metrics.sent_by_kind().map(|(_, c)| c).sum::<u64>(), 0);
+        // Still bound to the kind table after a clear.
+        t.msg_send(2, OpId(1), 0, 1, 1, 32);
+        assert_eq!(t.metrics.sent_by_kind().map(|(_, c)| c).sum::<u64>(), 1);
+    }
+}

@@ -13,6 +13,7 @@
 //! | D3   | decision-path crates          | iteration over `HashMap`/`HashSet` (hash order leaks into protocol/simulation decisions) |
 //! | P1   | `pastry`/`core` non-test code | `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | U1   | every `.rs` file              | `unsafe`                                         |
+//! | O1   | library crate code            | `println!`/`eprintln!` (bins and tests exempt — emit trace events or return data instead) |
 //!
 //! Justified exceptions live in `crates/xtask/allow.toml`; every entry
 //! carries a rule id, a path, and a one-line reason, and unused entries
@@ -48,7 +49,7 @@ const PANIC_POLICY_PATHS: &[&str] = &["crates/pastry/src/", "crates/core/src/"];
 /// One rule violation at a specific source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier (`H1`, `D1`, `D2`, `D3`, `P1`, `U1`).
+    /// Rule identifier (`H1`, `D1`, `D2`, `D3`, `P1`, `U1`, `O1`).
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub path: String,
@@ -256,9 +257,20 @@ fn in_any(path: &str, prefixes: &[&str]) -> bool {
 }
 
 /// True for files that are test-only as a whole (integration tests,
-/// benches, examples): P1/D3 do not apply there.
+/// benches, examples): P1/D3/O1 do not apply there.
 fn is_test_file(path: &str) -> bool {
     path.contains("/tests/") || path.contains("/benches/") || path.starts_with("tests/")
+}
+
+/// True for library code under rule O1: crate sources that are not
+/// binary entry points. Bins own stdout; libraries must stay silent
+/// (emit trace events or return data instead).
+fn is_library_code(path: &str) -> bool {
+    path.starts_with("crates/")
+        && path.contains("/src/")
+        && !path.contains("/src/bin/")
+        && !path.ends_with("/src/main.rs")
+        && !is_test_file(path)
 }
 
 /// Scans one Rust source file. `path` is workspace-relative.
@@ -287,6 +299,7 @@ pub fn scan_rust(path: &str, src: &str) -> Vec<Violation> {
 
     let decision = in_any(path, DECISION_CRATES) && !is_test_file(path);
     let panic_policy = in_any(path, PANIC_POLICY_PATHS) && !is_test_file(path);
+    let library = is_library_code(path);
 
     let mut out = Vec::new();
     let mut hash_names: BTreeSet<String> = BTreeSet::new();
@@ -351,6 +364,22 @@ pub fn scan_rust(path: &str, src: &str) -> Vec<Violation> {
                          (hash order is nondeterministic; use BTreeMap/BTreeSet or sort first)"
                     ),
                 });
+            }
+        }
+        if library && !in_test {
+            for pat in ["println!", "eprintln!"] {
+                if has_token(&line, pat) {
+                    out.push(Violation {
+                        rule: "O1",
+                        path: path.to_string(),
+                        line: lineno,
+                        msg: format!(
+                            "`{pat}` in library code (bins own stdout; \
+                             emit trace events or return data instead)"
+                        ),
+                    });
+                    break;
+                }
             }
         }
         if panic_policy && !in_test {
@@ -718,6 +747,39 @@ mod tests {
         let p1: Vec<_> = v.iter().filter(|v| v.rule == "P1").collect();
         assert_eq!(p1.len(), 1, "{p1:?}");
         assert_eq!(p1[0].line, 7);
+    }
+
+    #[test]
+    fn o1_flags_prints_in_library_code_only() {
+        let src = concat!(
+            "pub fn f() { println!(\"hi\"); }\n",
+            "pub fn g() { eprintln!(\"warn\"); }\n",
+            "pub fn ok() { let s = \"println!\"; let _ = s; }\n",
+        );
+        let v = scan_rust("crates/core/src/x.rs", src);
+        let o1: Vec<_> = v.iter().filter(|v| v.rule == "O1").collect();
+        assert_eq!(o1.len(), 2, "{o1:?}");
+        assert_eq!(o1[0].line, 1);
+        assert_eq!(o1[1].line, 2);
+        // Binary entry points own stdout.
+        assert!(scan_rust("crates/core/src/bin/tool.rs", src).is_empty());
+        assert!(scan_rust("crates/xtask/src/main.rs", src).is_empty());
+        // Test and bench files are exempt.
+        assert!(scan_rust("crates/core/tests/x.rs", src).is_empty());
+        assert!(scan_rust("crates/bench/benches/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn o1_skips_cfg_test_modules() {
+        let src = concat!(
+            "pub fn f() -> u64 { 1 }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { println!(\"debug: {}\", super::f()); }\n",
+            "}\n",
+        );
+        assert!(scan_rust("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -13,7 +13,11 @@ echo "== xtask check (hermeticity / determinism / panic policy)"
 cargo run --offline -q -p xtask -- check
 
 echo "== invariant gate (I1-I5 over bulk-join / churn / quota-reclaim / lossy-churn)"
-cargo run --offline -q -p past-invariants --bin invariants
+mkdir -p target
+cargo run --offline -q -p past-invariants --bin invariants -- --emit-trace target/trace_lossy.jsonl
+
+echo "== tracecheck (no stuck ops, insert fan-out == k, hops vs log2^b N)"
+cargo run --offline -q -p past-trace --bin tracecheck -- --require-clean target/trace_lossy.jsonl
 
 echo "== cargo build --release"
 cargo build --offline --release --workspace
