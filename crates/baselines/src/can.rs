@@ -120,6 +120,7 @@ impl Message for CanMsg {
     const KINDS: &'static [&'static str] = &["can_lookup"];
 
     fn kind_id(&self) -> usize {
+        let CanMsg::Lookup(_) = self;
         0
     }
 
@@ -175,9 +176,10 @@ impl NodeLogic for CanNode {
             .neighbors
             .iter()
             .min_by(|(za, aa), (zb, ab)| {
+                // total_cmp: a total order even on NaN, so the winner
+                // never depends on iteration order (rule D4).
                 za.dist_to(&lk.target)
-                    .partial_cmp(&zb.dist_to(&lk.target))
-                    .expect("no NaN distances")
+                    .total_cmp(&zb.dist_to(&lk.target))
                     .then(aa.cmp(ab))
             })
             .map(|(_, a)| *a);
@@ -227,11 +229,7 @@ impl<T: Topology> CanSim<T> {
             // Split the widest dimension of the owner's zone.
             let z = zones[owner].clone();
             let split_dim = (0..dims)
-                .max_by(|&a, &b| {
-                    (z.hi[a] - z.lo[a])
-                        .partial_cmp(&(z.hi[b] - z.lo[b]))
-                        .expect("no NaN widths")
-                })
+                .max_by(|&a, &b| (z.hi[a] - z.lo[a]).total_cmp(&(z.hi[b] - z.lo[b])))
                 .expect("dims >= 1");
             let mid = (z.lo[split_dim] + z.hi[split_dim]) / 2.0;
             let mut lower = z.clone();

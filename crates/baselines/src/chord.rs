@@ -39,6 +39,7 @@ impl Message for ChordMsg {
     const KINDS: &'static [&'static str] = &["chord_lookup"];
 
     fn kind_id(&self) -> usize {
+        let ChordMsg::Lookup(_) = self;
         0
     }
 

@@ -216,7 +216,15 @@ impl PayloadSize for PastMsg {
             PastMsg::LookupHop { path, .. } => 40 + 8 * path.len() as u64,
             PastMsg::Reclaim { .. } | PastMsg::ReclaimFree { .. } => CERT,
             PastMsg::StoreAck { .. } | PastMsg::ReclaimAck { .. } => RECEIPT,
-            _ => 40,
+            // Header-sized control frames, named explicitly (rule M1):
+            // a new variant must pick its size here, not inherit one.
+            PastMsg::DivertAck { .. }
+            | PastMsg::DivertNack { .. }
+            | PastMsg::InsertNack { .. }
+            | PastMsg::LookupMiss { .. }
+            | PastMsg::ReclaimDenied { .. }
+            | PastMsg::AuditChallenge { .. }
+            | PastMsg::AuditProof { .. } => 40,
         }
     }
 

@@ -236,7 +236,9 @@ pub struct PastApp {
     /// suppresses the k−1 replica fan-out (exposed by missing store
     /// receipts at the client, §2.1).
     pub suppresses_replicas: bool,
-    pending_inserts: HashMap<FileId, PendingInsert>,
+    /// BTreeMap, not HashMap: `pending_insert_bytes` iterates it, and
+    /// decision-crate iteration must be hash-order-free (rule D3).
+    pending_inserts: BTreeMap<FileId, PendingInsert>,
     pending_lookups: HashMap<FileId, PendingLookup>,
     pending_audits: HashMap<FileId, (Digest256, u64)>,
     pending_diverts: HashMap<FileId, DivertState>,
@@ -273,7 +275,7 @@ impl PastApp {
             corrupts_content: false,
             drops_stored_files: false,
             suppresses_replicas: false,
-            pending_inserts: HashMap::new(),
+            pending_inserts: BTreeMap::new(),
             pending_lookups: HashMap::new(),
             pending_audits: HashMap::new(),
             pending_diverts: HashMap::new(),

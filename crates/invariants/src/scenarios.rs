@@ -89,7 +89,11 @@ pub fn bulk_join(seed: u64) -> Vec<Violation> {
     // Re-insert an existing file: holders answer with zero-`stored`
     // receipts and the duplicate debit must be returned in full.
     if let Some((client, name, content, _)) = fids.first() {
-        let _ = net.insert(*client, name, *content, 5);
+        // The duplicate submission itself must be accepted (holders
+        // reject it later with zero-`stored` receipts); a checker must
+        // fail loudly if it cannot even be issued (rule E1).
+        net.insert(*client, name, *content, 5)
+            .expect("duplicate insert submission accepted");
         net.run();
         check_at("after duplicate insert", &net, &mut violations);
     }
@@ -105,7 +109,8 @@ pub fn churn(seed: u64) -> Vec<Violation> {
     for i in 0..6u64 {
         let name = format!("churn-{i}");
         let content = ContentRef::synthetic((seed ^ 1) as usize, &name, MB);
-        let _ = net.insert((i as usize) % 6, &name, content, 5);
+        net.insert((i as usize) % 6, &name, content, 5)
+            .expect("churn insert submission accepted");
     }
     net.run();
     check_at("after insert workload", &net, &mut violations);

@@ -39,7 +39,9 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
         return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    // total_cmp: a total order even on NaN (rule D4), so the sort can
+    // neither panic nor depend on input order.
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     let mean = sorted.iter().sum::<f64>() / n as f64;
     let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;

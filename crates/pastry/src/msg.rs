@@ -168,11 +168,25 @@ impl<P: Clone + PayloadSize> Message for PastryMsg<P> {
 
     fn op_id(&self) -> OpId {
         // Only application traffic can belong to a client operation;
-        // overlay maintenance never does.
+        // overlay maintenance never does. Every maintenance variant is
+        // named (rule M1): a new variant must decide its attribution
+        // here explicitly instead of falling into a wildcard.
         match self {
             PastryMsg::Route(env) => env.payload.op_id(),
             PastryMsg::AppDirect { payload } => payload.op_id(),
-            _ => OpId::NONE,
+            PastryMsg::JoinRequest { .. }
+            | PastryMsg::JoinReply { .. }
+            | PastryMsg::NeighborhoodRequest
+            | PastryMsg::NeighborhoodReply { .. }
+            | PastryMsg::Announce { .. }
+            | PastryMsg::LeafRequest
+            | PastryMsg::LeafReply { .. }
+            | PastryMsg::RowRequest { .. }
+            | PastryMsg::RowReply { .. }
+            | PastryMsg::RepairRequest { .. }
+            | PastryMsg::RepairReply { .. }
+            | PastryMsg::Heartbeat
+            | PastryMsg::HeartbeatAck => OpId::NONE,
         }
     }
 }

@@ -164,7 +164,7 @@ fn run_variant(p: &Params, label: &str, cache: bool) -> Row {
         .map(|l| (l - mean_load) * (l - mean_load))
         .sum::<f64>()
         / loads.len() as f64;
-    loads.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    loads.sort_by(f64::total_cmp);
     Row {
         variant: label.to_string(),
         mean_latency_ms: mean_latency,

@@ -530,6 +530,15 @@ pub struct Tracer {
     pub metrics: Metrics,
 }
 
+/// Formats into the output string. `fmt::Write` for `String` is
+/// infallible, so this swallows no real error — it exists so the
+/// serializer never discards a `Result` with `let _ =` (rule E1).
+fn wfmt(out: &mut String, args: std::fmt::Arguments<'_>) {
+    use std::fmt::Write as _;
+    out.write_fmt(args)
+        .expect("formatting into a String cannot fail");
+}
+
 impl Tracer {
     /// A disabled tracer bound to a message-kind table.
     pub fn for_kinds(kinds: &'static [&'static str]) -> Tracer {
@@ -808,16 +817,20 @@ impl Tracer {
     }
 
     fn write_line(&self, out: &mut String, r: &TraceRecord) {
-        use std::fmt::Write as _;
         let head = |out: &mut String, ev: &str| {
-            let _ = write!(out, "{{\"t\":{},\"op\":{},\"ev\":\"{ev}\"", r.t, r.op.0);
+            wfmt(
+                out,
+                format_args!("{{\"t\":{},\"op\":{},\"ev\":\"{ev}\"", r.t, r.op.0),
+            );
         };
         let msg = |out: &mut String, ev: &str, from: usize, to: usize, kind: usize| {
             head(out, ev);
-            let _ = write!(
+            wfmt(
                 out,
-                ",\"from\":{from},\"to\":{to},\"kind\":\"{}\"",
-                self.kind_name(kind)
+                format_args!(
+                    ",\"from\":{from},\"to\":{to},\"kind\":\"{}\"",
+                    self.kind_name(kind)
+                ),
             );
         };
         match &r.ev {
@@ -828,7 +841,7 @@ impl Tracer {
                 bytes,
             } => {
                 msg(out, "send", *from, *to, *kind);
-                let _ = write!(out, ",\"bytes\":{bytes}");
+                wfmt(out, format_args!(",\"bytes\":{bytes}"));
             }
             TraceEvent::MsgRecv { from, to, kind } => msg(out, "recv", *from, *to, *kind),
             TraceEvent::MsgDrop { from, to, kind } => msg(out, "drop", *from, *to, *kind),
@@ -841,9 +854,11 @@ impl Tracer {
                 depth,
             } => {
                 head(out, "hop");
-                let _ = write!(
+                wfmt(
                     out,
-                    ",\"node\":{node},\"key\":\"{key:032x}\",\"hop\":{hop},\"depth\":{depth}"
+                    format_args!(
+                        ",\"node\":{node},\"key\":\"{key:032x}\",\"hop\":{hop},\"depth\":{depth}"
+                    ),
                 );
             }
             TraceEvent::RouteDeliver {
@@ -853,28 +868,33 @@ impl Tracer {
                 lat_us,
             } => {
                 head(out, "deliver");
-                let _ = write!(
+                wfmt(
                     out,
-                    ",\"node\":{node},\"key\":\"{key:032x}\",\"hops\":{hops},\"lat_us\":{lat_us}"
+                    format_args!(",\"node\":{node},\"key\":\"{key:032x}\",\"hops\":{hops},\"lat_us\":{lat_us}"),
                 );
             }
             TraceEvent::RouteDrop { node, key } => {
                 head(out, "route_drop");
-                let _ = write!(out, ",\"node\":{node},\"key\":\"{key:032x}\"");
+                wfmt(out, format_args!(",\"node\":{node},\"key\":\"{key:032x}\""));
             }
             TraceEvent::JoinPhase { node, phase } => {
                 head(out, "join");
-                let _ = write!(out, ",\"node\":{node},\"phase\":\"{phase}\"");
+                wfmt(out, format_args!(",\"node\":{node},\"phase\":\"{phase}\""));
             }
             TraceEvent::Suspect { node, peer, missed } => {
                 head(out, "suspect");
-                let _ = write!(out, ",\"node\":{node},\"peer\":{peer},\"missed\":{missed}");
+                wfmt(
+                    out,
+                    format_args!(",\"node\":{node},\"peer\":{peer},\"missed\":{missed}"),
+                );
             }
             TraceEvent::OpStart { node, kind, key, k } => {
                 head(out, "op_start");
-                let _ = write!(
+                wfmt(
                     out,
-                    ",\"node\":{node},\"kind\":\"{kind}\",\"key\":\"{key:032x}\",\"k\":{k}"
+                    format_args!(
+                        ",\"node\":{node},\"kind\":\"{kind}\",\"key\":\"{key:032x}\",\"k\":{k}"
+                    ),
                 );
             }
             TraceEvent::OpRetry {
@@ -883,9 +903,9 @@ impl Tracer {
                 attempt,
             } => {
                 head(out, "op_retry");
-                let _ = write!(
+                wfmt(
                     out,
-                    ",\"node\":{node},\"kind\":\"{kind}\",\"attempt\":{attempt}"
+                    format_args!(",\"node\":{node},\"kind\":\"{kind}\",\"attempt\":{attempt}"),
                 );
             }
             TraceEvent::OpEnd {
@@ -895,9 +915,11 @@ impl Tracer {
                 fanout,
             } => {
                 head(out, "op_end");
-                let _ = write!(
+                wfmt(
                     out,
-                    ",\"node\":{node},\"kind\":\"{kind}\",\"ok\":{ok},\"fanout\":{fanout}"
+                    format_args!(
+                        ",\"node\":{node},\"kind\":\"{kind}\",\"ok\":{ok},\"fanout\":{fanout}"
+                    ),
                 );
             }
             TraceEvent::ReplicaStored {
@@ -906,9 +928,9 @@ impl Tracer {
                 diverted,
             } => {
                 head(out, "replica");
-                let _ = write!(
+                wfmt(
                     out,
-                    ",\"node\":{node},\"key\":\"{key:032x}\",\"diverted\":{diverted}"
+                    format_args!(",\"node\":{node},\"key\":\"{key:032x}\",\"diverted\":{diverted}"),
                 );
             }
         }

@@ -1,0 +1,193 @@
+//! `allow.toml` v2: per-rule, per-span suppressions.
+//!
+//! Each `[[allow]]` table names a `rule`, a `path`, a mandatory
+//! one-line `reason`, and optionally a `line` — when present the
+//! entry suppresses only diagnostics of that rule on that exact line
+//! (a per-span suppression); without it the whole file is covered for
+//! that rule. An entry that suppresses nothing is *stale* and fails
+//! the check (the allowlist must not rot); `--prune-allows` rewrites
+//! the file with stale entries removed.
+
+use crate::manifest::toml_strip_comment;
+use crate::rules::Diagnostic;
+
+/// One allowlist entry, with the source-line span it occupies in
+/// `allow.toml` so stale entries can be pruned textually.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule this entry suppresses (`D1`, `L1`, …).
+    pub rule: String,
+    /// Workspace-relative file the exception applies to.
+    pub path: String,
+    /// Restrict the suppression to one source line of `path`.
+    pub line: Option<u32>,
+    /// One-line justification (mandatory).
+    pub reason: String,
+    /// 1-based inclusive line range of this entry in `allow.toml`.
+    pub span: (u32, u32),
+}
+
+impl Allow {
+    /// Whether this entry suppresses diagnostic `d`.
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule && self.path == d.path && self.line.map_or(true, |l| l == d.line)
+    }
+}
+
+/// Parses `allow.toml`: `[[allow]]` tables with mandatory `rule`,
+/// `path`, `reason` string keys and an optional integer `line`.
+pub fn parse_allowlist(src: &str) -> Result<Vec<Allow>, String> {
+    let mut out: Vec<Allow> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = toml_strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            out.push(Allow {
+                rule: String::new(),
+                path: String::new(),
+                line: None,
+                reason: String::new(),
+                span: (lineno, lineno),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("allow.toml:{lineno}: expected `key = \"value\"`"));
+        };
+        let Some(entry) = out.last_mut() else {
+            return Err(format!(
+                "allow.toml:{lineno}: key outside an [[allow]] table"
+            ));
+        };
+        let value = value.trim().trim_matches('"').to_string();
+        match key.trim() {
+            "rule" => entry.rule = value,
+            "path" => entry.path = value,
+            "reason" => entry.reason = value,
+            "line" => {
+                entry.line = Some(value.parse().map_err(|_| {
+                    format!("allow.toml:{lineno}: `line` must be a positive integer")
+                })?)
+            }
+            other => return Err(format!("allow.toml:{lineno}: unknown key `{other}`")),
+        }
+        entry.span.1 = lineno;
+    }
+    for (i, e) in out.iter().enumerate() {
+        if e.rule.is_empty() || e.path.is_empty() || e.reason.is_empty() {
+            return Err(format!(
+                "allow.toml: entry #{} must set rule, path, and a non-empty reason",
+                i + 1
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Returns `src` with the given stale entries' line spans removed,
+/// collapsing any blank-line runs the removal leaves behind. Pure so
+/// it is unit-testable; [`crate::prune_allow_file`] wraps it with IO.
+pub fn prune_source(src: &str, stale: &[Allow]) -> String {
+    let drop: Vec<(u32, u32)> = stale.iter().map(|a| a.span).collect();
+    let mut kept: Vec<&str> = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        if drop.iter().any(|&(lo, hi)| lineno >= lo && lineno <= hi) {
+            continue;
+        }
+        kept.push(line);
+    }
+    let mut out = String::new();
+    let mut prev_blank = true; // also trims leading blanks
+    for line in kept {
+        let blank = line.trim().is_empty();
+        if blank && prev_blank {
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+        prev_blank = blank;
+    }
+    while out.ends_with("\n\n") {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# exceptions, one table per entry
+
+[[allow]]
+rule = \"D1\"
+path = \"crates/bench/src/timing.rs\"
+reason = \"bench harness measures real elapsed time\"
+
+[[allow]]
+rule = \"L1\"
+path = \"crates/core/src/network.rs\"
+line = 12
+reason = \"the sim adapter\"
+";
+
+    #[test]
+    fn parses_spans_and_optional_line() {
+        let allows = parse_allowlist(SAMPLE).unwrap();
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].rule, "D1");
+        assert_eq!(allows[0].line, None);
+        assert_eq!(allows[0].span, (3, 6));
+        assert_eq!(allows[1].line, Some(12));
+        assert_eq!(allows[1].span, (8, 12));
+    }
+
+    #[test]
+    fn line_key_restricts_the_match() {
+        let allows = parse_allowlist(SAMPLE).unwrap();
+        let mut d = Diagnostic {
+            rule: "L1",
+            path: "crates/core/src/network.rs".to_string(),
+            line: 12,
+            col: 1,
+            msg: String::new(),
+        };
+        assert!(allows[1].matches(&d));
+        d.line = 13;
+        assert!(!allows[1].matches(&d));
+        // The file-level entry matches any line of its file.
+        d.rule = "D1";
+        d.path = "crates/bench/src/timing.rs".to_string();
+        assert!(allows[0].matches(&d));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let src = "[[allow]]\nrule = \"D1\"\npath = \"x.rs\"\n";
+        assert!(parse_allowlist(src).is_err());
+    }
+
+    #[test]
+    fn prune_removes_only_stale_spans() {
+        let allows = parse_allowlist(SAMPLE).unwrap();
+        let pruned = prune_source(SAMPLE, &allows[1..]);
+        let reparsed = parse_allowlist(&pruned).unwrap();
+        assert_eq!(reparsed.len(), 1);
+        assert_eq!(reparsed[0].rule, "D1");
+        assert!(pruned.starts_with("# exceptions"));
+        assert!(!pruned.contains("\n\n\n"), "no blank-line runs: {pruned:?}");
+    }
+
+    #[test]
+    fn prune_everything_leaves_header_only() {
+        let allows = parse_allowlist(SAMPLE).unwrap();
+        let pruned = prune_source(SAMPLE, &allows);
+        assert_eq!(parse_allowlist(&pruned).unwrap(), vec![]);
+        assert!(pruned.contains("# exceptions"));
+    }
+}

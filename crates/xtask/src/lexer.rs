@@ -1,0 +1,462 @@
+//! Zero-dependency Rust lexer producing spanned tokens.
+//!
+//! The lint rules in [`crate::rules`] match against this token stream
+//! instead of raw source lines. Comments and string/char literals become
+//! opaque single tokens, so a rule pattern can never be fooled by a
+//! mention inside a doc comment or an error message — including
+//! multi-line block comments and raw strings, which a line-oriented
+//! scanner cannot track. Every token carries byte offsets plus the
+//! line/column of its first byte, so diagnostics are spanned.
+//!
+//! Supported subset (everything the workspace uses):
+//! - line comments (`//`, `///`, `//!`) and *nested* block comments
+//! - string, raw string (`r"…"`, `r#"…"#`, any hash depth), byte
+//!   string, char, and byte-char literals, with escapes
+//! - lifetime vs. char-literal disambiguation (`'a` vs `'a'`)
+//! - numbers with underscores, radix prefixes, type suffixes, and
+//!   float exponents (`1_000`, `0xFF`, `1e-9`, `2.5f64`)
+//! - ASCII identifiers/keywords; punctuation is emitted one byte per
+//!   token (`::` is two `:` tokens), which keeps matching simple
+//!
+//! Known limits (documented in DESIGN.md §9): raw identifiers
+//! (`r#fn`) and C-string literals (`c"…"`) are not recognized, and
+//! non-ASCII identifiers lex as punctuation. Nothing in-tree uses any
+//! of these.
+
+/// Token class. Rules mostly care about `Ident` and `Punct`; literal
+/// classes exist so their *contents* never match identifier patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `HashMap`, `unsafe`, …).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (without a closing quote).
+    Lifetime,
+    /// String / raw-string / byte-string literal, quotes included.
+    Str,
+    /// Char or byte-char literal, quotes included.
+    Char,
+    /// Numeric literal, suffix included.
+    Num,
+    /// A single punctuation byte (`:`, `.`, `{`, …).
+    Punct,
+}
+
+/// One token with its span: byte range plus 1-based line/column of the
+/// first byte.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: Tok,
+    pub lo: usize,
+    pub hi: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A lexed file: the source plus its token stream.
+pub struct Lexed<'a> {
+    pub src: &'a str,
+    pub toks: Vec<Token>,
+}
+
+impl<'a> Lexed<'a> {
+    /// Source text of token `i` (empty for out-of-range, which lets
+    /// pattern matchers probe past the end without bounds checks).
+    pub fn text(&self, i: usize) -> &'a str {
+        match self.toks.get(i) {
+            Some(t) => &self.src[t.lo..t.hi],
+            None => "",
+        }
+    }
+
+    pub fn kind(&self, i: usize) -> Option<Tok> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+
+    pub fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.toks.is_empty()
+    }
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn eof(&self) -> bool {
+        self.i >= self.b.len()
+    }
+
+    fn peek(&self) -> u8 {
+        self.b.get(self.i).copied().unwrap_or(0)
+    }
+
+    fn peek_at(&self, ahead: usize) -> u8 {
+        self.b.get(self.i + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) {
+        if let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            if c == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Hash depth of a raw-string opener at the cursor (`r"`, `r#"`,
+/// `br##"`, …), or `None` if the cursor is not at one.
+fn raw_str_hashes(c: &Cursor<'_>) -> Option<usize> {
+    let mut j = 1; // past the `r`
+    let mut hashes = 0;
+    while c.peek_at(j) == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if c.peek_at(j) == b'"' {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Consume a `"…"` body (opening quote already consumed), honoring
+/// backslash escapes; multi-line strings are fine because `bump`
+/// tracks newlines.
+fn eat_str_body(c: &mut Cursor<'_>) {
+    while !c.eof() {
+        match c.peek() {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                break;
+            }
+            _ => c.bump(),
+        }
+    }
+}
+
+/// Consume a raw-string body after the opening quote: runs until `"`
+/// followed by `hashes` `#` bytes.
+fn eat_raw_str_body(c: &mut Cursor<'_>, hashes: usize) {
+    while !c.eof() {
+        if c.peek() == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if c.peek_at(1 + k) != b'#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..=hashes {
+                    c.bump();
+                }
+                return;
+            }
+        }
+        c.bump();
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unrecognized bytes
+/// become `Punct` tokens (whole UTF-8 sequences, so slicing stays
+/// valid).
+pub fn lex(src: &str) -> Lexed<'_> {
+    let mut c = Cursor {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while !c.eof() {
+        let (lo, line, col) = (c.i, c.line, c.col);
+        let ch = c.peek();
+        let kind = match ch {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+                continue;
+            }
+            b'/' if c.peek_at(1) == b'/' => {
+                while !c.eof() && c.peek() != b'\n' {
+                    c.bump();
+                }
+                continue;
+            }
+            b'/' if c.peek_at(1) == b'*' => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while !c.eof() && depth > 0 {
+                    if c.peek() == b'*' && c.peek_at(1) == b'/' {
+                        c.bump();
+                        c.bump();
+                        depth -= 1;
+                    } else if c.peek() == b'/' && c.peek_at(1) == b'*' {
+                        c.bump();
+                        c.bump();
+                        depth += 1;
+                    } else {
+                        c.bump();
+                    }
+                }
+                continue;
+            }
+            b'"' => {
+                c.bump();
+                eat_str_body(&mut c);
+                Tok::Str
+            }
+            b'r' | b'b' => {
+                // r"…" / r#"…"# / b"…" / br"…" / b'…' — else an ident.
+                if let Some(h) = raw_str_hashes(&c) {
+                    c.bump(); // r
+                    for _ in 0..h {
+                        c.bump();
+                    }
+                    c.bump(); // opening quote
+                    eat_raw_str_body(&mut c, h);
+                    Tok::Str
+                } else if ch == b'b' && c.peek_at(1) == b'"' {
+                    c.bump();
+                    c.bump();
+                    eat_str_body(&mut c);
+                    Tok::Str
+                } else if ch == b'b' && c.peek_at(1) == b'r' {
+                    let mut probe = Cursor {
+                        b: c.b,
+                        i: c.i + 1,
+                        line: c.line,
+                        col: c.col,
+                    };
+                    if let Some(h) = raw_str_hashes(&probe) {
+                        probe.bump(); // r
+                        for _ in 0..h {
+                            probe.bump();
+                        }
+                        probe.bump(); // quote
+                        eat_raw_str_body(&mut probe, h);
+                        c.i = probe.i;
+                        c.line = probe.line;
+                        c.col = probe.col;
+                        Tok::Str
+                    } else {
+                        while is_ident_cont(c.peek()) {
+                            c.bump();
+                        }
+                        Tok::Ident
+                    }
+                } else if ch == b'b' && c.peek_at(1) == b'\'' {
+                    c.bump(); // b
+                    c.bump(); // quote
+                    if c.peek() == b'\\' {
+                        c.bump();
+                        c.bump();
+                    }
+                    while !c.eof() && c.peek() != b'\'' {
+                        c.bump();
+                    }
+                    c.bump(); // closing quote
+                    Tok::Char
+                } else {
+                    while is_ident_cont(c.peek()) {
+                        c.bump();
+                    }
+                    Tok::Ident
+                }
+            }
+            b'\'' => {
+                // Lifetime (`'a`, not followed by a closing quote) or
+                // char literal (`'a'`, `'\n'`, `'λ'`).
+                if is_ident_start(c.peek_at(1)) && c.peek_at(2) != b'\'' {
+                    c.bump(); // quote
+                    while is_ident_cont(c.peek()) {
+                        c.bump();
+                    }
+                    Tok::Lifetime
+                } else {
+                    c.bump(); // quote
+                    if c.peek() == b'\\' {
+                        c.bump();
+                        c.bump();
+                    }
+                    while !c.eof() && c.peek() != b'\'' {
+                        c.bump();
+                    }
+                    c.bump(); // closing quote
+                    Tok::Char
+                }
+            }
+            b'0'..=b'9' => {
+                c.bump();
+                loop {
+                    let p = c.peek();
+                    if is_ident_cont(p) {
+                        let was_exp = p == b'e' || p == b'E';
+                        c.bump();
+                        // Exponent sign: `1e-9`, `2.5E+3`.
+                        if was_exp
+                            && (c.peek() == b'+' || c.peek() == b'-')
+                            && c.peek_at(1).is_ascii_digit()
+                        {
+                            c.bump();
+                        }
+                    } else if p == b'.' && c.peek_at(1).is_ascii_digit() {
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Num
+            }
+            ch if is_ident_start(ch) => {
+                while is_ident_cont(c.peek()) {
+                    c.bump();
+                }
+                Tok::Ident
+            }
+            ch if ch >= 0x80 => {
+                // Non-ASCII outside literals: consume the whole UTF-8
+                // sequence so token slices stay on char boundaries.
+                c.bump();
+                while !c.eof() && (c.peek() & 0xC0) == 0x80 {
+                    c.bump();
+                }
+                Tok::Punct
+            }
+            _ => {
+                c.bump();
+                Tok::Punct
+            }
+        };
+        toks.push(Token {
+            kind,
+            lo,
+            hi: c.i,
+            line,
+            col,
+        });
+    }
+    Lexed { src, toks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        let lx = lex(src);
+        (0..lx.len()).map(|i| lx.text(i).to_string()).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_split() {
+        assert_eq!(
+            texts("std::time::X"),
+            vec!["std", ":", ":", "time", ":", ":", "X"]
+        );
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let lx = lex(r#"let s = "HashMap.iter() // not code";"#);
+        let kinds: Vec<Tok> = lx.toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![Tok::Ident, Tok::Ident, Tok::Punct, Tok::Str, Tok::Punct]
+        );
+        assert!(lx.text(3).starts_with('"'));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let lx = lex("let s = r##\"contains \"# quote\"##; done");
+        let t: Vec<&str> = (0..lx.len()).map(|i| lx.text(i)).collect();
+        assert_eq!(t[3], "r##\"contains \"# quote\"##");
+        assert_eq!(t[5], "done");
+    }
+
+    #[test]
+    fn nested_block_comments_skip_fully() {
+        assert_eq!(texts("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let lx = lex("fn f<'a>(x: &'a u8) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = lx
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == Tok::Lifetime)
+            .map(|(i, _)| lx.text(i))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<&str> = lx
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == Tok::Char)
+            .map(|(i, _)| lx.text(i))
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_suffixes() {
+        assert_eq!(
+            texts("1_000 0xFF 1e-9 2.5f64 3."),
+            vec!["1_000", "0xFF", "1e-9", "2.5f64", "3", "."]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_cols() {
+        let lx = lex("a\n  bb\n\"s\ntr\" c");
+        assert_eq!((lx.toks[0].line, lx.toks[0].col), (1, 1));
+        assert_eq!((lx.toks[1].line, lx.toks[1].col), (2, 3));
+        assert_eq!(lx.toks[2].kind, Tok::Str); // multi-line string
+        assert_eq!((lx.toks[3].line, lx.toks[3].col), (4, 5));
+    }
+
+    #[test]
+    fn multiline_chain_is_one_stream() {
+        // The whole point vs. the old line scanner: a method chain
+        // split over lines is contiguous in token space.
+        assert_eq!(
+            texts("self.map\n    .values()\n    .sum()"),
+            vec!["self", ".", "map", ".", "values", "(", ")", ".", "sum", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn byte_literals() {
+        let lx = lex("b\"bytes\" b'x' br#\"raw\"#");
+        assert_eq!(lx.toks[0].kind, Tok::Str);
+        assert_eq!(lx.toks[1].kind, Tok::Char);
+        assert_eq!(lx.toks[2].kind, Tok::Str);
+        assert_eq!(lx.len(), 3);
+    }
+}

@@ -1,83 +1,55 @@
 //! The workspace's in-tree static-analysis pass (`cargo run -p xtask -- check`).
 //!
-//! A lightweight line/token scanner — deliberately not a real parser, and
-//! deliberately dependency-free so the analyzer is itself hermetic — that
-//! walks every `Cargo.toml` and `.rs` file in the workspace and enforces
-//! the project invariants as deny-by-default rules:
+//! v2: the rules run over a real token stream from an in-tree lexer
+//! ([`lexer`]) plus a lightweight item parser ([`parse`]) — still
+//! deliberately dependency-free (per rule H1, the analyzer must itself
+//! be hermetic), but no longer fooled by multi-line constructs, and
+//! able to reason across files (rule M1) and crate boundaries (rule
+//! L1). Diagnostics are spanned (line *and* column) and can be
+//! emitted as JSON for CI.
 //!
-//! | rule | scope                         | what it forbids                                  |
-//! |------|-------------------------------|--------------------------------------------------|
-//! | H1   | every `Cargo.toml`            | registry dependencies (anything that is not an in-tree `path`/`workspace = true` dep) |
-//! | D1   | every `.rs` file              | wall-clock reads: `std::time::Instant`, `std::time::SystemTime` |
-//! | D2   | every `.rs` file              | OS entropy: `thread_rng`, `from_entropy`, `OsRng`, `getrandom`, `rand::random` |
-//! | D3   | decision-path crates          | iteration over `HashMap`/`HashSet` (hash order leaks into protocol/simulation decisions) |
-//! | P1   | `pastry`/`core` non-test code | `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
-//! | U1   | every `.rs` file              | `unsafe`                                         |
-//! | O1   | library crate code            | `println!`/`eprintln!` (bins and tests exempt — emit trace events or return data instead) |
+//! | rule | scope                         | what it forbids |
+//! |------|-------------------------------|-----------------|
+//! | H1   | every `Cargo.toml`            | registry dependencies |
+//! | D1   | every `.rs` file              | wall-clock reads (`std::time::Instant`, `SystemTime`) |
+//! | D2   | every `.rs` file              | OS entropy (`thread_rng`, `OsRng`, `getrandom`, …) |
+//! | D3   | decision-path crates          | `HashMap`/`HashSet` iteration (hash order steers decisions) |
+//! | D4   | library crates                | determinism taint: hash iteration elsewhere, `partial_cmp` comparators, bare `Instant`/`SystemTime` |
+//! | P1   | `pastry`/`core` non-test code | panics (`unwrap`, `expect`, `panic!`, …) |
+//! | U1   | every `.rs` file              | `unsafe` |
+//! | O1   | library crate code            | `println!`-family output |
+//! | E1   | library crate code            | `let _ =` over a call (silently dropped `Result`s) |
+//! | L1   | protocol crates (`core`, `pastry`) | reaching into `netsim::engine` internals |
+//! | M1   | wire-message enums            | variants missing from `wire_size`/`kind_id`/`KINDS`/`op_id` coverage |
 //!
-//! Justified exceptions live in `crates/xtask/allow.toml`; every entry
-//! carries a rule id, a path, and a one-line reason, and unused entries
-//! are reported so the allowlist cannot rot.
-//!
-//! Known scanner limits (accepted for a ~zero-dependency pass): string
-//! literals and comments are stripped per line, but *multi-line* string
-//! literals are not tracked, and D3 tracks collection-typed names per
-//! file, not per scope — avoid reusing one identifier for both a hash
-//! collection and an ordered one in the same file.
+//! The full catalog — rationale, scope, and suppression mechanics per
+//! rule — lives in DESIGN.md §9. Justified exceptions go in
+//! `crates/xtask/allow.toml` (see [`allowlist`]); a stale entry is
+//! itself a check failure, and `--prune-allows` removes them.
 
-use std::collections::BTreeSet;
+pub mod allowlist;
+pub mod lexer;
+pub mod manifest;
+pub mod parse;
+pub mod rules;
+
+pub use allowlist::{parse_allowlist, prune_source, Allow};
+pub use manifest::check_manifest;
+pub use rules::{analyze_sources, AnalyzeOpts, Diagnostic};
+
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose code makes protocol or simulation decisions: hash-order
-/// iteration there can leak into routing or replica choice (rule D3).
-const DECISION_CRATES: &[&str] = &[
-    "crates/pastry/",
-    "crates/core/",
-    "crates/netsim/",
-    "crates/sim/",
-    "crates/baselines/",
-    "crates/invariants/",
-];
-
-/// Crates under the panic policy (rule P1): protocol code must surface
-/// errors as `Result`/`Option`, never abort the process.
-const PANIC_POLICY_PATHS: &[&str] = &["crates/pastry/src/", "crates/core/src/"];
-
-/// One rule violation at a specific source location.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Violation {
-    /// Rule identifier (`H1`, `D1`, `D2`, `D3`, `P1`, `U1`, `O1`).
-    pub rule: &'static str,
-    /// Workspace-relative path with forward slashes.
-    pub path: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// Human-readable description.
-    pub msg: String,
-}
-
-impl fmt::Display for Violation {
+impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: {}: {}",
-            self.path, self.line, self.rule, self.msg
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.msg
         )
     }
-}
-
-/// One allowlist entry from `allow.toml`.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Allow {
-    /// Rule this entry suppresses.
-    pub rule: String,
-    /// Workspace-relative file the exception applies to.
-    pub path: String,
-    /// One-line justification (mandatory).
-    pub reason: String,
 }
 
 /// The outcome of a full workspace check.
@@ -85,497 +57,88 @@ pub struct Allow {
 pub struct Report {
     /// Files scanned (`Cargo.toml` + `.rs`).
     pub files_scanned: usize,
-    /// Violations not covered by the allowlist.
-    pub violations: Vec<Violation>,
-    /// Violations suppressed by the allowlist.
+    /// Diagnostics not covered by the allowlist.
+    pub violations: Vec<Diagnostic>,
+    /// Diagnostics suppressed by the allowlist.
     pub suppressed: usize,
-    /// Allowlist entries that matched nothing (stale).
-    pub unused_allows: Vec<Allow>,
+    /// Allowlist entries that matched nothing. Stale suppressions are
+    /// an error: the check fails until they are removed (or
+    /// `--prune-allows` is run).
+    pub stale_allows: Vec<Allow>,
 }
 
-fn is_ident(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-/// True if `tok` occurs in `line` with non-identifier characters (or the
-/// line boundary) on both sides.
-fn has_token(line: &str, tok: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut start = 0;
-    while let Some(found) = line[start..].find(tok) {
-        let i = start + found;
-        let before_ok = i == 0 || !is_ident(bytes[i - 1]);
-        let end = i + tok.len();
-        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = i + 1;
+impl Report {
+    /// A clean check: nothing to fix, nothing stale.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.stale_allows.is_empty()
     }
-    false
-}
 
-/// Strips comments and string-literal contents from one source line.
-///
-/// Keeps the enclosing quotes so token boundaries survive. `in_block`
-/// tracks `/* … */` comments across lines. Multi-line string literals are
-/// not tracked (see module docs).
-fn sanitize(line: &str, in_block: &mut bool) -> String {
-    let mut out = String::with_capacity(line.len());
-    let b = line.as_bytes();
-    let mut i = 0;
-    while i < b.len() {
-        if *in_block {
-            if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                *in_block = false;
-                i += 2;
-            } else {
-                i += 1;
+    /// Serializes the report as a single JSON object (schema
+    /// `xtask-check/v1`) for CI artifacts. Hand-rolled — the analyzer
+    /// stays dependency-free.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"schema\":\"xtask-check/v1\"");
+        s.push_str(&format!(",\"files_scanned\":{}", self.files_scanned));
+        s.push_str(&format!(",\"suppressed\":{}", self.suppressed));
+        s.push_str(",\"violations\":[");
+        for (i, d) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
             }
-            continue;
+            s.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"msg\":{}}}",
+                json_str(d.rule),
+                json_str(&d.path),
+                d.line,
+                d.col,
+                json_str(&d.msg)
+            ));
         }
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => break, // line comment
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                *in_block = true;
-                i += 2;
+        s.push_str("],\"stale_allows\":[");
+        for (i, a) in self.stale_allows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
             }
-            b'"' => {
-                // Skip the string body (escapes included) up to the close.
-                out.push('"');
-                i += 1;
-                while i < b.len() {
-                    match b[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            out.push('"');
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-            }
-            b'\'' => {
-                // Char literal ('x', '\n', '"') or a lifetime ('a).
-                if i + 2 < b.len() && b[i + 1] == b'\\' {
-                    out.push_str("' '");
-                    i += 3;
-                    while i < b.len() && b[i - 1] != b'\'' {
-                        i += 1;
-                    }
-                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
-                    out.push_str("' '");
-                    i += 3;
-                } else {
-                    out.push('\''); // lifetime
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c as char);
-                i += 1;
-            }
+            let line = match a.line {
+                Some(l) => l.to_string(),
+                None => "null".to_string(),
+            };
+            s.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"reason\":{}}}",
+                json_str(&a.rule),
+                json_str(&a.path),
+                line,
+                json_str(&a.reason)
+            ));
         }
-    }
-    out
-}
-
-/// The identifier ending at the end of `s`, if any.
-fn trailing_ident(s: &str) -> Option<&str> {
-    let s = s.trim_end();
-    let b = s.as_bytes();
-    let mut start = b.len();
-    while start > 0 && is_ident(b[start - 1]) {
-        start -= 1;
-    }
-    if start == b.len() || b[start].is_ascii_digit() {
-        None
-    } else {
-        Some(&s[start..])
+        s.push_str("],\"ok\":");
+        s.push_str(if self.ok() { "true" } else { "false" });
+        s.push('}');
+        s
     }
 }
 
-/// Collects identifiers bound to `HashMap`/`HashSet` values on this line
-/// (let bindings, struct fields, struct-literal inits).
-fn hash_decl_names(line: &str, names: &mut BTreeSet<String>) {
-    for ty in ["HashMap", "HashSet"] {
-        // `name: HashMap<…>` (field or annotated let).
-        let mut start = 0;
-        while let Some(found) = line[start..].find(ty) {
-            let i = start + found;
-            let before = line[..i].trim_end();
-            if let Some(prefix) = before.strip_suffix(':') {
-                if let Some(name) = trailing_ident(prefix) {
-                    names.insert(name.to_string());
-                }
-            }
-            start = i + ty.len();
-        }
-        // `name = [std::collections::]HashMap::new()` and friends.
-        for ctor in ["::new", "::with_capacity", "::from", "::default"] {
-            let pat = format!("{ty}{ctor}");
-            if line.contains(&pat) {
-                if let Some(eq) = line.find('=') {
-                    if let Some(name) = trailing_ident(&line[..eq]) {
-                        names.insert(name.to_string());
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// True if this line iterates over tracked hash-collection `name`.
-fn iterates_hash(line: &str, name: &str) -> bool {
-    for m in [
-        ".iter()",
-        ".iter_mut()",
-        ".keys()",
-        ".values()",
-        ".values_mut()",
-        ".into_iter()",
-        ".drain(",
-        ".retain(",
-    ] {
-        if has_token(line, &format!("{name}{m}")) {
-            return true;
-        }
-    }
-    for prefix in ["in ", "in &", "in &mut "] {
-        for owner in ["", "self."] {
-            if has_token(line, &format!("{prefix}{owner}{name}")) {
-                return true;
-            }
-        }
-    }
-    false
-}
-
-fn in_any(path: &str, prefixes: &[&str]) -> bool {
-    prefixes.iter().any(|p| path.starts_with(p))
-}
-
-/// True for files that are test-only as a whole (integration tests,
-/// benches, examples): P1/D3/O1 do not apply there.
-fn is_test_file(path: &str) -> bool {
-    path.contains("/tests/") || path.contains("/benches/") || path.starts_with("tests/")
-}
-
-/// True for library code under rule O1: crate sources that are not
-/// binary entry points. Bins own stdout; libraries must stay silent
-/// (emit trace events or return data instead).
-fn is_library_code(path: &str) -> bool {
-    path.starts_with("crates/")
-        && path.contains("/src/")
-        && !path.contains("/src/bin/")
-        && !path.ends_with("/src/main.rs")
-        && !is_test_file(path)
-}
-
-/// Scans one Rust source file. `path` is workspace-relative.
-pub fn scan_rust(path: &str, src: &str) -> Vec<Violation> {
-    let d1: &[&str] = &[
-        "std::time::Instant",
-        "std::time::SystemTime",
-        "Instant::now",
-        "SystemTime::now",
-    ];
-    let d2: &[&str] = &[
-        "thread_rng",
-        "from_entropy",
-        "OsRng",
-        "getrandom",
-        "rand::random",
-    ];
-    let p1: &[&str] = &[
-        ".unwrap()",
-        ".expect(",
-        "panic!",
-        "unreachable!",
-        "todo!",
-        "unimplemented!",
-    ];
-
-    let decision = in_any(path, DECISION_CRATES) && !is_test_file(path);
-    let panic_policy = in_any(path, PANIC_POLICY_PATHS) && !is_test_file(path);
-    let library = is_library_code(path);
-
-    let mut out = Vec::new();
-    let mut hash_names: BTreeSet<String> = BTreeSet::new();
-    let mut in_block_comment = false;
-    let mut depth: i32 = 0;
-    let mut cfg_test_pending = false;
-    let mut test_mod_depth: Option<i32> = None;
-
-    for (idx, raw) in src.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = sanitize(raw, &mut in_block_comment);
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") {
-            cfg_test_pending = true;
-        }
-        let opens = line.matches('{').count() as i32;
-        if cfg_test_pending && has_token(&line, "mod") && opens > 0 {
-            test_mod_depth = Some(depth);
-            cfg_test_pending = false;
-        }
-        let in_test = test_mod_depth.is_some();
-
-        for pat in d1 {
-            if line.contains(pat) {
-                out.push(Violation {
-                    rule: "D1",
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: format!("wall-clock read `{pat}` (simulated time only; see DESIGN.md)"),
-                });
-                break;
-            }
-        }
-        for pat in d2 {
-            if has_token(&line, pat) || line.contains(pat) && pat.contains("::") {
-                out.push(Violation {
-                    rule: "D2",
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: format!("OS entropy source `{pat}` (use past_crypto::rng::Rng)"),
-                });
-                break;
-            }
-        }
-        if has_token(&line, "unsafe") {
-            out.push(Violation {
-                rule: "U1",
-                path: path.to_string(),
-                line: lineno,
-                msg: "`unsafe` is forbidden workspace-wide".to_string(),
-            });
-        }
-        if decision && !in_test {
-            hash_decl_names(&line, &mut hash_names);
-            if let Some(name) = hash_names.iter().find(|n| iterates_hash(&line, n)) {
-                out.push(Violation {
-                    rule: "D3",
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: format!(
-                        "iteration over hash collection `{name}` in a decision path \
-                         (hash order is nondeterministic; use BTreeMap/BTreeSet or sort first)"
-                    ),
-                });
-            }
-        }
-        if library && !in_test {
-            for pat in ["println!", "eprintln!"] {
-                if has_token(&line, pat) {
-                    out.push(Violation {
-                        rule: "O1",
-                        path: path.to_string(),
-                        line: lineno,
-                        msg: format!(
-                            "`{pat}` in library code (bins own stdout; \
-                             emit trace events or return data instead)"
-                        ),
-                    });
-                    break;
-                }
-            }
-        }
-        if panic_policy && !in_test {
-            for pat in p1 {
-                if line.contains(pat) {
-                    out.push(Violation {
-                        rule: "P1",
-                        path: path.to_string(),
-                        line: lineno,
-                        msg: format!(
-                            "`{pat}` in protocol code (return Result/Option, \
-                             or allowlist with a justification)"
-                        ),
-                    });
-                    break;
-                }
-            }
-        }
-
-        depth += opens - line.matches('}').count() as i32;
-        if let Some(td) = test_mod_depth {
-            if depth <= td {
-                test_mod_depth = None;
-            }
-        }
-    }
-    out
-}
-
-/// Strips a `#` comment from a TOML line (quote-aware).
-fn toml_strip_comment(line: &str) -> &str {
-    let b = line.as_bytes();
-    let mut in_str = false;
-    for (i, &c) in b.iter().enumerate() {
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
         match c {
-            b'"' => in_str = !in_str,
-            b'#' if !in_str => return &line[..i],
-            _ => {}
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
-    line
-}
-
-fn is_dep_section(section: &str) -> bool {
-    for kind in ["dependencies", "dev-dependencies", "build-dependencies"] {
-        if section == kind
-            || section == format!("workspace.{kind}")
-            || section.ends_with(&format!(".{kind}"))
-        {
-            return true;
-        }
-    }
-    false
-}
-
-/// Splits `[dependencies.NAME]`-style headers into (dep section, name).
-fn dep_entry_header(section: &str) -> Option<(&str, &str)> {
-    for kind in ["dependencies", "dev-dependencies", "build-dependencies"] {
-        let prefix = format!("{kind}.");
-        if let Some(name) = section.strip_prefix(&prefix) {
-            return Some((kind, name));
-        }
-    }
-    None
-}
-
-fn dep_value_is_in_tree(value: &str) -> bool {
-    has_token(value, "path") || value.replace(' ', "").contains("workspace=true")
-}
-
-/// Checks one `Cargo.toml` for registry dependencies (rule H1).
-///
-/// Every dependency — normal, dev, build, workspace, target-specific —
-/// must be an in-tree `path` dep or a `workspace = true` reference to
-/// one. Anything with a bare version requirement is a registry dep.
-pub fn check_manifest(path: &str, src: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let mut section = String::new();
-    // `[dependencies.NAME]` multi-line entry: (name, header line, seen path/workspace).
-    let mut table_entry: Option<(String, usize, bool)> = None;
-
-    let flush = |entry: &mut Option<(String, usize, bool)>, out: &mut Vec<Violation>| {
-        if let Some((name, line, ok)) = entry.take() {
-            if !ok {
-                out.push(Violation {
-                    rule: "H1",
-                    path: path.to_string(),
-                    line,
-                    msg: format!("registry dependency `{name}` (only in-tree path deps allowed)"),
-                });
-            }
-        }
-    };
-
-    for (idx, raw) in src.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = toml_strip_comment(raw).trim();
-        if line.is_empty() {
-            continue;
-        }
-        if line.starts_with('[') {
-            flush(&mut table_entry, &mut out);
-            section = line
-                .trim_matches(|c| c == '[' || c == ']')
-                .trim()
-                .to_string();
-            if let Some((_, name)) = dep_entry_header(&section) {
-                table_entry = Some((name.to_string(), lineno, false));
-            }
-            continue;
-        }
-        if let Some(entry) = table_entry.as_mut() {
-            let key = line.split('=').next().unwrap_or("").trim();
-            if key == "path" || (key == "workspace" && line.replace(' ', "").ends_with("=true")) {
-                entry.2 = true;
-            }
-            continue;
-        }
-        if is_dep_section(&section) {
-            let Some((key, value)) = line.split_once('=') else {
-                continue;
-            };
-            let key = key.trim();
-            let value = value.trim();
-            let (name, ok) = match key.split_once('.') {
-                // `name.workspace = true` / `name.path = "…"`.
-                Some((name, sub)) => (name, sub == "workspace" || sub == "path"),
-                None => (key, dep_value_is_in_tree(value)),
-            };
-            if !ok {
-                out.push(Violation {
-                    rule: "H1",
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: format!("registry dependency `{name}` (only in-tree path deps allowed)"),
-                });
-            }
-        }
-    }
-    flush(&mut table_entry, &mut out);
+    out.push('"');
     out
-}
-
-/// Parses `allow.toml`: a list of `[[allow]]` tables with mandatory
-/// `rule`, `path`, and `reason` string keys.
-pub fn parse_allowlist(src: &str) -> Result<Vec<Allow>, String> {
-    let mut out: Vec<Allow> = Vec::new();
-    let mut open = false;
-    for (idx, raw) in src.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = toml_strip_comment(raw).trim();
-        if line.is_empty() {
-            continue;
-        }
-        if line == "[[allow]]" {
-            out.push(Allow {
-                rule: String::new(),
-                path: String::new(),
-                reason: String::new(),
-            });
-            open = true;
-            continue;
-        }
-        let Some((key, value)) = line.split_once('=') else {
-            return Err(format!("allow.toml:{lineno}: expected `key = \"value\"`"));
-        };
-        if !open {
-            return Err(format!(
-                "allow.toml:{lineno}: key outside an [[allow]] table"
-            ));
-        }
-        let value = value.trim().trim_matches('"').to_string();
-        let Some(entry) = out.last_mut() else {
-            return Err(format!("allow.toml:{lineno}: key before first [[allow]]"));
-        };
-        match key.trim() {
-            "rule" => entry.rule = value,
-            "path" => entry.path = value,
-            "reason" => entry.reason = value,
-            other => return Err(format!("allow.toml:{lineno}: unknown key `{other}`")),
-        }
-    }
-    for (i, e) in out.iter().enumerate() {
-        if e.rule.is_empty() || e.path.is_empty() || e.reason.is_empty() {
-            return Err(format!(
-                "allow.toml: entry #{} must set rule, path, and a non-empty reason",
-                i + 1
-            ));
-        }
-    }
-    Ok(out)
 }
 
 /// Recursively collects `Cargo.toml` and `.rs` files under `root`,
-/// skipping `target/`, hidden directories, and VCS metadata. Sorted for
-/// deterministic output.
+/// skipping `target/`, hidden directories, and VCS metadata. Sorted
+/// for deterministic output.
 fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
@@ -614,7 +177,8 @@ pub fn run_check(root: &Path) -> Result<Report, String> {
 
     let files = collect_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
     let mut report = Report::default();
-    let mut used = vec![false; allows.len()];
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
     for file in &files {
         let rel = file
             .strip_prefix(root)
@@ -624,25 +188,37 @@ pub fn run_check(root: &Path) -> Result<Report, String> {
         let src =
             fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
         report.files_scanned += 1;
-        let violations = if rel.ends_with("Cargo.toml") {
-            check_manifest(&rel, &src)
+        if rel.ends_with("Cargo.toml") {
+            diags.extend(check_manifest(&rel, &src));
         } else {
-            scan_rust(&rel, &src)
-        };
-        for v in violations {
-            let hit = allows
-                .iter()
-                .position(|a| a.rule == v.rule && a.path == v.path);
-            match hit {
-                Some(i) => {
-                    used[i] = true;
-                    report.suppressed += 1;
-                }
-                None => report.violations.push(v),
-            }
+            sources.push((rel, src));
         }
     }
-    report.unused_allows = allows
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    diags.extend(analyze_sources(
+        &refs,
+        &AnalyzeOpts {
+            require_enums: true,
+        },
+    ));
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+
+    let mut used = vec![false; allows.len()];
+    for d in diags {
+        match allows.iter().position(|a| a.matches(&d)) {
+            Some(i) => {
+                used[i] = true;
+                report.suppressed += 1;
+            }
+            None => report.violations.push(d),
+        }
+    }
+    report.stale_allows = allows
         .into_iter()
         .zip(used)
         .filter_map(|(a, u)| if u { None } else { Some(a) })
@@ -650,228 +226,44 @@ pub fn run_check(root: &Path) -> Result<Report, String> {
     Ok(report)
 }
 
+/// Rewrites `crates/xtask/allow.toml` under `root` with the given
+/// stale entries removed; returns how many were pruned.
+pub fn prune_allow_file(root: &Path, stale: &[Allow]) -> Result<usize, String> {
+    if stale.is_empty() {
+        return Ok(0);
+    }
+    let allow_path = root.join("crates/xtask/allow.toml");
+    let src =
+        fs::read_to_string(&allow_path).map_err(|e| format!("{}: {e}", allow_path.display()))?;
+    let pruned = prune_source(&src, stale);
+    fs::write(&allow_path, pruned).map_err(|e| format!("{}: {e}", allow_path.display()))?;
+    Ok(stale.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // Fixture sources are assembled from escaped single-line strings so
-    // the scanner's per-line string stripping never hides them from the
-    // rules under test (and so this file does not flag itself).
-
-    #[test]
-    fn d1_flags_wall_clock() {
-        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
-        let v = scan_rust("crates/netsim/src/x.rs", src);
-        let d1: Vec<_> = v.iter().filter(|v| v.rule == "D1").collect();
-        assert_eq!(d1.len(), 2);
-        assert_eq!(d1[0].line, 1);
-        assert_eq!(d1[1].line, 2);
-    }
-
-    #[test]
-    fn d1_ignores_comments_and_strings() {
-        let src = "// std::time::Instant is banned\nfn f() { let s = \"Instant::now\"; }\n";
-        assert!(scan_rust("src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn d2_flags_entropy() {
-        let src = "fn f() { let mut r = rand::thread_rng(); }\nfn g() { OsRng.fill(); }\n";
-        let v = scan_rust("crates/sim/src/x.rs", src);
-        assert_eq!(v.iter().filter(|v| v.rule == "D2").count(), 2);
-    }
-
-    #[test]
-    fn d3_flags_hash_iteration_in_decision_crates() {
-        let src = concat!(
-            "use std::collections::HashMap;\n",
-            "struct S { entries: HashMap<u64, u64> }\n",
-            "impl S {\n",
-            "    fn f(&self) -> u64 { self.entries.values().sum() }\n",
-            "}\n",
-            "fn g() {\n",
-            "    let mut seen = HashMap::new();\n",
-            "    for (k, v) in &seen { let _ = (k, v); }\n",
-            "}\n",
-        );
-        let v = scan_rust("crates/core/src/x.rs", src);
-        let d3: Vec<_> = v.iter().filter(|v| v.rule == "D3").collect();
-        assert_eq!(d3.len(), 2, "{d3:?}");
-        assert_eq!(d3[0].line, 4);
-        assert_eq!(d3[1].line, 8);
-        // The same source outside a decision crate is fine.
-        assert!(scan_rust("crates/workload/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn d3_allows_membership_and_ordered_maps() {
-        let src = concat!(
-            "use std::collections::{BTreeMap, HashSet};\n",
-            "fn f(s: HashSet<u64>, m: BTreeMap<u64, u64>) -> bool {\n",
-            "    for (k, _) in &m { let _ = k; }\n",
-            "    s.contains(&1)\n",
-            "}\n",
-        );
-        assert!(scan_rust("crates/pastry/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn p1_flags_panics_in_protocol_code_only() {
-        let src = concat!(
-            "fn f(x: Option<u64>) -> u64 { x.unwrap() }\n",
-            "fn g(x: Option<u64>) -> u64 { x.expect(\"msg\") }\n",
-            "fn h() { panic!(\"boom\") }\n",
-            "fn ok(x: Option<u64>) -> u64 { x.unwrap_or(0) }\n",
-        );
-        let v = scan_rust("crates/pastry/src/x.rs", src);
-        let p1: Vec<_> = v.iter().filter(|v| v.rule == "P1").collect();
-        assert_eq!(p1.len(), 3, "{p1:?}");
-        // Non-protocol crates may panic.
-        assert!(scan_rust("crates/sim/src/x.rs", src).is_empty());
-        // Integration tests of protocol crates may panic.
-        assert!(scan_rust("crates/core/tests/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn p1_skips_cfg_test_modules() {
-        let src = concat!(
-            "fn f(x: Option<u64>) -> u64 { x.unwrap_or(1) }\n",
-            "#[cfg(test)]\n",
-            "mod tests {\n",
-            "    #[test]\n",
-            "    fn t() { assert_eq!(super::f(None).checked_add(1).unwrap(), 2); }\n",
-            "}\n",
-            "fn after(x: Option<u64>) -> u64 { x.unwrap() }\n",
-        );
-        let v = scan_rust("crates/core/src/x.rs", src);
-        let p1: Vec<_> = v.iter().filter(|v| v.rule == "P1").collect();
-        assert_eq!(p1.len(), 1, "{p1:?}");
-        assert_eq!(p1[0].line, 7);
-    }
-
-    #[test]
-    fn o1_flags_prints_in_library_code_only() {
-        let src = concat!(
-            "pub fn f() { println!(\"hi\"); }\n",
-            "pub fn g() { eprintln!(\"warn\"); }\n",
-            "pub fn ok() { let s = \"println!\"; let _ = s; }\n",
-        );
-        let v = scan_rust("crates/core/src/x.rs", src);
-        let o1: Vec<_> = v.iter().filter(|v| v.rule == "O1").collect();
-        assert_eq!(o1.len(), 2, "{o1:?}");
-        assert_eq!(o1[0].line, 1);
-        assert_eq!(o1[1].line, 2);
-        // Binary entry points own stdout.
-        assert!(scan_rust("crates/core/src/bin/tool.rs", src).is_empty());
-        assert!(scan_rust("crates/xtask/src/main.rs", src).is_empty());
-        // Test and bench files are exempt.
-        assert!(scan_rust("crates/core/tests/x.rs", src).is_empty());
-        assert!(scan_rust("crates/bench/benches/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn o1_skips_cfg_test_modules() {
-        let src = concat!(
-            "pub fn f() -> u64 { 1 }\n",
-            "#[cfg(test)]\n",
-            "mod tests {\n",
-            "    #[test]\n",
-            "    fn t() { println!(\"debug: {}\", super::f()); }\n",
-            "}\n",
-        );
-        assert!(scan_rust("crates/core/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn u1_flags_unsafe_everywhere() {
-        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
-        let v = scan_rust("crates/workload/src/x.rs", src);
-        assert_eq!(v.iter().filter(|v| v.rule == "U1").count(), 1);
-        assert!(scan_rust("src/x.rs", "fn unsafe_sounding_name() {}\n").is_empty());
-    }
-
-    #[test]
-    fn h1_flags_registry_deps() {
-        let src = concat!(
-            "[package]\n",
-            "name = \"demo\"\n",
-            "[dependencies]\n",
-            "past-crypto.workspace = true\n",
-            "past-core = { path = \"../core\" }\n",
-            "rand = \"0.9\"\n",
-            "[dev-dependencies]\n",
-            "proptest = { version = \"1\", default-features = false }\n",
-        );
-        let v = check_manifest("crates/demo/Cargo.toml", src);
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert_eq!(v[0].rule, "H1");
-        assert_eq!(v[0].line, 6);
-        assert!(v[0].msg.contains("rand"));
-        assert_eq!(v[1].line, 8);
-        assert!(v[1].msg.contains("proptest"));
-    }
-
-    #[test]
-    fn h1_checks_workspace_and_table_deps() {
-        let src = concat!(
-            "[workspace.dependencies]\n",
-            "past-core = { path = \"crates/core\" }\n",
-            "serde = \"1\"\n",
-            "[dependencies.criterion]\n",
-            "version = \"0.8\"\n",
-            "[dependencies.past-sim]\n",
-            "path = \"crates/sim\"\n",
-        );
-        let v = check_manifest("Cargo.toml", src);
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert!(v.iter().any(|v| v.msg.contains("serde") && v.line == 3));
-        assert!(v.iter().any(|v| v.msg.contains("criterion") && v.line == 4));
-    }
-
-    #[test]
-    fn allowlist_parses_and_rejects_incomplete_entries() {
-        let src = concat!(
-            "# exceptions\n",
-            "[[allow]]\n",
-            "rule = \"D1\"\n",
-            "path = \"crates/bench/src/timing.rs\"\n",
-            "reason = \"wall-clock bench harness\"\n",
-        );
-        let allows = parse_allowlist(src).expect("parses");
-        assert_eq!(allows.len(), 1);
-        assert_eq!(allows[0].rule, "D1");
-        assert_eq!(allows[0].path, "crates/bench/src/timing.rs");
-        assert!(parse_allowlist("[[allow]]\nrule = \"D1\"\n").is_err());
-        assert!(parse_allowlist("rule = \"D1\"\n").is_err());
-        assert!(parse_allowlist("[[allow]]\nbogus = \"x\"\n").is_err());
-    }
-
-    #[test]
-    fn sanitize_strips_strings_and_block_comments() {
-        let mut blk = false;
-        assert_eq!(
-            sanitize("let x = \"a // b\"; // c", &mut blk),
-            "let x = \"\"; "
-        );
-        assert_eq!(sanitize("a /* b", &mut blk), "a ");
-        assert!(blk);
-        assert_eq!(sanitize("still */ code", &mut blk), " code");
-        assert!(!blk);
-        assert_eq!(sanitize("let c = '\"'; x", &mut blk), "let c = ' '; x");
-    }
-
+    /// The real workspace must pass its own gate: no violations, no
+    /// stale allowlist entries. This is the check CI runs, executed
+    /// as a unit test so `cargo test -p xtask` catches regressions
+    /// without a separate invocation.
     #[test]
     fn current_tree_passes_clean() {
-        // CARGO_MANIFEST_DIR = crates/xtask; the workspace root is two up.
         let root = Path::new(env!("CARGO_MANIFEST_DIR"))
             .parent()
-            .and_then(Path::parent)
-            .expect("workspace root");
+            .unwrap()
+            .parent()
+            .unwrap();
         let report = run_check(root).expect("check runs");
-        assert!(report.files_scanned > 80, "walked the real tree");
+        assert!(
+            report.files_scanned > 80,
+            "expected the whole workspace, scanned {}",
+            report.files_scanned
+        );
         assert!(
             report.violations.is_empty(),
-            "violations:\n{}",
+            "violations in tree:\n{}",
             report
                 .violations
                 .iter()
@@ -880,9 +272,47 @@ mod tests {
                 .join("\n")
         );
         assert!(
-            report.unused_allows.is_empty(),
+            report.stale_allows.is_empty(),
             "stale allowlist entries: {:?}",
-            report.unused_allows
+            report.stale_allows
         );
+    }
+
+    #[test]
+    fn report_json_is_stable_and_escaped() {
+        let report = Report {
+            files_scanned: 2,
+            violations: vec![Diagnostic {
+                rule: "O1",
+                path: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                col: 5,
+                msg: "a \"quoted\"\nmessage".to_string(),
+            }],
+            suppressed: 1,
+            stale_allows: vec![Allow {
+                rule: "D1".to_string(),
+                path: "crates/y/src/lib.rs".to_string(),
+                line: Some(9),
+                reason: "why".to_string(),
+                span: (1, 4),
+            }],
+        };
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\"schema\":\"xtask-check/v1\",\"files_scanned\":2,\"suppressed\":1,\
+             \"violations\":[{\"rule\":\"O1\",\"path\":\"crates/x/src/lib.rs\",\
+             \"line\":3,\"col\":5,\"msg\":\"a \\\"quoted\\\"\\nmessage\"}],\
+             \"stale_allows\":[{\"rule\":\"D1\",\"path\":\"crates/y/src/lib.rs\",\
+             \"line\":9,\"reason\":\"why\"}],\"ok\":false}"
+        );
+    }
+
+    #[test]
+    fn clean_report_is_ok() {
+        let r = Report::default();
+        assert!(r.ok());
+        assert!(r.to_json().ends_with("\"ok\":true}"));
     }
 }

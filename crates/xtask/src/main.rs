@@ -1,12 +1,18 @@
 //! CLI for the in-tree static-analysis pass.
 //!
-//! Usage: `cargo run -p xtask -- check [--root <dir>]`
+//! Usage: `cargo run -p xtask -- check [--root <dir>]
+//! [--format text|json] [--prune-allows]`
+//!
+//! Exit codes: 0 = clean, 1 = violations or stale allowlist entries,
+//! 2 = usage or IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo run -p xtask -- check [--root <dir>]");
+    eprintln!(
+        "usage: cargo run -p xtask -- check [--root <dir>] [--format text|json] [--prune-allows]"
+    );
     ExitCode::from(2)
 }
 
@@ -14,6 +20,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
     let mut root: Option<PathBuf> = None;
+    let mut format = "text";
+    let mut prune = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -22,6 +30,12 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage(),
             },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = "text",
+                Some("json") => format = "json",
+                _ => return usage(),
+            },
+            "--prune-allows" => prune = true,
             _ => return usage(),
         }
     }
@@ -45,34 +59,72 @@ fn main() -> ExitCode {
         }
     };
 
-    for v in &report.violations {
-        println!("{v}");
+    // Stale allowlist entries fail the check unless pruned away.
+    let mut stale = report.stale_allows.clone();
+    let mut pruned = 0usize;
+    if prune && !stale.is_empty() {
+        match xtask::prune_allow_file(&root, &stale) {
+            Ok(n) => {
+                pruned = n;
+                stale.clear();
+            }
+            Err(e) => {
+                eprintln!("xtask check: error: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
-    for a in &report.unused_allows {
-        eprintln!(
-            "xtask check: warning: unused allowlist entry {} for {} ({})",
-            a.rule, a.path, a.reason
-        );
+    let clean = report.violations.is_empty() && stale.is_empty();
+
+    if format == "json" {
+        println!("{}", report.to_json());
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        for a in &stale {
+            let at = match a.line {
+                Some(l) => format!("{}:{l}", a.path),
+                None => a.path.clone(),
+            };
+            eprintln!(
+                "xtask check: error: stale allowlist entry {} for {at}: matched nothing \
+                 (remove it, or re-run with --prune-allows)",
+                a.rule
+            );
+        }
+        if pruned > 0 {
+            eprintln!(
+                "xtask check: pruned {pruned} stale allowlist entr{}",
+                if pruned == 1 { "y" } else { "ies" }
+            );
+        }
+        if clean {
+            println!(
+                "xtask check: OK ({} files scanned, {} allowlisted exception{})",
+                report.files_scanned,
+                report.suppressed,
+                if report.suppressed == 1 { "" } else { "s" }
+            );
+        } else {
+            eprintln!(
+                "xtask check: {} violation{}, {} stale allow{} ({} files scanned)",
+                report.violations.len(),
+                if report.violations.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+                stale.len(),
+                if stale.len() == 1 { "" } else { "s" },
+                report.files_scanned
+            );
+        }
     }
-    if report.violations.is_empty() {
-        println!(
-            "xtask check: OK ({} files scanned, {} allowlisted exception{})",
-            report.files_scanned,
-            report.suppressed,
-            if report.suppressed == 1 { "" } else { "s" }
-        );
+
+    if clean {
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "xtask check: {} violation{} ({} files scanned)",
-            report.violations.len(),
-            if report.violations.len() == 1 {
-                ""
-            } else {
-                "s"
-            },
-            report.files_scanned
-        );
         ExitCode::FAILURE
     }
 }

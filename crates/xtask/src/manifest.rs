@@ -1,0 +1,141 @@
+//! Rule H1: hermetic manifests — every dependency in every
+//! `Cargo.toml` must be an in-tree `path` dep or a `workspace = true`
+//! reference to one. Anything with a bare version requirement is a
+//! registry dep and fails the build.
+
+use crate::rules::Diagnostic;
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// True if `tok` occurs in `line` with non-identifier characters (or
+/// the line boundary) on both sides.
+fn has_token(line: &str, tok: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(found) = line[start..].find(tok) {
+        let i = start + found;
+        let before_ok = i == 0 || !is_ident(bytes[i - 1]);
+        let end = i + tok.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = i + 1;
+    }
+    false
+}
+
+/// Strips a `#` comment from a TOML line (quote-aware).
+pub(crate) fn toml_strip_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn is_dep_section(section: &str) -> bool {
+    for kind in ["dependencies", "dev-dependencies", "build-dependencies"] {
+        if section == kind
+            || section == format!("workspace.{kind}")
+            || section.ends_with(&format!(".{kind}"))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Splits `[dependencies.NAME]`-style headers into (dep section, name).
+fn dep_entry_header(section: &str) -> Option<(&str, &str)> {
+    for kind in ["dependencies", "dev-dependencies", "build-dependencies"] {
+        let prefix = format!("{kind}.");
+        if let Some(name) = section.strip_prefix(&prefix) {
+            return Some((kind, name));
+        }
+    }
+    None
+}
+
+fn dep_value_is_in_tree(value: &str) -> bool {
+    has_token(value, "path") || value.replace(' ', "").contains("workspace=true")
+}
+
+fn registry_dep(path: &str, line: u32, name: &str) -> Diagnostic {
+    Diagnostic {
+        rule: "H1",
+        path: path.to_string(),
+        line,
+        col: 1,
+        msg: format!("registry dependency `{name}` (only in-tree path deps allowed)"),
+    }
+}
+
+/// Checks one `Cargo.toml` for registry dependencies (rule H1),
+/// covering normal, dev, build, workspace, and target-specific
+/// dependency sections, both inline and `[dependencies.NAME]` tables.
+pub fn check_manifest(path: &str, src: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    // `[dependencies.NAME]` multi-line entry: (name, header line, seen
+    // path/workspace key).
+    let mut table_entry: Option<(String, u32, bool)> = None;
+
+    let flush = |entry: &mut Option<(String, u32, bool)>, out: &mut Vec<Diagnostic>| {
+        if let Some((name, line, ok)) = entry.take() {
+            if !ok {
+                out.push(registry_dep(path, line, &name));
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = toml_strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut table_entry, &mut out);
+            section = line
+                .trim_matches(|c| c == '[' || c == ']')
+                .trim()
+                .to_string();
+            if let Some((_, name)) = dep_entry_header(&section) {
+                table_entry = Some((name.to_string(), lineno, false));
+            }
+            continue;
+        }
+        if let Some(entry) = table_entry.as_mut() {
+            let key = line.split('=').next().unwrap_or("").trim();
+            if key == "path" || (key == "workspace" && line.replace(' ', "").ends_with("=true")) {
+                entry.2 = true;
+            }
+            continue;
+        }
+        if is_dep_section(&section) {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let (name, ok) = match key.split_once('.') {
+                // `name.workspace = true` / `name.path = "…"`.
+                Some((name, sub)) => (name, sub == "workspace" || sub == "path"),
+                None => (key, dep_value_is_in_tree(value)),
+            };
+            if !ok {
+                out.push(registry_dep(path, lineno, name));
+            }
+        }
+    }
+    flush(&mut table_entry, &mut out);
+    out
+}

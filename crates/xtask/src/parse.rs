@@ -1,0 +1,462 @@
+//! Lightweight item parser over the token stream.
+//!
+//! Extracts just enough structure for the lint rules: enum
+//! definitions with their variants, `fn` items inside `impl` blocks
+//! (with self type, optional trait name, and body token range),
+//! `const KINDS` tables, and the token spans of `#[cfg(test)]` items.
+//! It is not a general Rust parser — see DESIGN.md §9 for the
+//! supported subset and limits.
+
+use crate::lexer::Lexed;
+
+/// One enum variant.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    pub name: String,
+    pub line: u32,
+}
+
+/// An `enum` item.
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    pub name: String,
+    pub line: u32,
+    pub variants: Vec<Variant>,
+}
+
+/// A `fn` inside an `impl` block.
+#[derive(Clone, Debug)]
+pub struct ImplFn {
+    /// Last path segment of the implemented type (`PastryMsg` for
+    /// `impl<P> Message for PastryMsg<P>`).
+    pub self_ty: String,
+    /// Last path segment of the trait, for trait impls.
+    pub trait_name: Option<String>,
+    pub name: String,
+    pub line: u32,
+    /// Token range of the body, excluding the braces: `[lo, hi)`.
+    pub body: (usize, usize),
+}
+
+/// A `const KINDS: … = &[…]` table inside an `impl` block.
+#[derive(Clone, Debug)]
+pub struct KindsConst {
+    pub self_ty: String,
+    pub line: u32,
+    /// Number of string literals in the initializer.
+    pub strings: usize,
+}
+
+/// Everything the rules need to know about a file's items.
+#[derive(Default)]
+pub struct ItemMap {
+    pub enums: Vec<EnumDef>,
+    pub impl_fns: Vec<ImplFn>,
+    pub kinds: Vec<KindsConst>,
+    /// Token ranges (inclusive braces) of items guarded by
+    /// `#[cfg(test)]`.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl ItemMap {
+    /// Whether token `i` lies inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(lo, hi)| i >= lo && i <= hi)
+    }
+}
+
+/// Index just past the delimiter matching the opener at `open`
+/// (`lx.text(open)` must equal `open_s`). Saturates at end of stream
+/// on unbalanced input rather than failing.
+fn skip_balanced(lx: &Lexed<'_>, open: usize, open_s: &str, close_s: &str) -> usize {
+    debug_assert_eq!(lx.text(open), open_s);
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < lx.len() {
+        let t = lx.text(i);
+        if t == open_s {
+            depth += 1;
+        } else if t == close_s {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    lx.len()
+}
+
+/// Skip a generic-argument list starting at a `<`. Treats every `<`
+/// and `>` as angle brackets, which is correct for the declaration
+/// positions we parse (no comparison operators appear there).
+fn skip_angles(lx: &Lexed<'_>, open: usize) -> usize {
+    skip_balanced(lx, open, "<", ">")
+}
+
+fn is_cfg_test_attr(lx: &Lexed<'_>, i: usize) -> bool {
+    lx.text(i) == "#"
+        && lx.text(i + 1) == "["
+        && lx.text(i + 2) == "cfg"
+        && lx.text(i + 3) == "("
+        && lx.text(i + 4) == "test"
+        && lx.text(i + 5) == ")"
+        && lx.text(i + 6) == "]"
+}
+
+fn line_of(lx: &Lexed<'_>, i: usize) -> u32 {
+    lx.toks.get(i).map(|t| t.line).unwrap_or(0)
+}
+
+/// Parse an `enum` item whose `enum` keyword is at `i`; returns the
+/// definition and the index just past its closing brace.
+fn parse_enum(lx: &Lexed<'_>, i: usize) -> (EnumDef, usize) {
+    let name = lx.text(i + 1).to_string();
+    let line = line_of(lx, i + 1);
+    let mut j = i + 2;
+    if lx.text(j) == "<" {
+        j = skip_angles(lx, j);
+    }
+    // Skip to the body (covers `where` clauses).
+    while j < lx.len() && lx.text(j) != "{" {
+        j += 1;
+    }
+    if j >= lx.len() {
+        return (
+            EnumDef {
+                name,
+                line,
+                variants: Vec::new(),
+            },
+            lx.len(),
+        );
+    }
+    let end = skip_balanced(lx, j, "{", "}");
+    let mut variants = Vec::new();
+    let mut k = j + 1;
+    // Walk comma-separated variants, skipping attributes and payloads.
+    while k < end - 1 {
+        if lx.text(k) == "#" && lx.text(k + 1) == "[" {
+            k = skip_balanced(lx, k + 1, "[", "]");
+            continue;
+        }
+        if lx.kind(k).is_some_and(|kd| kd == crate::lexer::Tok::Ident) {
+            variants.push(Variant {
+                name: lx.text(k).to_string(),
+                line: line_of(lx, k),
+            });
+            // Skip the payload / discriminant up to the next `,` at
+            // this nesting depth.
+            k += 1;
+            while k < end - 1 {
+                match lx.text(k) {
+                    "," => {
+                        k += 1;
+                        break;
+                    }
+                    "{" => k = skip_balanced(lx, k, "{", "}"),
+                    "(" => k = skip_balanced(lx, k, "(", ")"),
+                    "[" => k = skip_balanced(lx, k, "[", "]"),
+                    _ => k += 1,
+                }
+            }
+        } else {
+            k += 1;
+        }
+    }
+    (
+        EnumDef {
+            name,
+            line,
+            variants,
+        },
+        end,
+    )
+}
+
+/// Parse an `impl` item whose `impl` keyword is at `i`, recording its
+/// fns and `KINDS` consts into `map`; returns the index just past the
+/// closing brace.
+fn parse_impl(lx: &Lexed<'_>, i: usize, map: &mut ItemMap) -> usize {
+    let mut j = i + 1;
+    if lx.text(j) == "<" {
+        j = skip_angles(lx, j);
+    }
+    // Header: `TraitPath for TypePath` or just `TypePath`, ending at
+    // `{` or `where` (both only occur at depth 0 in the header).
+    let mut depth = 0i64;
+    let mut last_ident_before_for: Option<String> = None;
+    let mut last_ident: Option<String> = None;
+    let mut saw_for = false;
+    while j < lx.len() {
+        let t = lx.text(j);
+        match t {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            "where" if depth == 0 => break,
+            "for" if depth == 0 => {
+                saw_for = true;
+                last_ident_before_for = last_ident.take();
+            }
+            _ => {
+                if depth == 0 && lx.kind(j).is_some_and(|k| k == crate::lexer::Tok::Ident) {
+                    last_ident = Some(t.to_string());
+                }
+            }
+        }
+        j += 1;
+    }
+    while j < lx.len() && lx.text(j) != "{" {
+        j += 1;
+    }
+    if j >= lx.len() {
+        return lx.len();
+    }
+    let self_ty = match last_ident {
+        Some(ty) => ty,
+        None => return skip_balanced(lx, j, "{", "}"),
+    };
+    let trait_name = if saw_for { last_ident_before_for } else { None };
+    let end = skip_balanced(lx, j, "{", "}");
+    let mut k = j + 1;
+    while k < end - 1 {
+        match lx.text(k) {
+            "fn" => {
+                let name = lx.text(k + 1).to_string();
+                let line = line_of(lx, k + 1);
+                let mut m = k + 2;
+                if lx.text(m) == "<" {
+                    m = skip_angles(lx, m);
+                }
+                // Signature (parens, return type, where clause)
+                // contains no `{`; the first one opens the body.
+                while m < end && lx.text(m) != "{" {
+                    m += 1;
+                }
+                if m >= end {
+                    k = m;
+                    continue;
+                }
+                let bend = skip_balanced(lx, m, "{", "}");
+                map.impl_fns.push(ImplFn {
+                    self_ty: self_ty.clone(),
+                    trait_name: trait_name.clone(),
+                    name,
+                    line,
+                    body: (m + 1, bend.saturating_sub(1)),
+                });
+                k = bend;
+            }
+            "const" if lx.text(k + 1) == "KINDS" => {
+                let line = line_of(lx, k + 1);
+                // Find the terminating `;`, skipping bracketed spans
+                // (array types like `[u8; 4]` contain semicolons).
+                let mut m = k + 2;
+                while m < end && lx.text(m) != ";" {
+                    if lx.text(m) == "[" {
+                        m = skip_balanced(lx, m, "[", "]");
+                    } else {
+                        m += 1;
+                    }
+                }
+                let strings = (k + 2..m)
+                    .filter(|&s| lx.kind(s) == Some(crate::lexer::Tok::Str))
+                    .count();
+                map.kinds.push(KindsConst {
+                    self_ty: self_ty.clone(),
+                    line,
+                    strings,
+                });
+                k = m + 1;
+            }
+            "{" => k = skip_balanced(lx, k, "{", "}"),
+            _ => k += 1,
+        }
+    }
+    end
+}
+
+/// Build the item map for a lexed file.
+pub fn parse(lx: &Lexed<'_>) -> ItemMap {
+    let mut map = ItemMap::default();
+    let n = lx.len();
+    let mut i = 0;
+    while i < n {
+        if is_cfg_test_attr(lx, i) {
+            // Find the guarded item's brace block (or trailing `;`),
+            // skipping any further attributes.
+            let mut j = i + 7;
+            let mut opened = None;
+            while j < n {
+                let t = lx.text(j);
+                if t == "#" && lx.text(j + 1) == "[" {
+                    j = skip_balanced(lx, j + 1, "[", "]");
+                    continue;
+                }
+                if t == ";" {
+                    break;
+                }
+                if t == "{" {
+                    opened = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = opened {
+                let end = skip_balanced(lx, open, "{", "}");
+                map.test_spans.push((i, end.saturating_sub(1)));
+                i = end;
+            } else {
+                i = j + 1;
+            }
+            continue;
+        }
+        let t = lx.text(i);
+        let prev = if i == 0 { "" } else { lx.text(i - 1) };
+        match t {
+            // Item position only: after `pub`, a block boundary, an
+            // attribute, or at file start. Rejects `-> impl Trait`,
+            // `: impl Trait`, and `enum`-in-string (strings keep
+            // their quotes so they never equal the bare keyword).
+            "enum" if matches!(prev, "" | "{" | "}" | ";" | "]" | "pub" | ")") => {
+                let (e, next) = parse_enum(lx, i);
+                map.enums.push(e);
+                i = next;
+            }
+            "impl" if matches!(prev, "" | "{" | "}" | ";" | "]") => {
+                i = parse_impl(lx, i, &mut map);
+            }
+            _ => i += 1,
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn enum_variants_with_payloads_and_attrs() {
+        let src = r#"
+            /// Doc.
+            #[derive(Clone)]
+            pub enum Msg<P> {
+                Route(Envelope<P>),
+                Join { who: Handle, rows: Vec<Row> },
+                #[allow(dead_code)]
+                Probe,
+                Ack = 3,
+            }
+        "#;
+        let lx = lex(src);
+        let map = parse(&lx);
+        assert_eq!(map.enums.len(), 1);
+        let e = &map.enums[0];
+        assert_eq!(e.name, "Msg");
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["Route", "Join", "Probe", "Ack"]);
+    }
+
+    #[test]
+    fn impl_fns_record_self_ty_and_trait() {
+        let src = r#"
+            impl<P: Clone> Message for Msg<P> {
+                const KINDS: &'static [&'static str] = &["a", "b"];
+                fn kind_id(&self) -> usize {
+                    match self { Msg::A => 0, Msg::B => 1 }
+                }
+                fn wire_size(&self) -> u64 { 16 }
+            }
+            impl Other {
+                fn helper(&self) {}
+            }
+        "#;
+        let lx = lex(src);
+        let map = parse(&lx);
+        let fns: Vec<(&str, &str)> = map
+            .impl_fns
+            .iter()
+            .map(|f| (f.self_ty.as_str(), f.name.as_str()))
+            .collect();
+        assert_eq!(
+            fns,
+            vec![
+                ("Msg", "kind_id"),
+                ("Msg", "wire_size"),
+                ("Other", "helper")
+            ]
+        );
+        assert_eq!(map.impl_fns[0].trait_name.as_deref(), Some("Message"));
+        assert_eq!(map.impl_fns[2].trait_name, None);
+        assert_eq!(map.kinds.len(), 1);
+        assert_eq!(map.kinds[0].self_ty, "Msg");
+        assert_eq!(map.kinds[0].strings, 2);
+    }
+
+    #[test]
+    fn fn_body_token_range_covers_the_match() {
+        let src = "impl T { fn f(&self) -> u8 { self.x + 1 } }";
+        let lx = lex(src);
+        let map = parse(&lx);
+        let f = &map.impl_fns[0];
+        let body: Vec<&str> = (f.body.0..f.body.1).map(|i| lx.text(i)).collect();
+        assert_eq!(body, vec!["self", ".", "x", "+", "1"]);
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_mod_and_items_inside_are_not_parsed() {
+        let src = r#"
+            pub enum Live { A }
+            #[cfg(test)]
+            mod tests {
+                enum TestOnly { X }
+                fn helper() { panic!("fine in tests"); }
+            }
+        "#;
+        let lx = lex(src);
+        let map = parse(&lx);
+        assert_eq!(map.enums.len(), 1);
+        assert_eq!(map.enums[0].name, "Live");
+        assert_eq!(map.test_spans.len(), 1);
+        // A token well inside the mod is flagged as test.
+        let (lo, hi) = map.test_spans[0];
+        assert!(map.in_test(lo + 4) && hi > lo);
+        // The Live enum tokens are not.
+        assert!(!map.in_test(2));
+    }
+
+    #[test]
+    fn impl_trait_in_return_position_is_not_an_impl_item() {
+        let src = r#"
+            impl Registry {
+                fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+                    self.v.iter().copied()
+                }
+            }
+        "#;
+        let lx = lex(src);
+        let map = parse(&lx);
+        let fns: Vec<&str> = map.impl_fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(fns, vec!["iter"]);
+        assert_eq!(map.impl_fns[0].self_ty, "Registry");
+    }
+
+    #[test]
+    fn cfg_test_single_fn_guard() {
+        let src = r#"
+            fn live() {}
+            #[cfg(test)]
+            fn test_helper() { bad_token_here(); }
+            fn live2() {}
+        "#;
+        let lx = lex(src);
+        let map = parse(&lx);
+        assert_eq!(map.test_spans.len(), 1);
+        // Tokens of live2 are outside the span.
+        let last = lx.len() - 1;
+        assert!(!map.in_test(last));
+    }
+}

@@ -9,8 +9,15 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --check
 
-echo "== xtask check (hermeticity / determinism / panic policy)"
-cargo run --offline -q -p xtask -- check
+# Lint first so violations fail fast, before the release build; the
+# JSON diagnostics are archived as a build artifact either way.
+echo "== xtask check (hermeticity / determinism / layering / message hygiene)"
+mkdir -p target
+if ! cargo run --offline -q -p xtask -- check --format json > target/xtask_check.json; then
+  echo "xtask check failed; diagnostics (also in target/xtask_check.json):"
+  cargo run --offline -q -p xtask -- check || true
+  exit 1
+fi
 
 echo "== invariant gate (I1-I5 over bulk-join / churn / quota-reclaim / lossy-churn)"
 mkdir -p target
