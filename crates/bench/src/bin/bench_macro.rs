@@ -10,8 +10,12 @@
 //! coarse determinism check (same seed ⇒ same counters on any machine).
 //!
 //! Usage: `cargo run --release -p past-bench --bin bench_macro --
-//! [--smoke] [--out PATH]`. `--smoke` shrinks the network so CI can
-//! assert the binary runs and emits valid JSON in under a second.
+//! [--smoke] [--nodes N] [--out PATH]`. `--smoke` shrinks the route
+//! count so CI can assert the binary runs and emits valid JSON
+//! quickly; `--nodes N` overrides the network size independently, so
+//! `--nodes 100000 --smoke` is the CI scale gate (big overlay, few
+//! routes) and `--nodes 1000000` (no `--smoke`) is the EXPERIMENTS.md
+//! million-node run.
 
 use past_bench::json;
 use past_crypto::rng::Rng;
@@ -26,16 +30,25 @@ struct Phase {
 
 fn main() {
     let mut smoke = false;
+    let mut nodes: Option<usize> = None;
     let mut out = format!("{}/../../BENCH_macro.json", env!("CARGO_MANIFEST_DIR"));
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--nodes" => {
+                let v = args.next().expect("--nodes needs a count");
+                nodes = Some(v.parse().expect("--nodes must be an integer"));
+            }
             "--out" => out = args.next().expect("--out needs a path"),
-            other => panic!("unknown flag {other}; supported: --smoke, --out PATH"),
+            other => panic!("unknown flag {other}; supported: --smoke, --nodes N, --out PATH"),
         }
     }
-    let (n, routes) = if smoke { (300, 200) } else { (10_000, 10_000) };
+    let (mut n, routes) = if smoke { (300, 200) } else { (10_000, 10_000) };
+    if let Some(v) = nodes {
+        assert!(v > 0, "--nodes must be positive");
+        n = v;
+    }
     let kills = n / 20;
     let mut phases: Vec<Phase> = Vec::new();
 

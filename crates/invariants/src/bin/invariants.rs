@@ -7,7 +7,7 @@
 //! `PATH` as JSONL, ready for `tracecheck --require-clean`.
 
 use past_invariants::scenarios::{
-    bulk_join, churn, lossy_churn, lossy_churn_traced, quota_reclaim,
+    bulk_join, churn, lossy_churn, lossy_churn_traced, quota_reclaim, wheel_horizon,
 };
 use past_netsim::TraceConfig;
 
@@ -49,6 +49,7 @@ fn main() {
     } else {
         results.push(("lossy-churn", lossy_churn(4)));
     }
+    results.push(("wheel-horizon", wheel_horizon(5)));
 
     let mut failed = false;
     for (name, violations) in results {

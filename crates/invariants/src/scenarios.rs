@@ -8,7 +8,7 @@
 use crate::{check_all, Violation};
 use past_core::{BuildMode, ContentRef, PastApp, PastConfig, PastNetwork, PastOut};
 use past_crypto::rng::Rng;
-use past_netsim::{FaultConfig, Sphere, TraceConfig, Tracer};
+use past_netsim::{FaultConfig, SimTime, Sphere, TraceConfig, Tracer};
 use past_pastry::{random_ids, Config as PastryConfig, Id, RecoveryConfig};
 use std::collections::BTreeSet;
 
@@ -349,6 +349,62 @@ pub fn lossy_churn_traced(seed: u64, trace: TraceConfig) -> (Vec<Violation>, Tra
     (violations, net.sim.engine.take_tracer())
 }
 
+/// Scenario 5 — wheel horizon: rides the deployment across timer-wheel
+/// cascade boundaries. The hierarchical wheel re-files pending events
+/// whenever the clock crosses a `64^k` µs slot edge, so those ticks are
+/// where a filing bug would reorder or drop timers; it would surface
+/// here as stuck heartbeats, failed repair (I1–I5 violations) or a
+/// lookup that never completes.
+pub fn wheel_horizon(seed: u64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (mut net, _) = build_net(40, 40, seed, 200 * MB, 2_000 * MB, PastConfig::default());
+    net.run();
+    check_at("wheel: after build", &net, &mut violations);
+
+    // Cross a level-1 (64² µs), level-2 (64³ µs) and level-3
+    // (64⁴ µs ≈ 17 s of simulated time) slot edge in turn, each with a
+    // fresh insert in flight and a lookup issued on the far side.
+    for (round, span) in [4_096u64, 262_144, 16_777_216].into_iter().enumerate() {
+        let name = format!("horizon-{round}");
+        let content = ContentRef::synthetic(seed as usize, &name, MB);
+        let mut fid = None;
+        if net.insert((round * 11) % 40, &name, content, 5).is_ok() {
+            for (_, _, e) in net.run() {
+                if let PastOut::InsertOk { file_id, .. } = e {
+                    fid = Some(file_id);
+                }
+            }
+        }
+        // Park the clock exactly on the next slot edge of this level,
+        // then keep going: everything pending must survive the cascade.
+        let edge = (net.sim.engine.now().as_micros() / span + 1) * span;
+        net.sim.engine.run_until(SimTime::from_micros(edge));
+        net.sim.stabilize();
+        let mut found = fid.is_none();
+        if let Some(fid) = fid {
+            net.lookup((round * 7 + 1) % 40, fid);
+        }
+        for (_, _, e) in net.run() {
+            if matches!(e, PastOut::LookupOk { .. }) {
+                found = true;
+            }
+        }
+        if !found {
+            violations.push(Violation {
+                invariant: "OP",
+                addr: None,
+                detail: format!("[wheel] lookup issued after the {span} µs edge never succeeded"),
+            });
+        }
+        check_at(
+            &format!("wheel: after the {span} µs edge"),
+            &net,
+            &mut violations,
+        );
+    }
+    violations
+}
+
 /// Runs every scenario with its default seed; `(name, violations)` pairs.
 pub fn run_all() -> Vec<(&'static str, Vec<Violation>)> {
     vec![
@@ -356,5 +412,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Violation>)> {
         ("churn", churn(2)),
         ("quota-reclaim", quota_reclaim(3)),
         ("lossy-churn", lossy_churn(4)),
+        ("wheel-horizon", wheel_horizon(5)),
     ]
 }

@@ -9,7 +9,9 @@
 //! Everything is deterministic: a single seeded RNG, and an event queue
 //! ordered by `(time, sequence number)`.
 
+use crate::arena::Arena;
 use crate::event::EventQueue;
+use crate::soa::{NodeIo, NodeSlots};
 use crate::time::SimTime;
 use crate::topology::{Addr, Topology};
 use past_crypto::rng::Rng;
@@ -71,10 +73,18 @@ pub trait NodeLogic {
     fn on_timer(&mut self, _kind: u64, _ctx: &mut Ctx<'_, Self::Msg, Self::Out>) {}
 }
 
-enum Event<M> {
-    Deliver { from: Addr, to: Addr, msg: M },
-    SendFailed { at: Addr, dest: Addr, msg: M },
-    Timer { at: Addr, kind: u64 },
+/// Compact `Copy` event record carried by the queue.
+///
+/// Message payloads park in the engine's [`Arena`]; the record holds
+/// only the `u32` slot handle, so the queue moves fixed-size records
+/// instead of full protocol messages and queue growth never re-copies
+/// payloads. Addresses are `u32` for the same reason (the engine
+/// asserts the node count fits).
+#[derive(Clone, Copy)]
+enum EventRec {
+    Deliver { from: u32, to: u32, msg: u32 },
+    SendFailed { at: u32, dest: u32, msg: u32 },
+    Timer { at: u32, kind: u64 },
 }
 
 /// Link-fault injection parameters.
@@ -108,7 +118,7 @@ impl FaultConfig {
     }
 }
 
-enum Effect<M> {
+pub(crate) enum Effect<M> {
     Send { to: Addr, msg: M, extra_us: u64 },
     Timer { delay_us: u64, kind: u64 },
 }
@@ -130,11 +140,13 @@ pub struct Ctx<'a, M, O> {
     /// engine itself records the message plane. No-op unless enabled
     /// via [`Engine::set_tracing`].
     pub tracer: &'a mut Tracer,
-    topo: &'a dyn Topology,
+    // `pub(crate)` rather than private: the sharded engine
+    // ([`crate::shard`]) constructs the same context for its workers.
+    pub(crate) topo: &'a dyn Topology,
     // Engine-owned scratch buffers, reused across invocations so the
     // per-event cost is a pointer swap rather than two allocations.
-    effects: &'a mut Vec<Effect<M>>,
-    emitted: &'a mut Vec<O>,
+    pub(crate) effects: &'a mut Vec<Effect<M>>,
+    pub(crate) emitted: &'a mut Vec<O>,
 }
 
 impl<M, O> Ctx<'_, M, O> {
@@ -205,7 +217,7 @@ pub struct NetStats {
 }
 
 impl NetStats {
-    fn for_kinds(kinds: &'static [&'static str]) -> NetStats {
+    pub(crate) fn for_kinds(kinds: &'static [&'static str]) -> NetStats {
         NetStats {
             kinds,
             by_kind: vec![0; kinds.len()],
@@ -227,6 +239,33 @@ impl NetStats {
         self.failed_sends = 0;
     }
 
+    /// Mutable per-kind counters (the sharded engine accounts sends on
+    /// its own shard-local stats blocks).
+    pub(crate) fn by_kind_mut(&mut self) -> &mut [u64] {
+        &mut self.by_kind
+    }
+
+    /// Folds another stats block into this one (summing every counter).
+    /// Used to combine per-shard counters into a run total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two blocks count different kind tables.
+    pub fn merge(&mut self, other: &NetStats) {
+        assert!(
+            std::ptr::eq(self.kinds, other.kinds) || self.kinds == other.kinds,
+            "cannot merge stats over different kind tables"
+        );
+        for (mine, theirs) in self.by_kind.iter_mut().zip(other.by_kind.iter()) {
+            *mine += theirs;
+        }
+        self.total_msgs += other.total_msgs;
+        self.total_bytes += other.total_bytes;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.failed_sends += other.failed_sends;
+    }
+
     /// Messages of one kind.
     pub fn kind_count(&self, kind: &str) -> u64 {
         match self.kinds.iter().position(|&k| k == kind) {
@@ -244,9 +283,12 @@ impl NetStats {
 /// The discrete-event engine binding nodes, topology and the event queue.
 pub struct Engine<N: NodeLogic, T: Topology> {
     topo: T,
-    nodes: Vec<N>,
-    alive: Vec<bool>,
-    queue: EventQueue<Event<N::Msg>>,
+    nodes: NodeSlots<N>,
+    queue: EventQueue<EventRec>,
+    // In-flight message payloads, addressed by the `msg` handle in
+    // [`EventRec`]. Slots recycle, so the steady-state event loop
+    // allocates nothing per message.
+    arena: Arena<N::Msg>,
     rng: Rng,
     faults: FaultConfig,
     // Separate from `rng` so enabling faults never shifts protocol
@@ -275,12 +317,15 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
             nodes.len(),
             topo.len()
         );
-        let alive = vec![true; nodes.len()];
+        assert!(
+            nodes.len() < u32::MAX as usize,
+            "node address space (u32) exhausted"
+        );
         Engine {
             topo,
-            nodes,
-            alive,
+            nodes: NodeSlots::from_logic(nodes),
             queue: EventQueue::new(),
+            arena: Arena::new(),
             rng: Rng::seed_from_u64(seed),
             faults: FaultConfig::default(),
             fault_rng: Rng::seed_from_u64(seed ^ 0x5eed_fa17),
@@ -316,12 +361,24 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
 
     /// Immutable access to a node's state.
     pub fn node(&self, a: Addr) -> &N {
-        &self.nodes[a]
+        self.nodes.logic(a)
     }
 
     /// Mutable access to a node's state (harness-side setup only).
     pub fn node_mut(&mut self, a: Addr) -> &mut N {
-        &mut self.nodes[a]
+        self.nodes.logic_mut(a)
+    }
+
+    /// Per-node traffic counters (messages sent / received).
+    pub fn node_io(&self, a: Addr) -> NodeIo {
+        self.nodes.io(a)
+    }
+
+    /// Reserves storage for `extra` additional nodes, so bulk builds
+    /// (e.g. a 100k-node overlay) grow the node arrays once instead of
+    /// doubling through them.
+    pub fn reserve_nodes(&mut self, extra: usize) {
+        self.nodes.reserve(extra);
     }
 
     /// Adds a node (returns its address). The topology must already have a
@@ -329,26 +386,29 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
     pub fn push_node(&mut self, node: N) -> Addr {
         let addr = self.nodes.len();
         assert!(addr < self.topo.len(), "no topology slot for new node");
+        assert!(
+            addr < u32::MAX as usize,
+            "node address space (u32) exhausted"
+        );
         self.nodes.push(node);
-        self.alive.push(true);
         self.epoch += 1;
         addr
     }
 
     /// Liveness of a node.
     pub fn is_alive(&self, a: Addr) -> bool {
-        self.alive[a]
+        self.nodes.is_alive(a)
     }
 
     /// Marks a node dead: it silently stops processing and answering.
     pub fn kill(&mut self, a: Addr) {
-        self.alive[a] = false;
+        self.nodes.set_alive(a, false);
         self.epoch += 1;
     }
 
     /// Marks a node live again (recovery).
     pub fn revive(&mut self, a: Addr) {
-        self.alive[a] = true;
+        self.nodes.set_alive(a, true);
         self.epoch += 1;
     }
 
@@ -365,7 +425,7 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
 
     /// Addresses of all live nodes.
     pub fn live_addrs(&self) -> Vec<Addr> {
-        (0..self.nodes.len()).filter(|&a| self.alive[a]).collect()
+        self.nodes.live_addrs()
     }
 
     /// The simulation RNG (harness-side sampling).
@@ -430,14 +490,17 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
     /// injection and node-effect sends so both face the same network.
     fn dispatch(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64) {
         self.account(&msg);
+        self.nodes.note_sent(from);
         if self.tracer.enabled() {
             let (t, op) = (self.now.as_micros(), msg.op_id());
             self.tracer
                 .msg_send(t, op, from, to, msg.kind_id(), msg.wire_size());
         }
         let base = self.now + self.topo.delay_us(from, to) + extra_us;
+        let (from, to) = (from as u32, to as u32);
         if from == to || !self.faults.is_active() {
-            self.queue.push(base, Event::Deliver { from, to, msg });
+            let msg = self.arena.insert(msg);
+            self.queue.push(base, EventRec::Deliver { from, to, msg });
             return;
         }
         // Per-field gating: an inactive fault class draws nothing, so a
@@ -446,7 +509,8 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
             self.stats.dropped += 1;
             if self.tracer.enabled() {
                 let (t, op) = (self.now.as_micros(), msg.op_id());
-                self.tracer.msg_drop(t, op, from, to, msg.kind_id());
+                self.tracer
+                    .msg_drop(t, op, from as Addr, to as Addr, msg.kind_id());
             }
             return;
         }
@@ -457,19 +521,16 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
             self.stats.duplicated += 1;
             if self.tracer.enabled() {
                 let (t, op) = (self.now.as_micros(), msg.op_id());
-                self.tracer.msg_dup(t, op, from, to, msg.kind_id());
+                self.tracer
+                    .msg_dup(t, op, from as Addr, to as Addr, msg.kind_id());
             }
             let echo = base + self.draw_jitter();
-            self.queue.push(
-                echo,
-                Event::Deliver {
-                    from,
-                    to,
-                    msg: msg.clone(),
-                },
-            );
+            let dup = self.arena.insert(msg.clone());
+            self.queue
+                .push(echo, EventRec::Deliver { from, to, msg: dup });
         }
-        self.queue.push(at, Event::Deliver { from, to, msg });
+        let msg = self.arena.insert(msg);
+        self.queue.push(at, EventRec::Deliver { from, to, msg });
     }
 
     fn draw_jitter(&mut self) -> u64 {
@@ -482,8 +543,9 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
 
     /// Arms a timer on a node from the harness side.
     pub fn arm_timer(&mut self, at: Addr, delay_us: u64, kind: u64) {
+        let at = at as u32;
         self.queue
-            .push(self.now + delay_us, Event::Timer { at, kind });
+            .push(self.now + delay_us, EventRec::Timer { at, kind });
     }
 
     /// Drains observations emitted by node logic since the last call.
@@ -505,41 +567,52 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
         debug_assert!(time >= self.now, "time must be monotone");
         self.now = time;
         match ev {
-            Event::Deliver { from, to, msg } => {
-                if !self.alive[to] {
+            EventRec::Deliver { from, to, msg } => {
+                let (from, to) = (from as Addr, to as Addr);
+                if !self.nodes.is_alive(to) {
                     self.stats.failed_sends += 1;
                     if self.tracer.enabled() {
-                        let (t, op) = (self.now.as_micros(), msg.op_id());
-                        self.tracer.msg_fail(t, op, from, to, msg.kind_id());
+                        let kid = self.arena.get(msg).kind_id();
+                        let (t, op) = (self.now.as_micros(), self.arena.get(msg).op_id());
+                        self.tracer.msg_fail(t, op, from, to, kid);
                     }
                     // Timeout model: the sender learns of the failure one
                     // further delay later (round-trip worth in total).
-                    if self.alive[from] && from != to {
+                    if self.nodes.is_alive(from) && from != to {
                         let back = self.topo.delay_us(to, from);
+                        // The payload stays parked: the same arena handle
+                        // rides the bounce back to the sender.
                         self.queue.push(
                             self.now + back,
-                            Event::SendFailed {
-                                at: from,
-                                dest: to,
+                            EventRec::SendFailed {
+                                at: from as u32,
+                                dest: to as u32,
                                 msg,
                             },
                         );
+                    } else {
+                        drop(self.arena.take(msg));
                     }
                     return true;
                 }
+                let msg = self.arena.take(msg);
                 if self.tracer.enabled() {
                     let (t, op) = (self.now.as_micros(), msg.op_id());
                     self.tracer.msg_recv(t, op, from, to, msg.kind_id());
                 }
+                self.nodes.note_recv(to);
                 self.invoke(to, |node, ctx| node.on_message(from, msg, ctx));
             }
-            Event::SendFailed { at, dest, msg } => {
-                if self.alive[at] {
+            EventRec::SendFailed { at, dest, msg } => {
+                let (at, dest) = (at as Addr, dest as Addr);
+                let msg = self.arena.take(msg);
+                if self.nodes.is_alive(at) {
                     self.invoke(at, |node, ctx| node.on_send_failed(dest, msg, ctx));
                 }
             }
-            Event::Timer { at, kind } => {
-                if self.alive[at] {
+            EventRec::Timer { at, kind } => {
+                let at = at as Addr;
+                if self.nodes.is_alive(at) {
                     self.invoke(at, |node, ctx| node.on_timer(kind, ctx));
                 }
             }
@@ -567,7 +640,7 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
             effects: &mut effects,
             emitted: &mut emitted,
         };
-        f(&mut self.nodes[at], &mut ctx);
+        f(self.nodes.logic_mut(at), &mut ctx);
         for out in emitted.drain(..) {
             self.outputs.push((self.now, at, out));
         }
@@ -577,8 +650,9 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
                     self.dispatch(at, to, msg, extra_us);
                 }
                 Effect::Timer { delay_us, kind } => {
+                    let at = at as u32;
                     self.queue
-                        .push(self.now + delay_us, Event::Timer { at, kind });
+                        .push(self.now + delay_us, EventRec::Timer { at, kind });
                 }
             }
         }
@@ -616,6 +690,28 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of message payloads currently parked in flight.
+    pub fn in_flight_msgs(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Swaps the event queue to the reference binary-heap backend.
+    ///
+    /// Differential-testing hook: a heap-backed engine must produce
+    /// bit-identical runs to the default wheel-backed one. Call before
+    /// scheduling anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are already pending.
+    pub fn use_reference_heap_queue(&mut self) {
+        assert!(
+            self.queue.is_empty(),
+            "cannot swap queue backend with events pending"
+        );
+        self.queue = EventQueue::new_reference_heap();
     }
 }
 
@@ -941,6 +1037,79 @@ mod tests {
         assert_eq!(a_tuple, untraced, "tracing must not change outcomes");
         assert_eq!(a_tuple, b_tuple);
         assert_eq!(a_fp, b_fp, "same seed must produce the same trace");
+    }
+
+    #[test]
+    fn per_node_io_counters_track_traffic() {
+        let mut e = engine(3);
+        e.inject(0, 1, PingMsg::Ping(1), 0);
+        e.run_until_quiet(100);
+        // 0 sent the ping and received the pong; 1 the reverse.
+        assert_eq!(e.node_io(0), crate::soa::NodeIo { sent: 1, recv: 1 });
+        assert_eq!(e.node_io(1), crate::soa::NodeIo { sent: 1, recv: 1 });
+        assert_eq!(e.node_io(2), crate::soa::NodeIo::default());
+        // Lost sends still count as sent (the bytes hit the wire).
+        e.set_faults(
+            FaultConfig {
+                loss: 1.0,
+                duplicate: 0.0,
+                jitter_us: 0,
+            },
+            7,
+        );
+        e.inject(2, 0, PingMsg::Ping(1), 0);
+        e.run_until_quiet(100);
+        assert_eq!(e.node_io(2), crate::soa::NodeIo { sent: 1, recv: 0 });
+    }
+
+    #[test]
+    fn in_flight_arena_drains_with_the_queue() {
+        let mut e = engine(4);
+        for i in 0..4 {
+            e.inject(i, (i + 1) % 4, PingMsg::Ping(1), 0);
+        }
+        assert_eq!(e.in_flight_msgs(), 4);
+        e.run_until_quiet(1_000);
+        assert_eq!(e.in_flight_msgs(), 0, "all payloads reclaimed");
+        assert_eq!(e.pending(), 0);
+    }
+
+    /// The full engine, heap-backed vs. wheel-backed, through a faulty
+    /// seeded run: every counter and the simulated clock must match bit
+    /// for bit.
+    #[test]
+    fn reference_heap_engine_matches_wheel_engine() {
+        let faults = FaultConfig {
+            loss: 0.2,
+            duplicate: 0.1,
+            jitter_us: 700,
+        };
+        let run = |reference: bool| {
+            let mut e = engine(8);
+            if reference {
+                e.use_reference_heap_queue();
+            }
+            e.set_faults(faults, 99);
+            e.set_tracing(TraceConfig::full());
+            for round in 0..50u32 {
+                for i in 0..8 {
+                    e.inject(i, (i + round as usize) % 8, PingMsg::Ping(round), 0);
+                }
+            }
+            e.run_until_quiet(100_000);
+            let pongs: u64 = (0..8).map(|a| e.node(a).pongs.len() as u64).sum();
+            let io: Vec<_> = (0..8).map(|a| e.node_io(a)).collect();
+            (
+                e.now(),
+                e.stats.total_msgs,
+                e.stats.dropped,
+                e.stats.duplicated,
+                pongs,
+                io,
+                e.tracer().fingerprint(),
+            )
+        };
+        assert_eq!(run(false), run(true), "wheel engine diverged from heap");
     }
 
     #[test]

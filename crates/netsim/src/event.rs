@@ -1,6 +1,25 @@
 //! Deterministic event queue.
+//!
+//! [`EventQueue`] is the engine's time-ordered queue: events pop in
+//! ascending `(time, seq)` order, where `seq` is a per-queue push
+//! counter, so ties resolve in insertion order and runs reproduce bit
+//! for bit. Since the million-node rework it is backed by the
+//! hierarchical timer wheel ([`crate::wheel`]) — O(1) push/pop under
+//! the heartbeat timer storm instead of the binary heap's O(log n) —
+//! with the original heap kept as [`Backend::Heap`], a reference
+//! implementation for differential tests.
+//!
+//! ## Sequence-number wrap
+//!
+//! `seq` is a `u64`. It increments once per push; at one push per
+//! simulated microsecond that is ~584 000 years of simulated time, so
+//! wrap cannot happen in a legitimate run — but a silent wrap would
+//! *reorder ties* rather than crash, the worst failure mode for a
+//! deterministic simulator. The counter is therefore advanced with a
+//! checked add and panics on overflow instead of wrapping.
 
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -30,9 +49,14 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+enum Backend<E> {
+    Wheel(TimerWheel<E>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// A time-ordered queue of simulation events.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     next_seq: u64,
 }
 
@@ -43,10 +67,22 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue (timer-wheel backed).
     pub fn new() -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: Backend::Wheel(TimerWheel::new()),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue backed by the original binary heap.
+    ///
+    /// The heap is the reference implementation the wheel must match
+    /// bit for bit; differential tests drive both through identical
+    /// schedules. Production code uses [`EventQueue::new`].
+    pub fn new_reference_heap() -> EventQueue<E> {
+        EventQueue {
+            backend: Backend::Heap(BinaryHeap::new()),
             next_seq: 0,
         }
     }
@@ -54,34 +90,54 @@ impl<E> EventQueue<E> {
     /// Schedules `payload` at `time`.
     pub fn push(&mut self, time: SimTime, payload: E) {
         let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        // Explicit wrap policy: a wrapped counter would silently
+        // reorder ties; fail loudly instead (see module docs).
+        self.next_seq = seq
+            .checked_add(1)
+            .unwrap_or_else(|| panic!("event sequence counter wrapped u64"));
+        match &mut self.backend {
+            Backend::Wheel(w) => w.push(time.as_micros(), u128::from(seq), payload),
+            Backend::Heap(h) => h.push(Entry { time, seq, payload }),
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        match &mut self.backend {
+            Backend::Wheel(w) => w.pop().map(|(t, _, e)| (SimTime::from_micros(t), e)),
+            Backend::Heap(h) => h.pop().map(|e| (e.time, e.payload)),
+        }
     }
 
     /// Returns the time of the earliest event without removing it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    ///
+    /// `&mut self`: the wheel may cascade coarse slots to answer
+    /// exactly (bookkeeping only — order and results are unchanged).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.backend {
+            Backend::Wheel(w) => w.peek_time().map(SimTime::from_micros),
+            Backend::Heap(h) => h.peek().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Wheel(w) => w.len(),
+            Backend::Heap(h) => h.len(),
+        }
     }
 
     /// Returns true if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use past_crypto::rng::Rng;
 
     #[test]
     fn pops_in_time_order() {
@@ -114,5 +170,47 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    /// Differential test: wheel vs. reference heap through an identical
+    /// seeded schedule of interleaved pushes and pops, including ties
+    /// and cascade-boundary times. Any order divergence fails.
+    #[test]
+    fn wheel_matches_reference_heap() {
+        for round in 0..20u64 {
+            let mut rng_a = Rng::seed_from_u64(0xd1ff + round);
+            let mut rng_b = Rng::seed_from_u64(0xd1ff + round);
+            let mut wheel = EventQueue::new();
+            let mut heap = EventQueue::new_reference_heap();
+            let drive = |q: &mut EventQueue<u64>, rng: &mut Rng| -> Vec<(u64, u64)> {
+                let mut now = 0u64;
+                let mut n = 0u64;
+                let mut popped = Vec::new();
+                for step in 0..600u32 {
+                    if step % 3 != 2 {
+                        // Mix ties, near times, and boundary-straddling
+                        // far jumps.
+                        let t = match rng.random_range(0..4u32) {
+                            0 => now,
+                            1 => now + rng.random_range(0..10u64),
+                            2 => (now / 64 + 1) * 64 + rng.random_range(0..2u64),
+                            _ => now + rng.random_range(0..100_000u64),
+                        };
+                        q.push(SimTime::from_micros(t), n);
+                        n += 1;
+                    } else if let Some((t, v)) = q.pop() {
+                        now = t.as_micros();
+                        popped.push((now, v));
+                    }
+                }
+                while let Some((t, v)) = q.pop() {
+                    popped.push((t.as_micros(), v));
+                }
+                popped
+            };
+            let a = drive(&mut wheel, &mut rng_a);
+            let b = drive(&mut heap, &mut rng_b);
+            assert_eq!(a, b, "wheel diverged from reference heap");
+        }
     }
 }

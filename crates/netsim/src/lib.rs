@@ -13,13 +13,19 @@
 //! - full determinism (seeded RNG, totally ordered event queue), so every
 //!   experiment in EXPERIMENTS.md reproduces bit-for-bit.
 
+pub mod arena;
 pub mod engine;
 pub mod event;
+pub mod shard;
+pub mod soa;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod wheel;
 
 pub use engine::{Ctx, Engine, FaultConfig, Message, NetStats, NodeLogic};
+pub use shard::{ShardConfig, ShardedEngine};
+pub use soa::NodeIo;
 pub use stats::{summarize, Histogram, Summary};
 pub use time::SimTime;
 pub use topology::{Addr, Plane, Sphere, Topology, TransitStub, UniformRandom};

@@ -1,0 +1,1046 @@
+//! Opt-in sharded engine: deterministic parallel simulation.
+//!
+//! [`ShardedEngine`] partitions nodes contiguously across worker
+//! threads and advances them in conservative time windows: within a
+//! window every shard executes its own events independently, and every
+//! inter-node message — even between nodes of the same shard — travels
+//! through *sealed batches* that are exchanged at window barriers. The
+//! safety condition is that no inter-node message can arrive inside
+//! the window it was sent in, which holds whenever the minimum
+//! inter-node topology delay is at least [`ShardConfig::window_us`]
+//! (asserted at runtime).
+//!
+//! ## Determinism model
+//!
+//! The sequential [`Engine`](crate::Engine) orders tied events by a
+//! *global* push counter and draws faults from one shared RNG — an
+//! order that cannot be reproduced by parallel workers. The sharded
+//! engine therefore defines its own deterministic domain:
+//!
+//! - every event carries a key `(time, source node, per-node seq)`;
+//!   keys are totally ordered and unique,
+//! - each node owns a private protocol RNG and a private fault RNG,
+//!   seeded from the run seed and the node address,
+//! - batches merge into destination queues keyed by `(time, key)`, so
+//!   arrival order on the wire is irrelevant.
+//!
+//! Per-node decision streams depend only on the sequence of events each
+//! node observes, which the key order fixes globally — so a run with
+//! one shard and a run with N shards produce bit-identical per-node
+//! state, merged [`NetStats`], outputs, and [`fingerprint`]. That claim
+//! is what the tests at the bottom of this file pin.
+//!
+//! [`fingerprint`]: ShardedEngine::fingerprint
+
+use crate::arena::Arena;
+use crate::engine::{Ctx, Effect, FaultConfig, Message, NetStats, NodeLogic};
+use crate::soa::{NodeIo, NodeSlots};
+use crate::time::SimTime;
+use crate::topology::{mix64, Addr, Topology};
+use crate::wheel::TimerWheel;
+use past_crypto::rng::Rng;
+use past_trace::Tracer;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Sharded-engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Worker shard count. The engine may use fewer shards than asked
+    /// for if there are not enough nodes to fill them.
+    pub shards: usize,
+    /// Conservative window width in microseconds. Must not exceed the
+    /// minimum inter-node delay of the topology; larger windows mean
+    /// fewer barriers.
+    pub window_us: u64,
+}
+
+/// Event key tie-break: `(source node, per-node sequence)` packed into
+/// the wheel's 128-bit tie. Unique per event, identical under any
+/// shard count.
+fn tie_key(src: Addr, seq: u64) -> u128 {
+    ((src as u128) << 64) | seq as u128
+}
+
+/// Commutative event digest: folded with wrapping addition so the
+/// shard-local accumulation order cannot matter.
+fn digest(time: u64, tie: u128, salt: u64) -> u64 {
+    mix64(time ^ mix64(tie as u64) ^ mix64((tie >> 64) as u64) ^ salt)
+}
+
+/// Shard-local event record; payloads park in the shard's arena.
+#[derive(Clone, Copy)]
+enum ShardEvent {
+    Deliver { from: u32, to: u32, msg: u32 },
+    SendFailed { at: u32, dest: u32, msg: u32 },
+    Timer { at: u32, kind: u64 },
+}
+
+/// A message crossing a shard boundary (payload travels by value; it
+/// parks in the destination shard's arena on receipt).
+enum WireEvent<M> {
+    Deliver { from: u32, to: u32, msg: M },
+    SendFailed { at: u32, dest: u32, msg: M },
+}
+
+struct Wire<M> {
+    time: u64,
+    tie: u128,
+    ev: WireEvent<M>,
+}
+
+struct Shard<N: NodeLogic, T> {
+    id: usize,
+    /// First global address owned by this shard.
+    base: Addr,
+    topo: T,
+    /// Local node state; local index = global address - `base`.
+    nodes: NodeSlots<N>,
+    /// Per-node protocol RNGs (global address order).
+    rngs: Vec<Rng>,
+    /// Per-node fault RNGs, independent of the protocol streams.
+    fault_rngs: Vec<Rng>,
+    /// Per-node event sequence counters (the key tie-break).
+    seqs: Vec<u64>,
+    queue: TimerWheel<ShardEvent>,
+    arena: Arena<N::Msg>,
+    stats: NetStats,
+    /// Disabled tracer: [`Ctx`] needs one; the sharded engine's
+    /// observability story is the commutative fingerprint instead.
+    tracer: Tracer,
+    /// Emissions tagged `(time, event key, per-event index)` so a
+    /// global merge is order-deterministic.
+    outputs: Vec<(u64, u128, u32, Addr, N::Out)>,
+    /// Outbound wires accumulated during the current window.
+    wire_buf: Vec<Wire<N::Msg>>,
+    now: u64,
+    faults: FaultConfig,
+    fp: u64,
+    events: u64,
+    scratch_effects: Vec<Effect<N::Msg>>,
+    scratch_emitted: Vec<N::Out>,
+}
+
+impl<N: NodeLogic, T: Topology> Shard<N, T> {
+    fn next_seq(&mut self, local: usize) -> u64 {
+        let s = self.seqs[local];
+        self.seqs[local] = s
+            .checked_add(1)
+            .unwrap_or_else(|| panic!("per-node event sequence wrapped u64"));
+        s
+    }
+
+    /// Enqueues an already-keyed event whose payload is in hand.
+    fn receive_wire(&mut self, w: Wire<N::Msg>) {
+        let ev = match w.ev {
+            WireEvent::Deliver { from, to, msg } => {
+                let msg = self.arena.insert(msg);
+                ShardEvent::Deliver { from, to, msg }
+            }
+            WireEvent::SendFailed { at, dest, msg } => {
+                let msg = self.arena.insert(msg);
+                ShardEvent::SendFailed { at, dest, msg }
+            }
+        };
+        self.queue.push(w.time, w.tie, ev);
+    }
+
+    /// Sender-side half of a message send: accounting, fault draws and
+    /// scheduling. Self-sends go straight into the local queue;
+    /// anything inter-node lands in `wire_buf` for the caller to route.
+    /// Mirrors `Engine::dispatch`, with the shared RNG replaced by the
+    /// sender's private fault stream.
+    fn dispatch(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64) {
+        let li = from - self.base;
+        self.stats.total_msgs += 1;
+        self.stats.total_bytes += msg.wire_size();
+        self.stats.by_kind_mut()[msg.kind_id()] += 1;
+        self.nodes.note_sent(li);
+        let base_t = self.now + self.topo.delay_us(from, to) + extra_us;
+        if from == to {
+            let seq = self.next_seq(li);
+            let h = self.arena.insert(msg);
+            self.queue.push(
+                base_t,
+                tie_key(from, seq),
+                ShardEvent::Deliver {
+                    from: from as u32,
+                    to: to as u32,
+                    msg: h,
+                },
+            );
+            return;
+        }
+        let (f32b, t32b) = (from as u32, to as u32);
+        if !self.faults.is_active() {
+            let seq = self.next_seq(li);
+            self.wire_buf.push(Wire {
+                time: base_t,
+                tie: tie_key(from, seq),
+                ev: WireEvent::Deliver {
+                    from: f32b,
+                    to: t32b,
+                    msg,
+                },
+            });
+            return;
+        }
+        // Per-field gating, like the sequential engine: an inactive
+        // fault class draws nothing from the node's fault stream.
+        if self.faults.loss > 0.0 && self.fault_rngs[li].random::<f64>() < self.faults.loss {
+            self.stats.dropped += 1;
+            return;
+        }
+        let duplicate = self.faults.duplicate > 0.0
+            && self.fault_rngs[li].random::<f64>() < self.faults.duplicate;
+        let at = base_t + self.draw_jitter(li);
+        if duplicate {
+            self.stats.duplicated += 1;
+            let echo = base_t + self.draw_jitter(li);
+            let seq = self.next_seq(li);
+            self.wire_buf.push(Wire {
+                time: echo,
+                tie: tie_key(from, seq),
+                ev: WireEvent::Deliver {
+                    from: f32b,
+                    to: t32b,
+                    msg: msg.clone(),
+                },
+            });
+        }
+        let seq = self.next_seq(li);
+        self.wire_buf.push(Wire {
+            time: at,
+            tie: tie_key(from, seq),
+            ev: WireEvent::Deliver {
+                from: f32b,
+                to: t32b,
+                msg,
+            },
+        });
+    }
+
+    fn draw_jitter(&mut self, local: usize) -> u64 {
+        if self.faults.jitter_us > 0 {
+            self.fault_rngs[local].random_range(0..=self.faults.jitter_us)
+        } else {
+            0
+        }
+    }
+
+    fn invoke<F>(&mut self, at: Addr, cur_tie: u128, f: F)
+    where
+        F: FnOnce(&mut N, &mut Ctx<'_, N::Msg, N::Out>),
+    {
+        let li = at - self.base;
+        let mut effects = std::mem::take(&mut self.scratch_effects);
+        let mut emitted = std::mem::take(&mut self.scratch_emitted);
+        debug_assert!(effects.is_empty() && emitted.is_empty());
+        let mut ctx = Ctx {
+            now: SimTime::from_micros(self.now),
+            me: at,
+            rng: &mut self.rngs[li],
+            tracer: &mut self.tracer,
+            topo: &self.topo,
+            effects: &mut effects,
+            emitted: &mut emitted,
+        };
+        f(self.nodes.logic_mut(li), &mut ctx);
+        for (k, out) in emitted.drain(..).enumerate() {
+            self.outputs.push((self.now, cur_tie, k as u32, at, out));
+        }
+        for eff in effects.drain(..) {
+            match eff {
+                Effect::Send { to, msg, extra_us } => self.dispatch(at, to, msg, extra_us),
+                Effect::Timer { delay_us, kind } => {
+                    let seq = self.next_seq(li);
+                    self.queue.push(
+                        self.now + delay_us,
+                        tie_key(at, seq),
+                        ShardEvent::Timer {
+                            at: at as u32,
+                            kind,
+                        },
+                    );
+                }
+            }
+        }
+        self.scratch_effects = effects;
+        self.scratch_emitted = emitted;
+    }
+
+    /// Executes every local event strictly before `window_end`;
+    /// returns the number executed. Outbound wires accumulate in
+    /// `wire_buf`.
+    fn run_window(&mut self, window_end: u64) -> u64 {
+        let mut count = 0u64;
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t < window_end => {}
+                _ => break,
+            }
+            let Some((t, tie, ev)) = self.queue.pop() else {
+                break;
+            };
+            self.now = t;
+            self.events += 1;
+            count += 1;
+            match ev {
+                ShardEvent::Deliver { from, to, msg } => {
+                    self.fp = self.fp.wrapping_add(digest(t, tie, 1));
+                    let (from, to) = (from as Addr, to as Addr);
+                    let li = to - self.base;
+                    let m = self.arena.take(msg);
+                    if !self.nodes.is_alive(li) {
+                        self.stats.failed_sends += 1;
+                        // Timeout model: bounce a failure notice to the
+                        // sender one further delay later. Unlike the
+                        // sequential engine we cannot consult the
+                        // (possibly remote) sender's liveness here; the
+                        // notice is dropped on arrival if the sender is
+                        // dead, which leaves every counter identical.
+                        if from != to {
+                            let back = self.topo.delay_us(to, from);
+                            let seq = self.next_seq(li);
+                            self.wire_buf.push(Wire {
+                                time: self.now + back,
+                                tie: tie_key(to, seq),
+                                ev: WireEvent::SendFailed {
+                                    at: from as u32,
+                                    dest: to as u32,
+                                    msg: m,
+                                },
+                            });
+                        }
+                        continue;
+                    }
+                    self.nodes.note_recv(li);
+                    self.invoke(to, tie, |node, ctx| node.on_message(from, m, ctx));
+                }
+                ShardEvent::SendFailed { at, dest, msg } => {
+                    self.fp = self.fp.wrapping_add(digest(t, tie, 2));
+                    let (at, dest) = (at as Addr, dest as Addr);
+                    let m = self.arena.take(msg);
+                    if self.nodes.is_alive(at - self.base) {
+                        self.invoke(at, tie, |node, ctx| node.on_send_failed(dest, m, ctx));
+                    }
+                }
+                ShardEvent::Timer { at, kind } => {
+                    self.fp = self.fp.wrapping_add(digest(t, tie, 3 ^ mix64(kind)));
+                    let at = at as Addr;
+                    if self.nodes.is_alive(at - self.base) {
+                        self.invoke(at, tie, |node, ctx| node.on_timer(kind, ctx));
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+/// The sharded parallel engine. See the module docs for the model.
+pub struct ShardedEngine<N: NodeLogic, T: Topology + Clone> {
+    shards: Vec<Shard<N, T>>,
+    /// Nodes per shard (last shard may own fewer).
+    chunk: usize,
+    window_us: u64,
+    n: usize,
+}
+
+impl<N, T> ShardedEngine<N, T>
+where
+    N: NodeLogic + Send,
+    N::Msg: Send,
+    N::Out: Send,
+    T: Topology + Clone + Send,
+{
+    /// Builds a sharded engine over `nodes`, partitioned contiguously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, exceeds the topology, or the window
+    /// is zero.
+    pub fn new(topo: T, mut nodes: Vec<N>, seed: u64, cfg: ShardConfig) -> ShardedEngine<N, T> {
+        let n = nodes.len();
+        assert!(n > 0, "sharded engine needs at least one node");
+        assert!(n <= topo.len(), "more nodes than topology slots");
+        assert!(n < u32::MAX as usize, "node address space (u32) exhausted");
+        assert!(cfg.window_us > 0, "shard window must be positive");
+        let want = cfg.shards.clamp(1, n);
+        let chunk = n.div_ceil(want);
+        let mut shards = Vec::new();
+        let mut iter = nodes.drain(..);
+        let mut base = 0usize;
+        while base < n {
+            let take = chunk.min(n - base);
+            let logic: Vec<N> = iter.by_ref().take(take).collect();
+            let rngs = (base..base + take)
+                .map(|a| Rng::seed_from_u64(seed ^ mix64(a as u64)))
+                .collect();
+            let fault_rngs = (base..base + take)
+                .map(|a| Rng::seed_from_u64(seed ^ mix64(a as u64) ^ 0x5eed_fa17))
+                .collect();
+            shards.push(Shard {
+                id: shards.len(),
+                base,
+                topo: topo.clone(),
+                nodes: NodeSlots::from_logic(logic),
+                rngs,
+                fault_rngs,
+                seqs: vec![0; take],
+                queue: TimerWheel::new(),
+                arena: Arena::new(),
+                stats: NetStats::for_kinds(N::Msg::KINDS),
+                tracer: Tracer::for_kinds(N::Msg::KINDS),
+                outputs: Vec::new(),
+                wire_buf: Vec::new(),
+                now: 0,
+                faults: FaultConfig::default(),
+                fp: 0,
+                events: 0,
+                scratch_effects: Vec::new(),
+                scratch_emitted: Vec::new(),
+            });
+            base += take;
+        }
+        ShardedEngine {
+            shards,
+            chunk,
+            window_us: cfg.window_us,
+            n,
+        }
+    }
+
+    fn shard_of(&self, a: Addr) -> usize {
+        a / self.chunk
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the engine has no nodes (never: construction requires
+    /// one, but the pair with [`len`](ShardedEngine::len) is idiomatic).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of worker shards actually in use.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global simulated time: all shards agree between runs.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.shards.iter().map(|s| s.now).max().unwrap_or(0))
+    }
+
+    /// Immutable access to a node's state.
+    pub fn node(&self, a: Addr) -> &N {
+        let s = &self.shards[self.shard_of(a)];
+        s.nodes.logic(a - s.base)
+    }
+
+    /// Per-node traffic counters.
+    pub fn node_io(&self, a: Addr) -> NodeIo {
+        let s = &self.shards[self.shard_of(a)];
+        s.nodes.io(a - s.base)
+    }
+
+    /// Liveness of a node.
+    pub fn is_alive(&self, a: Addr) -> bool {
+        let s = &self.shards[self.shard_of(a)];
+        s.nodes.is_alive(a - s.base)
+    }
+
+    /// Marks a node dead (between runs).
+    pub fn kill(&mut self, a: Addr) {
+        let sh = self.shard_of(a);
+        let s = &mut self.shards[sh];
+        s.nodes.set_alive(a - s.base, false);
+    }
+
+    /// Marks a node live again (between runs).
+    pub fn revive(&mut self, a: Addr) {
+        let sh = self.shard_of(a);
+        let s = &mut self.shards[sh];
+        s.nodes.set_alive(a - s.base, true);
+    }
+
+    /// Enables (or reconfigures) link-fault injection. Every node's
+    /// fault stream is reseeded from `seed` and its address.
+    pub fn set_faults(&mut self, faults: FaultConfig, seed: u64) {
+        assert!((0.0..=1.0).contains(&faults.loss), "loss out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&faults.duplicate),
+            "duplicate out of [0,1]"
+        );
+        for s in self.shards.iter_mut() {
+            s.faults = faults;
+            for (i, r) in s.fault_rngs.iter_mut().enumerate() {
+                let a = (s.base + i) as u64;
+                *r = Rng::seed_from_u64(seed ^ mix64(a) ^ 0x5eed_fa17);
+            }
+        }
+    }
+
+    /// Injects a message from `from` to `to` (between runs). The fault
+    /// model applies, drawn from the sender's fault stream.
+    pub fn inject(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64) {
+        let sh = self.shard_of(from);
+        self.shards[sh].dispatch(from, to, msg, extra_us);
+        self.route_pending_wires(sh);
+    }
+
+    /// Arms a timer on a node (between runs).
+    pub fn arm_timer(&mut self, at: Addr, delay_us: u64, kind: u64) {
+        let sh = self.shard_of(at);
+        let s = &mut self.shards[sh];
+        let li = at - s.base;
+        let seq = s.next_seq(li);
+        let t = s.now + delay_us;
+        s.queue.push(
+            t,
+            tie_key(at, seq),
+            ShardEvent::Timer {
+                at: at as u32,
+                kind,
+            },
+        );
+    }
+
+    /// Routes wires produced by a between-runs dispatch straight into
+    /// destination queues (no window constraint applies: nothing is
+    /// executing).
+    fn route_pending_wires(&mut self, src: usize) {
+        let wires = std::mem::take(&mut self.shards[src].wire_buf);
+        for w in wires {
+            let to = match &w.ev {
+                WireEvent::Deliver { to, .. } => *to as Addr,
+                WireEvent::SendFailed { at, .. } => *at as Addr,
+            };
+            let sh = self.shard_of(to);
+            self.shards[sh].receive_wire(w);
+        }
+    }
+
+    /// Total pending events across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Merged traffic counters across all shards.
+    pub fn stats(&self) -> NetStats {
+        let mut total = NetStats::for_kinds(N::Msg::KINDS);
+        for s in &self.shards {
+            total.merge(&s.stats);
+        }
+        total
+    }
+
+    /// Commutative run fingerprint: a wrapping sum of per-event key
+    /// digests plus the event count. Identical for identical runs under
+    /// any shard count; any divergence in event times, sources or
+    /// sequence numbers changes it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = 0u64;
+        let mut events = 0u64;
+        for s in &self.shards {
+            fp = fp.wrapping_add(s.fp);
+            events += s.events;
+        }
+        mix64(events).wrapping_add(fp)
+    }
+
+    /// Events executed so far, summed over shards.
+    pub fn events_executed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Drains emissions from all shards, merged in global event-key
+    /// order (deterministic under any shard count).
+    pub fn drain_outputs(&mut self) -> Vec<(SimTime, Addr, N::Out)> {
+        let mut all: Vec<(u64, u128, u32, Addr, N::Out)> = Vec::new();
+        for s in self.shards.iter_mut() {
+            all.append(&mut s.outputs);
+        }
+        all.sort_by_key(|&(t, tie, k, _, _)| (t, tie, k));
+        all.into_iter()
+            .map(|(t, _, _, a, out)| (SimTime::from_micros(t), a, out))
+            .collect()
+    }
+
+    /// Runs shards in parallel until the whole simulation quiesces or
+    /// at least `max_events` have executed (checked at window
+    /// boundaries, so slightly more may run). Returns events executed
+    /// this call.
+    pub fn run_until_quiet(&mut self, max_events: u64) -> u64 {
+        let s = self.shards.len();
+        let window = self.window_us;
+        let shared = Shared {
+            barrier: Barrier::new(s),
+            mins: (0..s).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            total: AtomicU64::new(0),
+            mail: (0..s)
+                .map(|_| (0..s).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            poisoned: AtomicBool::new(false),
+            poison: Mutex::new(None),
+        };
+        let chunk = self.chunk;
+        std::thread::scope(|scope| {
+            for shard in self.shards.iter_mut() {
+                let shared = &shared;
+                scope.spawn(move || {
+                    worker(shard, shared, chunk, window, max_events);
+                });
+            }
+        });
+        // A worker panic (window violation, node-logic bug) is caught in
+        // the worker so its peers can leave the barrier protocol
+        // cleanly; surface it here on the caller's thread.
+        let poison = shared
+            .poison
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = poison {
+            std::panic::resume_unwind(p);
+        }
+        // Re-sync shard clocks so between-run harness actions (inject,
+        // arm_timer) use the same global time under any shard count.
+        let g = self.shards.iter().map(|sh| sh.now).max().unwrap_or(0);
+        for sh in self.shards.iter_mut() {
+            sh.now = g;
+        }
+        shared.total.into_inner()
+    }
+}
+
+/// Per-run shared coordination state for the worker threads.
+struct Shared<M> {
+    barrier: Barrier,
+    /// Each shard's earliest pending event time, for the global-min
+    /// reduction that places the next window.
+    mins: Vec<AtomicU64>,
+    /// Events executed so far (the budget check).
+    total: AtomicU64,
+    /// Sealed-batch mailboxes, `mail[src][dst]`.
+    mail: Vec<Vec<Mutex<Vec<Wire<M>>>>>,
+    /// Set when any worker's window body panicked; everyone exits at
+    /// the next barrier instead of deadlocking on the missing peer.
+    poisoned: AtomicBool,
+    /// The first caught panic payload, re-thrown by the caller.
+    poison: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// One shard's window loop. All shards execute the same barrier
+/// sequence and read reduction inputs only after a barrier, so every
+/// shard takes the break branches on the same round.
+fn worker<N, T>(
+    shard: &mut Shard<N, T>,
+    shared: &Shared<N::Msg>,
+    chunk: usize,
+    window_us: u64,
+    max_events: u64,
+) where
+    N: NodeLogic,
+    T: Topology,
+{
+    let me = shard.id;
+    let s = shared.mins.len();
+    loop {
+        // Absorb batches sealed last round, in deterministic shard
+        // order (irrelevant to outcomes — keys order the queue — but
+        // cheap to keep canonical).
+        for src in 0..s {
+            let mut inbox = shared.mail[src][me]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            for w in inbox.drain(..) {
+                shard.receive_wire(w);
+            }
+        }
+        shared.mins[me].store(
+            shard.queue.peek_time().unwrap_or(u64::MAX),
+            Ordering::SeqCst,
+        );
+        // Seal this round's budget/poison view *before* the barrier.
+        // Writes to `total` and `poisoned` only happen in window
+        // phases, which both barriers bracket, so reads taken in the
+        // inter-barrier gap cannot race with them: every worker sees
+        // the same values and takes the same break branch. (Reading
+        // after the barrier would race with a faster peer's
+        // current-round `fetch_add` and deadlock the barrier protocol
+        // when the budget threshold lands inside that window.)
+        let total = shared.total.load(Ordering::SeqCst);
+        let poisoned = shared.poisoned.load(Ordering::SeqCst);
+        shared.barrier.wait();
+        let gmin = shared
+            .mins
+            .iter()
+            .map(|m| m.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        if gmin == u64::MAX || total >= max_events || poisoned {
+            break;
+        }
+        // Skip ahead: the window starts at the global minimum, so idle
+        // stretches cost one barrier round, not one round per window.
+        let window_end = gmin.saturating_add(window_us);
+        // The window body can panic (window-safety violation, a bug in
+        // node logic). Catch it so the peers can leave the barrier
+        // protocol instead of deadlocking on a dead thread; the payload
+        // is re-thrown by `run_until_quiet` on the caller's thread.
+        let body = std::panic::AssertUnwindSafe(|| {
+            let count = shard.run_window(window_end);
+            shared.total.fetch_add(count, Ordering::SeqCst);
+            ship_window(shard, shared, me, chunk, s, window_end);
+        });
+        if let Err(p) = std::panic::catch_unwind(body) {
+            let mut slot = shared.poison.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+            shared.poisoned.store(true, Ordering::SeqCst);
+        }
+        shared.barrier.wait();
+    }
+}
+
+/// Seals the window's outbound wires into per-destination batches.
+fn ship_window<N, T>(
+    shard: &mut Shard<N, T>,
+    shared: &Shared<N::Msg>,
+    me: usize,
+    chunk: usize,
+    s: usize,
+    window_end: u64,
+) where
+    N: NodeLogic,
+    T: Topology,
+{
+    let wires = std::mem::take(&mut shard.wire_buf);
+    if wires.is_empty() {
+        return;
+    }
+    let mut sorted: Vec<Vec<Wire<N::Msg>>> = (0..s).map(|_| Vec::new()).collect();
+    for w in wires {
+        assert!(
+            w.time >= window_end,
+            "inter-node delay shorter than the shard window \
+             ({} < {window_end}): lower ShardConfig::window_us below \
+             the topology's minimum inter-node delay",
+            w.time
+        );
+        let to = match &w.ev {
+            WireEvent::Deliver { to, .. } => *to as Addr,
+            WireEvent::SendFailed { at, .. } => *at as Addr,
+        };
+        sorted[to / chunk].push(w);
+    }
+    for (t, batch) in sorted.into_iter().enumerate() {
+        if !batch.is_empty() {
+            shared.mail[me][t]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::UniformRandom;
+
+    /// A gossip-ish protocol exercising every engine path: randomized
+    /// forwarding (per-node RNG), timers, emissions, and send failures.
+    #[derive(Clone)]
+    enum GMsg {
+        Rumor { ttl: u32, tag: u32 },
+        Ack(u32),
+    }
+
+    impl Message for GMsg {
+        const KINDS: &'static [&'static str] = &["rumor", "ack"];
+
+        fn kind_id(&self) -> usize {
+            match self {
+                GMsg::Rumor { .. } => 0,
+                GMsg::Ack(_) => 1,
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct GNode {
+        heard: Vec<u32>,
+        acks: u64,
+        failures: u64,
+        timer_fired: bool,
+    }
+
+    impl NodeLogic for GNode {
+        type Msg = GMsg;
+        type Out = (u32, Addr);
+
+        fn on_message(&mut self, from: Addr, msg: GMsg, ctx: &mut Ctx<'_, GMsg, (u32, Addr)>) {
+            match msg {
+                GMsg::Rumor { ttl, tag } => {
+                    self.heard.push(tag);
+                    ctx.emit((tag, from));
+                    ctx.send(from, GMsg::Ack(tag));
+                    if ttl > 0 {
+                        // Randomized next hop: exercises the per-node
+                        // protocol RNG streams.
+                        let n = 64;
+                        let next = ctx.rng.random_range(0..n as u64) as Addr;
+                        if next != ctx.me {
+                            ctx.send(next, GMsg::Rumor { ttl: ttl - 1, tag });
+                        }
+                        if !self.timer_fired {
+                            ctx.set_timer(10_000, u64::from(tag));
+                        }
+                    }
+                }
+                // Folding the tag in makes `acks` a cheap order-free
+                // checksum over which acks arrived, not just how many.
+                GMsg::Ack(tag) => self.acks += 1 + u64::from(tag) * 31,
+            }
+        }
+
+        fn on_send_failed(&mut self, _to: Addr, _msg: GMsg, _ctx: &mut Ctx<'_, GMsg, (u32, Addr)>) {
+            self.failures += 1;
+        }
+
+        fn on_timer(&mut self, _kind: u64, ctx: &mut Ctx<'_, GMsg, (u32, Addr)>) {
+            self.timer_fired = true;
+            ctx.emit((u32::MAX, ctx.me));
+        }
+    }
+
+    const N: usize = 64;
+    /// Min topology delay is 2_000 µs, so a 2_000 µs window is safe.
+    fn topo() -> UniformRandom {
+        UniformRandom::new(N, 77, 2_000, 9_000)
+    }
+
+    fn engine(shards: usize) -> ShardedEngine<GNode, UniformRandom> {
+        let nodes = (0..N).map(|_| GNode::default()).collect();
+        ShardedEngine::new(
+            topo(),
+            nodes,
+            0xface,
+            ShardConfig {
+                shards,
+                window_us: 2_000,
+            },
+        )
+    }
+
+    /// Folds one full run into a comparable snapshot.
+    fn snapshot(
+        e: &mut ShardedEngine<GNode, UniformRandom>,
+    ) -> (
+        u64,
+        u64,
+        SimTime,
+        Vec<(SimTime, Addr, (u32, Addr))>,
+        Vec<NodeIo>,
+        Vec<Vec<u32>>,
+        u64,
+        u64,
+        u64,
+    ) {
+        let st = e.stats();
+        (
+            e.fingerprint(),
+            st.total_msgs,
+            e.now(),
+            e.drain_outputs(),
+            (0..N).map(|a| e.node_io(a)).collect(),
+            (0..N).map(|a| e.node(a).heard.clone()).collect(),
+            st.dropped,
+            st.duplicated,
+            st.failed_sends,
+        )
+    }
+
+    fn seeded_run(
+        shards: usize,
+    ) -> (
+        u64,
+        u64,
+        SimTime,
+        Vec<(SimTime, Addr, (u32, Addr))>,
+        Vec<NodeIo>,
+        Vec<Vec<u32>>,
+        u64,
+        u64,
+        u64,
+    ) {
+        let mut e = engine(shards);
+        for i in 0..8 {
+            e.inject(
+                i * 7,
+                (i * 13 + 1) % N,
+                GMsg::Rumor {
+                    ttl: 12,
+                    tag: i as u32,
+                },
+                0,
+            );
+        }
+        e.run_until_quiet(u64::MAX);
+        assert_eq!(e.pending(), 0, "run must quiesce");
+        snapshot(&mut e)
+    }
+
+    #[test]
+    fn single_and_multi_shard_runs_are_bit_identical() {
+        let one = seeded_run(1);
+        for shards in [2, 3, 4, 7] {
+            assert_eq!(one, seeded_run(shards), "{shards} shards diverged");
+        }
+        assert!(!one.3.is_empty(), "run must produce outputs");
+    }
+
+    #[test]
+    fn faulty_runs_are_shard_count_independent() {
+        let run = |shards: usize| {
+            let mut e = engine(shards);
+            e.set_faults(
+                FaultConfig {
+                    loss: 0.15,
+                    duplicate: 0.1,
+                    jitter_us: 900,
+                },
+                4242,
+            );
+            for i in 0..10 {
+                e.inject(
+                    i * 5,
+                    (i * 11 + 3) % N,
+                    GMsg::Rumor {
+                        ttl: 10,
+                        tag: i as u32,
+                    },
+                    0,
+                );
+            }
+            e.run_until_quiet(u64::MAX);
+            snapshot(&mut e)
+        };
+        let one = run(1);
+        assert!(one.6 > 0, "loss must drop something");
+        assert!(one.7 > 0, "duplication must duplicate something");
+        for shards in [2, 4] {
+            assert_eq!(one, run(shards), "{shards} shards diverged under faults");
+        }
+    }
+
+    #[test]
+    fn churn_between_runs_is_shard_count_independent() {
+        let run = |shards: usize| {
+            let mut e = engine(shards);
+            for i in 0..6 {
+                e.inject(
+                    i,
+                    (i + N / 2) % N,
+                    GMsg::Rumor {
+                        ttl: 8,
+                        tag: i as u32,
+                    },
+                    0,
+                );
+            }
+            e.run_until_quiet(u64::MAX);
+            // Kill a band of nodes, stir, revive some, stir again: the
+            // dead-destination bounce path goes through the batches too.
+            for a in 20..30 {
+                e.kill(a);
+            }
+            for i in 0..6 {
+                e.inject(
+                    i,
+                    20 + (i % 10),
+                    GMsg::Rumor {
+                        ttl: 6,
+                        tag: 100 + i as u32,
+                    },
+                    0,
+                );
+            }
+            e.run_until_quiet(u64::MAX);
+            for a in 20..25 {
+                e.revive(a);
+            }
+            e.arm_timer(3, 5_000, 999);
+            for i in 0..4 {
+                e.inject(
+                    40 + i,
+                    20 + i,
+                    GMsg::Rumor {
+                        ttl: 5,
+                        tag: 200 + i as u32,
+                    },
+                    0,
+                );
+            }
+            e.run_until_quiet(u64::MAX);
+            let failures: u64 = (0..N).map(|a| e.node(a).failures).sum();
+            (snapshot(&mut e), failures)
+        };
+        let one = run(1);
+        assert!(one.0 .8 > 0, "churn must fail some sends");
+        assert!(one.1 > 0, "some sender must observe a failure");
+        for shards in [2, 5] {
+            assert_eq!(one, run(shards), "{shards} shards diverged under churn");
+        }
+    }
+
+    #[test]
+    fn repeated_runs_replay_bit_identically() {
+        assert_eq!(seeded_run(4), seeded_run(4));
+    }
+
+    #[test]
+    fn event_budget_stops_at_window_granularity() {
+        let mut e = engine(4);
+        for i in 0..8 {
+            e.inject(
+                i * 7,
+                (i * 13 + 1) % N,
+                GMsg::Rumor {
+                    ttl: 12,
+                    tag: i as u32,
+                },
+                0,
+            );
+        }
+        let ran = e.run_until_quiet(10);
+        assert!(ran >= 10 || e.pending() == 0, "must hit budget or quiesce");
+        // Resume to quiescence; the combined run must still quiesce.
+        e.run_until_quiet(u64::MAX);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inter-node delay shorter than the shard window")]
+    fn window_wider_than_min_delay_panics() {
+        let nodes = (0..N).map(|_| GNode::default()).collect();
+        // Min delay 2_000 but window 50_000: unsafe, must be rejected.
+        let mut e: ShardedEngine<GNode, UniformRandom> = ShardedEngine::new(
+            topo(),
+            nodes,
+            1,
+            ShardConfig {
+                shards: 2,
+                window_us: 50_000,
+            },
+        );
+        e.inject(0, 1, GMsg::Rumor { ttl: 4, tag: 0 }, 0);
+        e.run_until_quiet(u64::MAX);
+    }
+}

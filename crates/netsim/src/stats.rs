@@ -45,16 +45,22 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
     let n = sorted.len();
     let mean = sorted.iter().sum::<f64>() / n as f64;
     let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
-    let pct = |p: f64| -> f64 {
-        let idx = ((p / 100.0) * (n as f64 - 1.0)).round() as usize;
-        sorted[idx.min(n - 1)]
+    // Nearest-rank percentile: the p-th percentile is the ⌈p·n/100⌉-th
+    // smallest sample (1-based), computed in integer arithmetic. The
+    // previous float form `((p/100)·(n-1)).round()` silently mixed
+    // nearest-rank with linear-interpolation index semantics (mis-
+    // picking on small n) and loses integer precision above 2^53
+    // samples; u128 keeps the product exact for any in-memory n.
+    let pct = |p: u32| -> f64 {
+        let rank = (n as u128 * u128::from(p)).div_ceil(100).max(1);
+        sorted[(rank - 1) as usize]
     };
     Some(Summary {
         n,
         mean,
-        p50: pct(50.0),
-        p95: pct(95.0),
-        p99: pct(99.0),
+        p50: pct(50),
+        p95: pct(95),
+        p99: pct(99),
         min: sorted[0],
         max: sorted[n - 1],
         stddev: var.sqrt(),
@@ -124,6 +130,57 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.count
     }
+
+    /// True if any observation missed the bucket range, i.e. reported
+    /// upper percentiles are clamped to the range top.
+    pub fn saturated(&self) -> bool {
+        self.overflow > 0
+    }
+
+    /// Nearest-rank percentile over the bucketed sample: the lower
+    /// edge of the bucket holding the `⌈p/100 · count⌉`-th smallest
+    /// observation (`None` on an empty histogram).
+    ///
+    /// The `overflow` count participates in the rank walk as a final
+    /// unbounded bucket — without it, p95/p99 silently under-report
+    /// as soon as any sample exceeds the range. When the rank lands
+    /// in overflow the range top (`buckets · width`) is returned and
+    /// [`saturated`](Histogram::saturated) is the caller's cue that
+    /// the true value lies beyond it.
+    pub fn percentile(&self, p: u32) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = u128::from(p.clamp(1, 100));
+        let rank = (u128::from(self.count) * p).div_ceil(100).max(1);
+        let mut cum = 0u128;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += u128::from(c);
+            if cum >= rank {
+                return Some(i as f64 * self.bucket_width);
+            }
+        }
+        Some(self.buckets.len() as f64 * self.bucket_width)
+    }
+
+    /// Serializes the histogram (percentiles, saturation, raw counts)
+    /// as one JSON object; the output validates under
+    /// [`past_trace::json::validate`].
+    pub fn to_json(&self) -> String {
+        past_trace::json::Obj::new()
+            .num("bucket_width", self.bucket_width)
+            .int("count", self.count)
+            .int("overflow", self.overflow)
+            .bool("saturated", self.saturated())
+            .num("p50", self.percentile(50).unwrap_or(0.0))
+            .num("p95", self.percentile(95).unwrap_or(0.0))
+            .num("p99", self.percentile(99).unwrap_or(0.0))
+            .raw(
+                "buckets",
+                &past_trace::json::array(self.buckets.iter().map(|c| c.to_string())),
+            )
+            .build()
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +229,54 @@ mod tests {
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.count(), 6);
         assert!((h.fraction(1) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_exact_on_small_n() {
+        // 10 samples 1..=10: nearest-rank p-th percentile of this
+        // sample is ⌈p/10⌉, with no interpolation.
+        let v: Vec<f64> = (1..=10).map(f64::from).collect();
+        let s = summarize(&v).unwrap();
+        assert_eq!(s.p50, 5.0);
+        assert_eq!(s.p95, 10.0);
+        assert_eq!(s.p99, 10.0);
+        // Two samples: p50 must be the first, not the midpoint.
+        let s = summarize(&[1.0, 9.0]).unwrap();
+        assert_eq!(s.p50, 1.0);
+    }
+
+    #[test]
+    fn histogram_percentile_counts_overflow() {
+        let mut h = Histogram::new(10, 1.0);
+        // 90 in-range samples and 10 beyond the range: p50 must rank
+        // across all 100, and p99 land in the overflow bucket.
+        for i in 0..90 {
+            h.record(f64::from(i % 10));
+        }
+        for _ in 0..10 {
+            h.record(1_000.0);
+        }
+        assert_eq!(h.percentile(50), Some(5.0));
+        assert_eq!(h.percentile(99), Some(10.0));
+        assert!(h.saturated());
+        // Without overflow samples the same ranks stay in range.
+        let mut h = Histogram::new(10, 1.0);
+        for i in 0..100 {
+            h.record(f64::from(i % 10));
+        }
+        assert_eq!(h.percentile(99), Some(9.0));
+        assert!(!h.saturated());
+        assert_eq!(Histogram::new(4, 1.0).percentile(50), None);
+    }
+
+    #[test]
+    fn histogram_json_surfaces_saturation() {
+        let mut h = Histogram::new(2, 1.0);
+        h.record(0.5);
+        h.record(99.0);
+        let doc = h.to_json();
+        past_trace::json::validate(&doc).expect("histogram JSON must validate");
+        assert!(doc.contains("\"saturated\": true"));
+        assert!(doc.contains("\"overflow\": 1"));
     }
 }

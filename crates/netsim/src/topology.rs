@@ -24,6 +24,7 @@ pub type Addr = usize;
 /// returns exactly the value the geometry produced earlier, so this is
 /// purely an evaluation cache — simulation outcomes are bit-identical
 /// with or without it.
+#[derive(Clone)]
 struct DelayMemo {
     slots: RefCell<Vec<(u64, u64)>>,
 }
@@ -80,6 +81,7 @@ pub trait Topology {
 ///
 /// `max_delay_us` is the delay between antipodal points (default model:
 /// 120 ms round-the-world one-way path).
+#[derive(Clone)]
 pub struct Sphere {
     points: Vec<[f64; 3]>,
     max_delay_us: u64,
@@ -141,6 +143,7 @@ impl Topology for Sphere {
 }
 
 /// Uniform random points on the unit square; delay = Euclidean distance.
+#[derive(Clone)]
 pub struct Plane {
     points: Vec<[f64; 2]>,
     scale_us: f64,
@@ -186,6 +189,7 @@ impl Topology for Plane {
 /// placed on the unit square. The delay between two nodes decomposes into
 /// LAN hop + stub uplink + transit-to-transit distance, mimicking the
 /// Georgia-Tech transit-stub graphs used in 2001-era overlay evaluations.
+#[derive(Clone)]
 pub struct TransitStub {
     /// (transit index, stub index within transit) per node.
     attachment: Vec<(usize, usize)>,
@@ -252,6 +256,7 @@ impl Topology for TransitStub {
 /// Delays are derived from a mixing function of the unordered pair, so no
 /// O(n²) matrix is stored. This serves as the "no geometry" control: any
 /// locality an overlay achieves on it is accidental.
+#[derive(Clone)]
 pub struct UniformRandom {
     n: usize,
     seed: u64,
@@ -273,7 +278,7 @@ impl UniformRandom {
 }
 
 /// SplitMix64 finalizer: a high-quality 64-bit mixing function.
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -60,6 +60,12 @@ impl Obj {
         self
     }
 
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Obj {
+        self.key(k).push_str(if v { "true" } else { "false" });
+        self
+    }
+
     /// Adds a float field (one decimal, JSON-finite).
     pub fn num(mut self, k: &str, v: f64) -> Obj {
         let v = if v.is_finite() { v } else { 0.0 };

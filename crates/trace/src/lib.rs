@@ -331,11 +331,14 @@ impl Histogram {
         if self.count == 0 {
             return None;
         }
-        let p = u64::from(p.clamp(1, 100));
-        let rank = (self.count * p).div_ceil(100).max(1);
-        let mut cum = 0u64;
+        // Rank in u128: `count * p` overflows u64 once count exceeds
+        // u64::MAX / 100, which a long-lived aggregated histogram can
+        // legitimately reach.
+        let p = u128::from(p.clamp(1, 100));
+        let rank = (u128::from(self.count) * p).div_ceil(100).max(1);
+        let mut cum = 0u128;
         for (i, &c) in self.buckets.iter().enumerate() {
-            cum += c;
+            cum += u128::from(c);
             if cum >= rank {
                 return Some(i as u64 * self.width);
             }
@@ -355,6 +358,10 @@ impl Histogram {
             .int("p50", p50)
             .int("p95", p95)
             .int("p99", p99)
+            // Clipped upper percentiles are invisible in the numbers
+            // alone; readers must be able to see the last bucket
+            // saturated without re-deriving it from `buckets`.
+            .bool("saturated", self.saturated())
             .raw(
                 "buckets",
                 &json::array(self.buckets.iter().map(|c| c.to_string())),
@@ -1004,6 +1011,20 @@ mod tests {
         assert!(h.saturated());
         assert_eq!(h.percentile(50), Some(20));
         assert_eq!(h.percentile(99), Some(20));
+        assert!(h.to_json().contains("\"saturated\": true"));
+    }
+
+    #[test]
+    fn percentile_rank_survives_huge_counts() {
+        // A count near u64::MAX used to overflow `count * p` and
+        // panic (debug) or mis-rank (release); rank math is u128 now.
+        let mut h = Histogram::new(1, 4);
+        h.buckets = vec![u64::MAX / 2, u64::MAX / 2 - 2, 2, 1];
+        h.count = u64::MAX;
+        // rank(50) = 2^63, one past the first bucket's 2^63 - 1.
+        assert_eq!(h.percentile(50), Some(1));
+        assert_eq!(h.percentile(99), Some(1));
+        assert_eq!(h.percentile(100), Some(3));
     }
 
     #[test]
@@ -1011,8 +1032,10 @@ mod tests {
         let mut h = Histogram::new(2, 4);
         h.record(0);
         h.record(3);
-        h.record(7);
-        json::validate(&h.to_json()).expect("histogram JSON must validate");
+        h.record(5);
+        let doc = h.to_json();
+        json::validate(&doc).expect("histogram JSON must validate");
+        assert!(doc.contains("\"saturated\": false"));
     }
 
     // -- tracer gating -------------------------------------------------

@@ -545,11 +545,22 @@ fn rule_e1(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
 
 // ---------------------------------------------------------------- L1
 
-const L1_ENGINE_TYPES: &[&str] = &["Engine", "NetStats", "FaultConfig", "EventQueue"];
+const L1_ENGINE_TYPES: &[&str] = &[
+    "Engine",
+    "NetStats",
+    "FaultConfig",
+    "EventQueue",
+    "ShardedEngine",
+    "ShardConfig",
+    "TimerWheel",
+];
 const L1_MODULE_PATHS: &[&[&str]] = &[
     &["past_netsim", ":", ":", "engine"],
     &["past_netsim", ":", ":", "event"],
+    &["past_netsim", ":", ":", "shard"],
+    &["past_netsim", ":", ":", "wheel"],
     &["netsim", ":", ":", "engine"],
+    &["netsim", ":", ":", "shard"],
 ];
 
 /// L1: protocol crates must stay sans-io — they may use netsim's

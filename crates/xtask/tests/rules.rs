@@ -287,6 +287,16 @@ fn l1_triggers_on_engine_types_and_module_paths() {
 }
 
 #[test]
+fn l1_triggers_on_sharded_engine_and_wheel() {
+    let src = "use past_netsim::shard::ShardedEngine;\n";
+    assert_eq!(rules("crates/pastry/src/x.rs", src), vec!["L1"]);
+    let src = "fn f(cfg: ShardConfig) -> ShardConfig { cfg }\n";
+    assert_eq!(rules("crates/core/src/x.rs", src), vec!["L1"]);
+    let src = "use past_netsim::wheel::TimerWheel;\n";
+    assert_eq!(rules("crates/pastry/src/x.rs", src), vec!["L1"]);
+}
+
+#[test]
 fn l1_passes_vocabulary_types_and_other_crates() {
     // Addr/SimTime/OpId/Message are the sanctioned sans-io surface.
     let src = "use past_netsim::{Addr, Message, OpId, SimTime};\n\

@@ -40,4 +40,13 @@ grep -q '"schema": "past-bench/v1"' target/BENCH_micro.smoke.json
 grep -q '"schema": "past-bench/v1"' target/BENCH_macro.smoke.json
 grep -q '"schema": "past-bench/v1"' target/BENCH_loss.smoke.json
 
+# Scale gate: a 100k-node overlay must build, route, and survive churn
+# inside the wall-clock budget (a 10k-seed machine does it in ~16 s;
+# the budget only catches order-of-magnitude regressions in the event
+# loop). The JSON is archived in target/ alongside the smoke outputs.
+echo "== bench macro 100k scale gate (budget ${BENCH_MACRO_BUDGET_S:-120}s)"
+timeout "${BENCH_MACRO_BUDGET_S:-120}" \
+  ./target/release/bench_macro --nodes 100000 --smoke --out target/BENCH_macro.100k.json
+grep -q '"schema": "past-bench/v1"' target/BENCH_macro.100k.json
+
 echo "tier-1: all green"
