@@ -12,18 +12,25 @@
 //! at loss 0 and its effectiveness under loss.
 //!
 //! Usage: `cargo run --release -p past-bench --bin bench_loss --
-//! [--smoke] [--out PATH]`. `--smoke` shrinks the network so CI can
-//! assert the binary runs and emits valid JSON quickly.
+//! [--smoke] [--shards K] [--out PATH]`. `--smoke` shrinks the network
+//! so CI can assert the binary runs and emits valid JSON quickly;
+//! `--shards K` runs the sweep on the sharded engine (K worker threads
+//! over a delay-floored sphere).
 
 use past_bench::json;
-use past_core::{BuildMode, ContentRef, PastConfig, PastNetwork, PastOut};
+use past_core::{BuildMode, ContentRef, PastApp, PastConfig, PastNetwork, PastOut};
 use past_crypto::rng::Rng;
-use past_netsim::{FaultConfig, Sphere, TraceConfig};
-use past_pastry::{random_ids, Config as PastryConfig, RecoveryConfig};
+use past_netsim::{FaultConfig, ShardConfig, SimBackend, Sphere, TraceConfig};
+use past_pastry::{random_ids, Config as PastryConfig, PastryNode, RecoveryConfig};
 use std::time::Instant;
 
 const MB: u64 = 1 << 20;
 const SEED: u64 = 2026;
+
+/// Delay floor (and shard window) for `--shards` runs; see
+/// `bench_macro` for the rationale. Sequential runs keep the un-floored
+/// sphere so historical numbers stay comparable.
+const SHARD_FLOOR_US: u64 = 5_000;
 
 struct Level {
     loss: f64,
@@ -44,29 +51,71 @@ struct Level {
     duplicated_by_kind: Vec<(&'static str, u64)>,
 }
 
-fn run_level(loss: f64, n: usize, files: u64) -> Level {
-    let mut rng = Rng::seed_from_u64(SEED);
-    let ids = random_ids(n, &mut rng);
-    let pastry_cfg = PastryConfig {
+fn pastry_cfg() -> PastryConfig {
+    PastryConfig {
         leaf_len: 16,
         ..PastryConfig::default()
-    };
-    let past_cfg = PastConfig {
+    }
+}
+
+fn past_cfg() -> PastConfig {
+    PastConfig {
         request_timeout_us: Some(800_000),
         request_attempts: 5,
         ..PastConfig::default()
-    };
+    }
+}
+
+fn run_level(loss: f64, n: usize, files: u64, shards: Option<usize>) -> Level {
+    let mut rng = Rng::seed_from_u64(SEED);
+    let ids = random_ids(n, &mut rng);
     let t = Instant::now();
-    let mut net = PastNetwork::build(
-        Sphere::new(n, SEED),
-        pastry_cfg,
-        past_cfg,
-        SEED,
-        &ids,
-        &vec![400 * MB; n],
-        &vec![4_000 * MB; n],
-        BuildMode::Static,
-    );
+    match shards {
+        None => {
+            let mut net = PastNetwork::build(
+                Sphere::new(n, SEED),
+                pastry_cfg(),
+                past_cfg(),
+                SEED,
+                &ids,
+                &vec![400 * MB; n],
+                &vec![4_000 * MB; n],
+                BuildMode::Static,
+            );
+            drive_level(&mut net, loss, n, files, t)
+        }
+        Some(k) => {
+            let mut net = PastNetwork::build_sharded(
+                Sphere::with_delay_floor(n, SEED, SHARD_FLOOR_US),
+                pastry_cfg(),
+                past_cfg(),
+                SEED,
+                &ids,
+                &vec![400 * MB; n],
+                &vec![4_000 * MB; n],
+                BuildMode::Static,
+                ShardConfig {
+                    shards: k,
+                    window_us: SHARD_FLOOR_US,
+                },
+            )
+            .expect("window equals the delay floor, so the sharded build is sound");
+            drive_level(&mut net, loss, n, files, t)
+        }
+    }
+}
+
+/// The per-level workload, generic over the simulation backend.
+fn drive_level<B>(
+    net: &mut PastNetwork<Sphere, B>,
+    loss: f64,
+    n: usize,
+    files: u64,
+    t: Instant,
+) -> Level
+where
+    B: SimBackend<PastryNode<PastApp>, Topo = Sphere>,
+{
     net.sim.set_recovery(RecoveryConfig::default());
     // Metrics only: per-kind drop/duplicate attribution without paying
     // for event records.
@@ -129,12 +178,18 @@ fn run_level(loss: f64, n: usize, files: u64) -> Level {
             _ => {}
         }
     }
-    let stats = &net.sim.engine.stats;
-    lvl.dropped = stats.dropped;
-    lvl.duplicated = stats.duplicated;
-    lvl.failed_sends = stats.failed_sends;
-    lvl.total_msgs = stats.total_msgs;
-    let metrics = &net.sim.engine.tracer().metrics;
+    {
+        let stats = net.sim.engine.stats();
+        lvl.dropped = stats.dropped;
+        lvl.duplicated = stats.duplicated;
+        lvl.failed_sends = stats.failed_sends;
+        lvl.total_msgs = stats.total_msgs;
+    }
+    // `take_tracer` merges the per-shard sinks on the sharded backend;
+    // reading the harness tracer alone would miss every shard-side
+    // drop/duplicate record.
+    let tracer = net.sim.engine.take_tracer();
+    let metrics = &tracer.metrics;
     lvl.dropped_by_kind = metrics.dropped_by_kind().filter(|(_, c)| *c > 0).collect();
     lvl.duplicated_by_kind = metrics
         .duplicated_by_kind()
@@ -154,19 +209,26 @@ fn kind_obj(pairs: &[(&'static str, u64)]) -> String {
 
 fn main() {
     let mut smoke = false;
+    let mut shards: Option<usize> = None;
     let mut out = format!("{}/../../BENCH_loss.json", env!("CARGO_MANIFEST_DIR"));
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--shards" => {
+                let v = args.next().expect("--shards needs a count");
+                let k: usize = v.parse().expect("--shards must be an integer");
+                assert!(k > 0, "--shards must be positive");
+                shards = Some(k);
+            }
             "--out" => out = args.next().expect("--out needs a path"),
-            other => panic!("unknown flag {other}; supported: --smoke, --out PATH"),
+            other => panic!("unknown flag {other}; supported: --smoke, --shards K, --out PATH"),
         }
     }
     let (n, files) = if smoke { (30, 6) } else { (150, 40) };
     let levels: Vec<Level> = [0.0, 0.01, 0.05]
         .iter()
-        .map(|&loss| run_level(loss, n, files))
+        .map(|&loss| run_level(loss, n, files, shards))
         .collect();
 
     let doc = json::Obj::new()
@@ -175,6 +237,7 @@ fn main() {
         .str("mode", if smoke { "smoke" } else { "full" })
         .int("nodes", n as u64)
         .int("files", files)
+        .int("shards", shards.unwrap_or(0) as u64)
         .raw(
             "levels",
             &json::array(levels.iter().map(|l| {

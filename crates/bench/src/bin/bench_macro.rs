@@ -10,65 +10,62 @@
 //! coarse determinism check (same seed ⇒ same counters on any machine).
 //!
 //! Usage: `cargo run --release -p past-bench --bin bench_macro --
-//! [--smoke] [--nodes N] [--out PATH]`. `--smoke` shrinks the route
-//! count so CI can assert the binary runs and emits valid JSON
-//! quickly; `--nodes N` overrides the network size independently, so
-//! `--nodes 100000 --smoke` is the CI scale gate (big overlay, few
+//! [--smoke] [--nodes N] [--shards K] [--out PATH]`. `--smoke` shrinks
+//! the route count so CI can assert the binary runs and emits valid
+//! JSON quickly; `--nodes N` overrides the network size independently,
+//! so `--nodes 100000 --smoke` is the CI scale gate (big overlay, few
 //! routes) and `--nodes 1000000` (no `--smoke`) is the EXPERIMENTS.md
-//! million-node run.
+//! million-node run. `--shards K` runs the overlay on the sharded
+//! engine (K worker threads over a delay-floored sphere); with K > 1
+//! the run is repeated at 1 shard to measure the churn-phase speedup
+//! and to assert the two runs' simulation counters are identical —
+//! shard-count independence measured in anger, not just in unit tests.
 
 use past_bench::json;
 use past_crypto::rng::Rng;
-use past_netsim::Sphere;
-use past_pastry::{random_ids, static_build, Config, Id, NullApp};
+use past_netsim::{ShardConfig, SimBackend, Sphere};
+use past_pastry::{
+    random_ids, static_build, static_build_sharded, Config, Id, NullApp, PastryNode, PastrySim,
+};
 use std::time::Instant;
+
+/// Delay floor (and shard window) for `--shards` runs: the sharded
+/// engine requires `window_us ≤ min_delay_us` and `Sphere::new` has a
+/// 1 µs floor, so sharded runs clamp short links to 5 ms. Sequential
+/// runs keep the un-floored sphere so historical numbers stay
+/// comparable.
+const SHARD_FLOOR_US: u64 = 5_000;
 
 struct Phase {
     name: &'static str,
     wall_ms: f64,
 }
 
-fn main() {
-    let mut smoke = false;
-    let mut nodes: Option<usize> = None;
-    let mut out = format!("{}/../../BENCH_macro.json", env!("CARGO_MANIFEST_DIR"));
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--nodes" => {
-                let v = args.next().expect("--nodes needs a count");
-                nodes = Some(v.parse().expect("--nodes must be an integer"));
-            }
-            "--out" => out = args.next().expect("--out needs a path"),
-            other => panic!("unknown flag {other}; supported: --smoke, --nodes N, --out PATH"),
-        }
-    }
-    let (mut n, routes) = if smoke { (300, 200) } else { (10_000, 10_000) };
-    if let Some(v) = nodes {
-        assert!(v > 0, "--nodes must be positive");
-        n = v;
-    }
-    let kills = n / 20;
-    let mut phases: Vec<Phase> = Vec::new();
+/// Seeded simulation counters; identical across backends and shard
+/// counts for the same topology and seeds.
+#[derive(Debug, PartialEq, Eq)]
+struct Counters {
+    delivered: u64,
+    total_hops: u64,
+    route_msgs: u64,
+    route_bytes: u64,
+    total_msgs: u64,
+    total_bytes: u64,
+    final_us: u64,
+}
 
-    // Phase 1: static build.
-    let mut rng = Rng::seed_from_u64(2001);
-    let ids = random_ids(n, &mut rng);
-    let t = Instant::now();
-    let mut sim = static_build(
-        Sphere::new(n, 2001),
-        Config::default(),
-        2001,
-        &ids,
-        |_| NullApp,
-        3,
-    );
-    phases.push(Phase {
-        name: "static_build",
-        wall_ms: t.elapsed().as_secs_f64() * 1e3,
-    });
-
+/// Phases 2 and 3 (routes, churn + stabilize) on an already-built
+/// overlay, generic over the simulation backend.
+fn routes_and_churn<B>(
+    sim: &mut PastrySim<NullApp, Sphere, B>,
+    n: usize,
+    routes: usize,
+    kills: usize,
+    phases: &mut Vec<Phase>,
+) -> Counters
+where
+    B: SimBackend<PastryNode<NullApp>, Topo = Sphere>,
+{
     // Phase 2: routes.
     let mut key_rng = Rng::seed_from_u64(42);
     let t = Instant::now();
@@ -87,8 +84,10 @@ fn main() {
         name: "routes",
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
     });
-    let route_msgs = sim.engine.stats.total_msgs;
-    let route_bytes = sim.engine.stats.total_bytes;
+    let (route_msgs, route_bytes) = {
+        let st = sim.engine.stats();
+        (st.total_msgs, st.total_bytes)
+    };
 
     // Phase 3: churn + stabilize.
     let t = Instant::now();
@@ -102,13 +101,138 @@ fn main() {
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
     });
 
-    let doc = json::Obj::new()
+    let (total_msgs, total_bytes) = {
+        let st = sim.engine.stats();
+        (st.total_msgs, st.total_bytes)
+    };
+    Counters {
+        delivered,
+        total_hops,
+        route_msgs,
+        route_bytes,
+        total_msgs,
+        total_bytes,
+        final_us: sim.engine.now().as_micros(),
+    }
+}
+
+/// One full run (build, routes, churn) on the sharded backend.
+fn sharded_run(n: usize, routes: usize, kills: usize, shards: usize) -> (Vec<Phase>, Counters) {
+    let mut rng = Rng::seed_from_u64(2001);
+    let ids = random_ids(n, &mut rng);
+    let mut phases = Vec::new();
+    let t = Instant::now();
+    let mut sim = static_build_sharded(
+        Sphere::with_delay_floor(n, 2001, SHARD_FLOOR_US),
+        Config::default(),
+        2001,
+        &ids,
+        |_| NullApp,
+        3,
+        ShardConfig {
+            shards,
+            window_us: SHARD_FLOOR_US,
+        },
+    )
+    .expect("window equals the delay floor, so the sharded build is sound");
+    phases.push(Phase {
+        name: "static_build",
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+    });
+    let counters = routes_and_churn(&mut sim, n, routes, kills, &mut phases);
+    (phases, counters)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut nodes: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut out = format!("{}/../../BENCH_macro.json", env!("CARGO_MANIFEST_DIR"));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--nodes" => {
+                let v = args.next().expect("--nodes needs a count");
+                nodes = Some(v.parse().expect("--nodes must be an integer"));
+            }
+            "--shards" => {
+                let v = args.next().expect("--shards needs a count");
+                shards = Some(v.parse().expect("--shards must be an integer"));
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                panic!(
+                    "unknown flag {other}; supported: --smoke, --nodes N, --shards K, --out PATH"
+                )
+            }
+        }
+    }
+    let (mut n, routes) = if smoke { (300, 200) } else { (10_000, 10_000) };
+    if let Some(v) = nodes {
+        assert!(v > 0, "--nodes must be positive");
+        n = v;
+    }
+    if let Some(k) = shards {
+        assert!(k > 0, "--shards must be positive");
+    }
+    let kills = n / 20;
+
+    let mut phases: Vec<Phase>;
+    let counters: Counters;
+    let mut ref_churn_ms: Option<f64> = None;
+    match shards {
+        None => {
+            // Sequential engine on the un-floored sphere: the historical
+            // configuration every BENCH_macro.json so far measured.
+            let mut rng = Rng::seed_from_u64(2001);
+            let ids = random_ids(n, &mut rng);
+            phases = Vec::new();
+            let t = Instant::now();
+            let mut sim = static_build(
+                Sphere::new(n, 2001),
+                Config::default(),
+                2001,
+                &ids,
+                |_| NullApp,
+                3,
+            );
+            phases.push(Phase {
+                name: "static_build",
+                wall_ms: t.elapsed().as_secs_f64() * 1e3,
+            });
+            counters = routes_and_churn(&mut sim, n, routes, kills, &mut phases);
+        }
+        Some(k) => {
+            let (p, c) = sharded_run(n, routes, kills, k);
+            phases = p;
+            counters = c;
+            if k > 1 {
+                // In-process 1-shard reference: same topology, same
+                // seeds, one worker. Its counters must be bit-identical
+                // (shard-count independence); its churn wall time is the
+                // speedup baseline.
+                let (ref_phases, ref_counters) = sharded_run(n, routes, kills, 1);
+                assert_eq!(
+                    counters, ref_counters,
+                    "{k}-shard and 1-shard runs must produce identical counters"
+                );
+                ref_churn_ms = ref_phases
+                    .iter()
+                    .find(|p| p.name == "churn_stabilize")
+                    .map(|p| p.wall_ms);
+            }
+        }
+    }
+
+    let mut doc = json::Obj::new()
         .str("schema", "past-bench/v1")
         .str("bench", "macro")
         .str("mode", if smoke { "smoke" } else { "full" })
         .int("nodes", n as u64)
         .int("routes", routes as u64)
         .int("kills", kills as u64)
+        .int("shards", shards.unwrap_or(0) as u64)
         .raw(
             "phases",
             &json::array(phases.iter().map(|p| {
@@ -121,24 +245,49 @@ fn main() {
         .raw(
             "sim",
             &json::Obj::new()
-                .int("delivered", delivered)
-                .num("mean_hops", total_hops as f64 / delivered.max(1) as f64)
-                .int("route_msgs", route_msgs)
-                .int("route_bytes", route_bytes)
-                .int("total_msgs", sim.engine.stats.total_msgs)
-                .int("total_bytes", sim.engine.stats.total_bytes)
-                .int("final_us", sim.engine.now().as_micros())
+                .int("delivered", counters.delivered)
+                .num(
+                    "mean_hops",
+                    counters.total_hops as f64 / counters.delivered.max(1) as f64,
+                )
+                .int("route_msgs", counters.route_msgs)
+                .int("route_bytes", counters.route_bytes)
+                .int("total_msgs", counters.total_msgs)
+                .int("total_bytes", counters.total_bytes)
+                .int("final_us", counters.final_us)
                 .build(),
-        )
-        .build();
+        );
+    if let Some(ref_ms) = ref_churn_ms {
+        let churn_ms = phases
+            .iter()
+            .find(|p| p.name == "churn_stabilize")
+            .map(|p| p.wall_ms)
+            .unwrap_or(0.0);
+        doc = doc
+            .num("churn_stabilize_1shard_ms", ref_ms)
+            .num("churn_speedup", ref_ms / churn_ms.max(f64::MIN_POSITIVE));
+    }
+    let doc = doc.build();
     json::validate(&doc).expect("bench output must be valid JSON");
     std::fs::write(&out, format!("{doc}\n")).expect("write bench output");
     for p in &phases {
         println!("{:<16} {:10.1} ms", p.name, p.wall_ms);
     }
+    if let Some(ref_ms) = ref_churn_ms {
+        let churn_ms = phases
+            .iter()
+            .find(|p| p.name == "churn_stabilize")
+            .map(|p| p.wall_ms)
+            .unwrap_or(0.0);
+        println!(
+            "churn 1-shard ref {ref_ms:8.1} ms (speedup {:.2}x, counters identical)",
+            ref_ms / churn_ms.max(f64::MIN_POSITIVE)
+        );
+    }
     println!(
-        "routes delivered {delivered}, mean hops {:.3}",
-        total_hops as f64 / delivered.max(1) as f64
+        "routes delivered {}, mean hops {:.3}",
+        counters.delivered,
+        counters.total_hops as f64 / counters.delivered.max(1) as f64
     );
     println!("wrote {out}");
 }

@@ -13,9 +13,12 @@ use crate::node::{PastApp, PastConfig, PastOut, RetryOp};
 use crate::smartcard::CardError;
 use crate::storage::ReplicaKind;
 use past_crypto::Digest256;
-use past_netsim::{Addr, OpId, SimTime, Topology};
+use past_netsim::{
+    Addr, Engine, OpId, ShardConfig, ShardedEngine, SimBackend, SimTime, Topology, WindowTooWide,
+};
 use past_pastry::{
-    static_build, Config as PastryConfig, Id, OverlaySnapshot, PastryMsg, PastrySim, APP_TIMER_BASE,
+    static_build, static_build_sharded, Config as PastryConfig, Id, OverlaySnapshot, PastryMsg,
+    PastryNode, PastrySim, ShardedPastrySim, APP_TIMER_BASE,
 };
 
 /// A timestamped application event.
@@ -86,9 +89,12 @@ pub struct PastSnapshot {
 }
 
 /// A complete PAST deployment: overlay + broker.
-pub struct PastNetwork<T: Topology> {
+///
+/// Generic over the simulation backend like [`PastrySim`]: the default
+/// is the sequential engine, [`ShardedPastNetwork`] the multi-core one.
+pub struct PastNetwork<T: Topology, B = Engine<PastryNode<PastApp>, T>> {
     /// The underlying overlay simulation.
-    pub sim: PastrySim<PastApp, T>,
+    pub sim: PastrySim<PastApp, T, B>,
     /// The broker that issued all smartcards.
     pub broker: Broker,
     past_cfg: PastConfig,
@@ -96,6 +102,9 @@ pub struct PastNetwork<T: Topology> {
     /// for [`OpId::NONE`]).
     next_op: u64,
 }
+
+/// A PAST deployment on the sharded multi-core engine.
+pub type ShardedPastNetwork<T> = PastNetwork<T, ShardedEngine<PastryNode<PastApp>, T>>;
 
 /// How to construct the overlay.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -152,6 +161,65 @@ impl<T: Topology> PastNetwork<T> {
         }
     }
 
+    /// [`build`](PastNetwork::build) on the sharded multi-core engine.
+    ///
+    /// Rejects a shard window wider than the topology's minimum
+    /// inter-node delay. Build work is harness-side either way; the
+    /// sharded backend parallelizes the runs that follow.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_sharded(
+        topo: T,
+        pastry_cfg: PastryConfig,
+        past_cfg: PastConfig,
+        seed: u64,
+        ids: &[Id],
+        capacities: &[u64],
+        quotas: &[u64],
+        mode: BuildMode,
+        shard_cfg: ShardConfig,
+    ) -> Result<ShardedPastNetwork<T>, WindowTooWide>
+    where
+        T: Clone + Send,
+    {
+        assert!(!ids.is_empty());
+        assert_eq!(ids.len(), capacities.len());
+        assert_eq!(ids.len(), quotas.len());
+        let mut broker = Broker::new(&seed.to_be_bytes());
+        let mk_app = |broker: &mut Broker, i: usize| {
+            let card =
+                broker.issue_card(format!("card-{i:08}").as_bytes(), quotas[i], capacities[i]);
+            PastApp::new(past_cfg, card, capacities[i], broker)
+        };
+        let sim = match mode {
+            BuildMode::ProtocolJoins => {
+                let mut sim = ShardedPastrySim::new_sharded(topo, pastry_cfg, seed, shard_cfg)?;
+                sim.build_by_joins(ids, |i| mk_app(&mut broker, i), 8);
+                sim
+            }
+            BuildMode::Static => static_build_sharded(
+                topo,
+                pastry_cfg,
+                seed,
+                ids,
+                |i| mk_app(&mut broker, i),
+                4,
+                shard_cfg,
+            )?,
+        };
+        Ok(PastNetwork {
+            sim,
+            broker,
+            past_cfg,
+            next_op: 1,
+        })
+    }
+}
+
+impl<T, B> PastNetwork<T, B>
+where
+    T: Topology,
+    B: SimBackend<PastryNode<PastApp>, Topo = T>,
+{
     /// Allocates the next operation id (always, so runs with tracing on
     /// and off stay event-for-event identical).
     fn alloc_op(&mut self) -> OpId {

@@ -5,14 +5,18 @@
 //! With `--emit-trace PATH`, the lossy-churn scenario runs with the
 //! operation-lifecycle trace classes enabled and its trace is written to
 //! `PATH` as JSONL, ready for `tracecheck --require-clean`.
+//! `--emit-trace-sharded PATH` does the same for the lossy-churn
+//! scenario on the sharded backend.
 
 use past_invariants::scenarios::{
-    bulk_join, churn, lossy_churn, lossy_churn_traced, quota_reclaim, wheel_horizon,
+    bulk_join, churn, lossy_churn, lossy_churn_sharded, lossy_churn_sharded_traced,
+    lossy_churn_traced, quota_reclaim, wheel_horizon,
 };
 use past_netsim::TraceConfig;
 
 fn main() {
     let mut emit_trace: Option<String> = None;
+    let mut emit_trace_sharded: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -22,6 +26,13 @@ fn main() {
                     std::process::exit(2);
                 };
                 emit_trace = Some(path);
+            }
+            "--emit-trace-sharded" => {
+                let Some(path) = args.next() else {
+                    eprintln!("invariants: --emit-trace-sharded needs a path");
+                    std::process::exit(2);
+                };
+                emit_trace_sharded = Some(path);
             }
             other => {
                 eprintln!("invariants: unknown argument {other:?}");
@@ -50,6 +61,20 @@ fn main() {
         results.push(("lossy-churn", lossy_churn(4)));
     }
     results.push(("wheel-horizon", wheel_horizon(5)));
+    if let Some(path) = &emit_trace_sharded {
+        let (violations, tracer) = lossy_churn_sharded_traced(6, TraceConfig::lifecycle());
+        if let Err(e) = std::fs::write(path, tracer.to_jsonl()) {
+            eprintln!("invariants: cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "invariants: wrote {} trace record(s) to {path}",
+            tracer.records().len()
+        );
+        results.push(("lossy-churn-sharded", violations));
+    } else {
+        results.push(("lossy-churn-sharded", lossy_churn_sharded(6)));
+    }
 
     let mut failed = false;
     for (name, violations) in results {

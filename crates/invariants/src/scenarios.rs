@@ -6,13 +6,20 @@
 //! scenarios back the `invariants` binary run by `scripts/ci.sh`.
 
 use crate::{check_all, Violation};
-use past_core::{BuildMode, ContentRef, PastApp, PastConfig, PastNetwork, PastOut};
+use past_core::{
+    BuildMode, ContentRef, PastApp, PastConfig, PastNetwork, PastOut, ShardedPastNetwork,
+};
 use past_crypto::rng::Rng;
-use past_netsim::{FaultConfig, SimTime, Sphere, TraceConfig, Tracer};
-use past_pastry::{random_ids, Config as PastryConfig, Id, RecoveryConfig};
+use past_netsim::{FaultConfig, ShardConfig, SimBackend, SimTime, Sphere, TraceConfig, Tracer};
+use past_pastry::{random_ids, Config as PastryConfig, Id, PastryNode, RecoveryConfig};
 use std::collections::BTreeSet;
 
 const MB: u64 = 1 << 20;
+
+/// Delay floor (and shard window) for sharded scenarios: the sharded
+/// engine requires `window_us ≤ min_delay_us`, and `Sphere::new` has a
+/// 1 µs floor, so sharded runs use the floored variant.
+const SHARD_FLOOR_US: u64 = 2_000;
 
 fn pastry_cfg() -> PastryConfig {
     // l = 16 keeps k ≤ l/2 for k = 5 (the paper's configuration): a k-set
@@ -50,7 +57,40 @@ fn build_net(
     (net, ids)
 }
 
-fn check_at(context: &str, net: &PastNetwork<Sphere>, out: &mut Vec<Violation>) {
+/// Like [`build_net`], but on the sharded backend (4 shards over a
+/// delay-floored sphere so the shard window is sound).
+fn build_net_sharded(
+    slots: usize,
+    n: usize,
+    seed: u64,
+    capacity: u64,
+    quota: u64,
+    past_cfg: PastConfig,
+) -> (ShardedPastNetwork<Sphere>, Vec<Id>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let ids = random_ids(slots, &mut rng);
+    let net = PastNetwork::build_sharded(
+        Sphere::with_delay_floor(slots, seed, SHARD_FLOOR_US),
+        pastry_cfg(),
+        past_cfg,
+        seed,
+        &ids[..n],
+        &vec![capacity; n],
+        &vec![quota; n],
+        BuildMode::ProtocolJoins,
+        ShardConfig {
+            shards: 4,
+            window_us: SHARD_FLOOR_US,
+        },
+    )
+    .expect("window equals the delay floor, so the sharded build is sound");
+    (net, ids)
+}
+
+fn check_at<B>(context: &str, net: &PastNetwork<Sphere, B>, out: &mut Vec<Violation>)
+where
+    B: SimBackend<PastryNode<PastApp>, Topo = Sphere>,
+{
     for mut v in check_all(&net.snapshot()) {
         v.detail = format!("[{context}] {}", v.detail);
         out.push(v);
@@ -202,15 +242,48 @@ pub fn lossy_churn(seed: u64) -> Vec<Violation> {
 /// plus the tracer holding the run's records (fed to `tracecheck` by
 /// the CI gate).
 pub fn lossy_churn_traced(seed: u64, trace: TraceConfig) -> (Vec<Violation>, Tracer) {
-    let mut violations = Vec::new();
-    let cfg = PastConfig {
+    let (mut net, ids) = build_net(48, 40, seed, 400 * MB, 4_000 * MB, lossy_cfg());
+    drive_lossy_churn(&mut net, &ids, seed, trace)
+}
+
+/// Scenario 6 — lossy churn on the sharded backend: the same workload as
+/// [`lossy_churn`] driven through `ShardedEngine` (4 shards over a
+/// delay-floored sphere). I1–I5 and the liveness check must hold there
+/// exactly as on the sequential engine.
+pub fn lossy_churn_sharded(seed: u64) -> Vec<Violation> {
+    lossy_churn_sharded_traced(seed, TraceConfig::off()).0
+}
+
+/// [`lossy_churn_sharded`] with a trace sink attached.
+pub fn lossy_churn_sharded_traced(seed: u64, trace: TraceConfig) -> (Vec<Violation>, Tracer) {
+    let (mut net, ids) = build_net_sharded(48, 40, seed, 400 * MB, 4_000 * MB, lossy_cfg());
+    drive_lossy_churn(&mut net, &ids, seed, trace)
+}
+
+fn lossy_cfg() -> PastConfig {
+    PastConfig {
         request_timeout_us: Some(800_000),
         request_attempts: 5,
         ..PastConfig::default()
-    };
-    // Ample disks and quotas: this scenario stresses message loss, not
-    // storage pressure.
-    let (mut net, ids) = build_net(48, 40, seed, 400 * MB, 4_000 * MB, cfg);
+    }
+}
+
+/// The lossy-churn workload, generic over the simulation backend:
+/// inserts under loss, node failures, recoveries, fresh joins, lookups
+/// and reclaims, with I1–I5 checked at every quiesce point and explicit
+/// termination demanded for every issued operation.
+fn drive_lossy_churn<B>(
+    net: &mut PastNetwork<Sphere, B>,
+    ids: &[Id],
+    seed: u64,
+    trace: TraceConfig,
+) -> (Vec<Violation>, Tracer)
+where
+    B: SimBackend<PastryNode<PastApp>, Topo = Sphere>,
+{
+    let mut violations = Vec::new();
+    // Ample disks and quotas (set by the builders): this scenario
+    // stresses message loss, not storage pressure.
     net.sim.engine.set_tracing(trace);
     net.run();
 
@@ -413,5 +486,6 @@ pub fn run_all() -> Vec<(&'static str, Vec<Violation>)> {
         ("quota-reclaim", quota_reclaim(3)),
         ("lossy-churn", lossy_churn(4)),
         ("wheel-horizon", wheel_horizon(5)),
+        ("lossy-churn-sharded", lossy_churn_sharded(6)),
     ]
 }

@@ -1,0 +1,277 @@
+//! Backend abstraction over the sequential and sharded engines.
+//!
+//! The overlay adapters (`PastrySim`, `PastNetwork`) drive a simulation
+//! through exactly the surface this module names: node access, liveness,
+//! harness-side injection, fault/trace wiring, and the quiescence loop.
+//! [`SimBackend`] captures that surface as a trait implemented by both
+//! [`Engine`] and [`ShardedEngine`](crate::ShardedEngine), so an adapter
+//! written once runs sequentially or on multi-core shards behind an
+//! explicit [`Backend`] switch.
+//!
+//! The two backends are *not* bit-identical to each other: the sharded
+//! engine gives every node private protocol/fault RNG streams, so RNG
+//! draw order differs from the sequential engine's shared streams. The
+//! determinism guarantee that survives the switch is shard-count
+//! independence — a 1-shard run equals an N-shard run bit for bit — and
+//! that is what the differential tests pin.
+
+use std::fmt;
+
+use crate::engine::{Engine, FaultConfig, NetStats, NodeLogic};
+use crate::soa::NodeIo;
+use crate::time::SimTime;
+use crate::topology::{Addr, Topology};
+use past_crypto::rng::Rng;
+use past_trace::{TraceConfig, Tracer};
+
+/// Which engine a simulation adapter drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The sequential [`Engine`]: one event at a time, globally ordered.
+    Sequential,
+    /// The [`ShardedEngine`](crate::ShardedEngine): `shards` workers
+    /// advancing in conservative windows of `window_us` microseconds.
+    Sharded { shards: usize, window_us: u64 },
+}
+
+/// Typed rejection raised at sim-build time when a shard window exceeds
+/// the topology's minimum inter-node delay.
+///
+/// The sharded engine's safety condition is that no inter-node message
+/// can arrive inside the window it was sent in; a window wider than the
+/// minimum delay breaks it. Validating at construction turns what used
+/// to be a mid-run worker panic into an error the caller can handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowTooWide {
+    /// The requested window width, microseconds.
+    pub window_us: u64,
+    /// The topology's minimum inter-node delay, microseconds.
+    pub min_delay_us: u64,
+}
+
+impl fmt::Display for WindowTooWide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard window ({} µs) exceeds the topology's minimum \
+             inter-node delay ({} µs): a message could arrive inside \
+             the window it was sent in, breaking sealed-batch delivery; \
+             lower ShardConfig::window_us or raise the topology's delay \
+             floor",
+            self.window_us, self.min_delay_us
+        )
+    }
+}
+
+impl std::error::Error for WindowTooWide {}
+
+/// The engine surface the overlay adapters are written against.
+///
+/// Every method mirrors an inherent method of the same name on
+/// [`Engine`] and [`ShardedEngine`](crate::ShardedEngine); concrete
+/// callers keep resolving to the inherent versions, so implementing
+/// this trait costs existing call sites nothing.
+pub trait SimBackend<N: NodeLogic> {
+    /// The topology type the backend runs over.
+    type Topo: Topology;
+
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// True if the backend has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current simulated time (globally agreed between runs).
+    fn now(&self) -> SimTime;
+
+    /// The topology (proximity oracle).
+    fn topology(&self) -> &Self::Topo;
+
+    /// Immutable access to a node's state.
+    fn node(&self, a: Addr) -> &N;
+
+    /// Mutable access to a node's state (harness-side setup only).
+    fn node_mut(&mut self, a: Addr) -> &mut N;
+
+    /// Per-node traffic counters.
+    fn node_io(&self, a: Addr) -> NodeIo;
+
+    /// Reserves storage for `extra` additional nodes.
+    fn reserve_nodes(&mut self, extra: usize);
+
+    /// Adds a node; returns its address. Addresses are assigned densely
+    /// in push order and never move afterwards.
+    fn push_node(&mut self, node: N) -> Addr;
+
+    /// Liveness of a node.
+    fn is_alive(&self, a: Addr) -> bool;
+
+    /// Marks a node dead (between runs).
+    fn kill(&mut self, a: Addr);
+
+    /// Marks a node live again (between runs).
+    fn revive(&mut self, a: Addr);
+
+    /// Membership epoch: bumped on every push/kill/revive.
+    fn epoch(&self) -> u64;
+
+    /// Addresses of all live nodes, ascending.
+    fn live_addrs(&self) -> Vec<Addr>;
+
+    /// The harness-side RNG. On the sequential engine this is the
+    /// shared protocol RNG; on the sharded engine it is a dedicated
+    /// stream seeded identically, so harness draw sequences (node ids,
+    /// sampled contacts) match across backends as long as no protocol
+    /// events interleave.
+    fn rng(&mut self) -> &mut Rng;
+
+    /// Enables (or reconfigures) link-fault injection.
+    fn set_faults(&mut self, faults: FaultConfig, seed: u64);
+
+    /// The fault configuration in force.
+    fn faults(&self) -> FaultConfig;
+
+    /// Selects which trace event classes are recorded.
+    fn set_tracing(&mut self, cfg: TraceConfig);
+
+    /// The harness-side trace sink.
+    fn tracer(&self) -> &Tracer;
+
+    /// Mutable harness-side trace sink (op lifecycle records).
+    fn tracer_mut(&mut self) -> &mut Tracer;
+
+    /// Takes the full trace out of the backend for post-run analysis.
+    /// On the sharded engine this merges every shard's records into the
+    /// harness trace in canonical order; always prefer it over
+    /// [`tracer`](SimBackend::tracer) for end-of-run metrics.
+    fn take_tracer(&mut self) -> Tracer;
+
+    /// Injects a message from `from` to `to` (between runs).
+    fn inject(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64);
+
+    /// Arms a timer on a node (between runs).
+    fn arm_timer(&mut self, at: Addr, delay_us: u64, kind: u64);
+
+    /// Runs until quiescence or `max_events`; returns events executed.
+    fn run_until_quiet(&mut self, max_events: u64) -> u64;
+
+    /// Number of pending events.
+    fn pending(&self) -> usize;
+
+    /// Drains observations emitted by node logic since the last call.
+    fn drain_outputs(&mut self) -> Vec<(SimTime, Addr, N::Out)>;
+
+    /// Merged traffic counters. `&mut self` so sharded backends can
+    /// amortize the merge into a reusable cache instead of allocating.
+    fn stats(&mut self) -> &NetStats;
+}
+
+impl<N: NodeLogic, T: Topology> SimBackend<N> for Engine<N, T> {
+    type Topo = T;
+
+    fn len(&self) -> usize {
+        Engine::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        Engine::now(self)
+    }
+
+    fn topology(&self) -> &T {
+        Engine::topology(self)
+    }
+
+    fn node(&self, a: Addr) -> &N {
+        Engine::node(self, a)
+    }
+
+    fn node_mut(&mut self, a: Addr) -> &mut N {
+        Engine::node_mut(self, a)
+    }
+
+    fn node_io(&self, a: Addr) -> NodeIo {
+        Engine::node_io(self, a)
+    }
+
+    fn reserve_nodes(&mut self, extra: usize) {
+        Engine::reserve_nodes(self, extra)
+    }
+
+    fn push_node(&mut self, node: N) -> Addr {
+        Engine::push_node(self, node)
+    }
+
+    fn is_alive(&self, a: Addr) -> bool {
+        Engine::is_alive(self, a)
+    }
+
+    fn kill(&mut self, a: Addr) {
+        Engine::kill(self, a)
+    }
+
+    fn revive(&mut self, a: Addr) {
+        Engine::revive(self, a)
+    }
+
+    fn epoch(&self) -> u64 {
+        Engine::epoch(self)
+    }
+
+    fn live_addrs(&self) -> Vec<Addr> {
+        Engine::live_addrs(self)
+    }
+
+    fn rng(&mut self) -> &mut Rng {
+        Engine::rng(self)
+    }
+
+    fn set_faults(&mut self, faults: FaultConfig, seed: u64) {
+        Engine::set_faults(self, faults, seed)
+    }
+
+    fn faults(&self) -> FaultConfig {
+        Engine::faults(self)
+    }
+
+    fn set_tracing(&mut self, cfg: TraceConfig) {
+        Engine::set_tracing(self, cfg)
+    }
+
+    fn tracer(&self) -> &Tracer {
+        Engine::tracer(self)
+    }
+
+    fn tracer_mut(&mut self) -> &mut Tracer {
+        Engine::tracer_mut(self)
+    }
+
+    fn take_tracer(&mut self) -> Tracer {
+        Engine::take_tracer(self)
+    }
+
+    fn inject(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64) {
+        Engine::inject(self, from, to, msg, extra_us)
+    }
+
+    fn arm_timer(&mut self, at: Addr, delay_us: u64, kind: u64) {
+        Engine::arm_timer(self, at, delay_us, kind)
+    }
+
+    fn run_until_quiet(&mut self, max_events: u64) -> u64 {
+        Engine::run_until_quiet(self, max_events)
+    }
+
+    fn pending(&self) -> usize {
+        Engine::pending(self)
+    }
+
+    fn drain_outputs(&mut self) -> Vec<(SimTime, Addr, N::Out)> {
+        Engine::drain_outputs(self)
+    }
+
+    fn stats(&mut self) -> &NetStats {
+        &self.stats
+    }
+}

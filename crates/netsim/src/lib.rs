@@ -14,6 +14,7 @@
 //!   experiment in EXPERIMENTS.md reproduces bit-for-bit.
 
 pub mod arena;
+pub mod backend;
 pub mod engine;
 pub mod event;
 pub mod shard;
@@ -23,6 +24,7 @@ pub mod time;
 pub mod topology;
 pub mod wheel;
 
+pub use backend::{Backend, SimBackend, WindowTooWide};
 pub use engine::{Ctx, Engine, FaultConfig, Message, NetStats, NodeLogic};
 pub use shard::{ShardConfig, ShardedEngine};
 pub use soa::NodeIo;

@@ -8,7 +8,8 @@
 //! safety condition is that no inter-node message can arrive inside
 //! the window it was sent in, which holds whenever the minimum
 //! inter-node topology delay is at least [`ShardConfig::window_us`]
-//! (asserted at runtime).
+//! (validated against [`Topology::min_delay_us`] at construction and
+//! re-asserted at runtime).
 //!
 //! ## Determinism model
 //!
@@ -33,13 +34,14 @@
 //! [`fingerprint`]: ShardedEngine::fingerprint
 
 use crate::arena::Arena;
+use crate::backend::{SimBackend, WindowTooWide};
 use crate::engine::{Ctx, Effect, FaultConfig, Message, NetStats, NodeLogic};
 use crate::soa::{NodeIo, NodeSlots};
 use crate::time::SimTime;
 use crate::topology::{mix64, Addr, Topology};
 use crate::wheel::TimerWheel;
 use past_crypto::rng::Rng;
-use past_trace::Tracer;
+use past_trace::{TraceConfig, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -105,8 +107,10 @@ struct Shard<N: NodeLogic, T> {
     queue: TimerWheel<ShardEvent>,
     arena: Arena<N::Msg>,
     stats: NetStats,
-    /// Disabled tracer: [`Ctx`] needs one; the sharded engine's
-    /// observability story is the commutative fingerprint instead.
+    /// Shard-local trace sink: message-plane events recorded here and
+    /// protocol records written by node logic through [`Ctx`] both land
+    /// shard-locally; [`ShardedEngine::take_tracer`] merges every
+    /// shard's records in canonical order. Off by default.
     tracer: Tracer,
     /// Emissions tagged `(time, event key, per-event index)` so a
     /// global merge is order-deterministic.
@@ -156,6 +160,16 @@ impl<N: NodeLogic, T: Topology> Shard<N, T> {
         self.stats.total_bytes += msg.wire_size();
         self.stats.by_kind_mut()[msg.kind_id()] += 1;
         self.nodes.note_sent(li);
+        if self.tracer.enabled() {
+            self.tracer.msg_send(
+                self.now,
+                msg.op_id(),
+                from,
+                to,
+                msg.kind_id(),
+                msg.wire_size(),
+            );
+        }
         let base_t = self.now + self.topo.delay_us(from, to) + extra_us;
         if from == to {
             let seq = self.next_seq(li);
@@ -189,6 +203,10 @@ impl<N: NodeLogic, T: Topology> Shard<N, T> {
         // fault class draws nothing from the node's fault stream.
         if self.faults.loss > 0.0 && self.fault_rngs[li].random::<f64>() < self.faults.loss {
             self.stats.dropped += 1;
+            if self.tracer.enabled() {
+                self.tracer
+                    .msg_drop(self.now, msg.op_id(), from, to, msg.kind_id());
+            }
             return;
         }
         let duplicate = self.faults.duplicate > 0.0
@@ -196,6 +214,10 @@ impl<N: NodeLogic, T: Topology> Shard<N, T> {
         let at = base_t + self.draw_jitter(li);
         if duplicate {
             self.stats.duplicated += 1;
+            if self.tracer.enabled() {
+                self.tracer
+                    .msg_dup(self.now, msg.op_id(), from, to, msg.kind_id());
+            }
             let echo = base_t + self.draw_jitter(li);
             let seq = self.next_seq(li);
             self.wire_buf.push(Wire {
@@ -293,6 +315,9 @@ impl<N: NodeLogic, T: Topology> Shard<N, T> {
                     let m = self.arena.take(msg);
                     if !self.nodes.is_alive(li) {
                         self.stats.failed_sends += 1;
+                        if self.tracer.enabled() {
+                            self.tracer.msg_fail(t, m.op_id(), from, to, m.kind_id());
+                        }
                         // Timeout model: bounce a failure notice to the
                         // sender one further delay later. Unlike the
                         // sequential engine we cannot consult the
@@ -313,6 +338,9 @@ impl<N: NodeLogic, T: Topology> Shard<N, T> {
                             });
                         }
                         continue;
+                    }
+                    if self.tracer.enabled() {
+                        self.tracer.msg_recv(t, m.op_id(), from, to, m.kind_id());
                     }
                     self.nodes.note_recv(li);
                     self.invoke(to, tie, |node, ctx| node.on_message(from, m, ctx));
@@ -341,10 +369,33 @@ impl<N: NodeLogic, T: Topology> Shard<N, T> {
 /// The sharded parallel engine. See the module docs for the model.
 pub struct ShardedEngine<N: NodeLogic, T: Topology + Clone> {
     shards: Vec<Shard<N, T>>,
-    /// Nodes per shard (last shard may own fewer).
+    /// Topology slots per shard (the last shard may own fewer).
     chunk: usize,
     window_us: u64,
     n: usize,
+    /// Topology capacity: shards are laid out over the full address
+    /// space up front, so node growth never re-partitions.
+    cap: usize,
+    /// Construction seed: per-node protocol RNG streams derive from it.
+    seed: u64,
+    /// Current fault seed: per-node fault streams derive from it, both
+    /// at push time and on [`set_faults`](ShardedEngine::set_faults).
+    fault_seed: u64,
+    faults: FaultConfig,
+    epoch: u64,
+    /// Harness-side RNG, separate from every node's protocol stream but
+    /// seeded like the sequential engine's shared RNG, so harness draw
+    /// sequences match across backends between runs.
+    rng: Rng,
+    /// Harness-side trace sink (op lifecycle records); merged with the
+    /// shard-local sinks by [`take_tracer`](ShardedEngine::take_tracer).
+    harness_tracer: Tracer,
+    /// Reused by [`stats`](ShardedEngine::stats): the per-round merge
+    /// writes into this cache instead of allocating a fresh block.
+    stats_cache: NetStats,
+    /// Reused by [`drain_outputs_into`](ShardedEngine::drain_outputs_into)
+    /// as the merge-and-sort staging buffer.
+    out_scratch: Vec<(u64, u128, u32, Addr, N::Out)>,
 }
 
 impl<N, T> ShardedEngine<N, T>
@@ -354,40 +405,49 @@ where
     N::Out: Send,
     T: Topology + Clone + Send,
 {
-    /// Builds a sharded engine over `nodes`, partitioned contiguously.
+    /// Builds an empty sharded engine over the topology's full address
+    /// space, partitioned contiguously into (up to) `cfg.shards`
+    /// shards. Nodes are added with [`push_node`](ShardedEngine::push_node).
+    ///
+    /// Rejects a window wider than the topology's minimum inter-node
+    /// delay: such a window could deliver a message inside the window
+    /// it was sent in, which the sealed-batch exchange cannot express.
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` is empty, exceeds the topology, or the window
-    /// is zero.
-    pub fn new(topo: T, mut nodes: Vec<N>, seed: u64, cfg: ShardConfig) -> ShardedEngine<N, T> {
-        let n = nodes.len();
-        assert!(n > 0, "sharded engine needs at least one node");
-        assert!(n <= topo.len(), "more nodes than topology slots");
-        assert!(n < u32::MAX as usize, "node address space (u32) exhausted");
+    /// Panics if the topology is empty, exceeds the `u32` address
+    /// space, or the window is zero.
+    pub fn try_new(
+        topo: T,
+        seed: u64,
+        cfg: ShardConfig,
+    ) -> Result<ShardedEngine<N, T>, WindowTooWide> {
+        let cap = topo.len();
+        assert!(cap > 0, "sharded engine needs a topology with slots");
+        assert!(
+            cap < u32::MAX as usize,
+            "node address space (u32) exhausted"
+        );
         assert!(cfg.window_us > 0, "shard window must be positive");
-        let want = cfg.shards.clamp(1, n);
-        let chunk = n.div_ceil(want);
-        let mut shards = Vec::new();
-        let mut iter = nodes.drain(..);
-        let mut base = 0usize;
-        while base < n {
-            let take = chunk.min(n - base);
-            let logic: Vec<N> = iter.by_ref().take(take).collect();
-            let rngs = (base..base + take)
-                .map(|a| Rng::seed_from_u64(seed ^ mix64(a as u64)))
-                .collect();
-            let fault_rngs = (base..base + take)
-                .map(|a| Rng::seed_from_u64(seed ^ mix64(a as u64) ^ 0x5eed_fa17))
-                .collect();
-            shards.push(Shard {
-                id: shards.len(),
-                base,
+        let min_delay_us = topo.min_delay_us();
+        if cfg.window_us > min_delay_us {
+            return Err(WindowTooWide {
+                window_us: cfg.window_us,
+                min_delay_us,
+            });
+        }
+        let want = cfg.shards.clamp(1, cap);
+        let chunk = cap.div_ceil(want);
+        let count = cap.div_ceil(chunk);
+        let shards = (0..count)
+            .map(|id| Shard {
+                id,
+                base: id * chunk,
                 topo: topo.clone(),
-                nodes: NodeSlots::from_logic(logic),
-                rngs,
-                fault_rngs,
-                seqs: vec![0; take],
+                nodes: NodeSlots::new(),
+                rngs: Vec::new(),
+                fault_rngs: Vec::new(),
+                seqs: Vec::new(),
                 queue: TimerWheel::new(),
                 arena: Arena::new(),
                 stats: NetStats::for_kinds(N::Msg::KINDS),
@@ -400,19 +460,93 @@ where
                 events: 0,
                 scratch_effects: Vec::new(),
                 scratch_emitted: Vec::new(),
-            });
-            base += take;
-        }
-        ShardedEngine {
+            })
+            .collect();
+        Ok(ShardedEngine {
             shards,
             chunk,
             window_us: cfg.window_us,
-            n,
+            n: 0,
+            cap,
+            seed,
+            fault_seed: seed,
+            faults: FaultConfig::default(),
+            epoch: 0,
+            rng: Rng::seed_from_u64(seed),
+            harness_tracer: Tracer::for_kinds(N::Msg::KINDS),
+            stats_cache: NetStats::for_kinds(N::Msg::KINDS),
+            out_scratch: Vec::new(),
+        })
+    }
+
+    /// Builds a sharded engine over `nodes`, partitioned contiguously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, exceeds the topology, the window is
+    /// zero, or the window is wider than the topology's minimum delay
+    /// (use [`try_new`](ShardedEngine::try_new) to handle that case).
+    pub fn new(topo: T, nodes: Vec<N>, seed: u64, cfg: ShardConfig) -> ShardedEngine<N, T> {
+        assert!(!nodes.is_empty(), "sharded engine needs at least one node");
+        assert!(nodes.len() <= topo.len(), "more nodes than topology slots");
+        // Shard layout is capacity-based (`topo.len()`), not
+        // node-count-based: when the node set fills the topology the
+        // chunking is identical to the historical node-count layout,
+        // and when it doesn't, growth via `push_node` never needs to
+        // re-partition.
+        let mut e = Self::try_new(topo, seed, cfg).unwrap_or_else(|err| panic!("{err}"));
+        for node in nodes {
+            e.push_node(node);
         }
+        e.epoch = 0;
+        e
     }
 
     fn shard_of(&self, a: Addr) -> usize {
         a / self.chunk
+    }
+
+    /// Adds a node (returns its address). Addresses are dense in push
+    /// order; the owning shard is fixed by the contiguous layout. The
+    /// node's protocol stream derives from the construction seed and
+    /// its fault stream from the current fault seed, exactly as if it
+    /// had been present at construction — so growth is shard-count
+    /// independent.
+    pub fn push_node(&mut self, node: N) -> Addr {
+        let addr = self.n;
+        assert!(addr < self.cap, "no topology slot for new node");
+        let sh = addr / self.chunk;
+        let s = &mut self.shards[sh];
+        debug_assert_eq!(s.base + s.nodes.len(), addr, "dense push order");
+        s.nodes.push(node);
+        s.rngs
+            .push(Rng::seed_from_u64(self.seed ^ mix64(addr as u64)));
+        s.fault_rngs.push(Rng::seed_from_u64(
+            self.fault_seed ^ mix64(addr as u64) ^ 0x5eed_fa17,
+        ));
+        s.seqs.push(0);
+        self.n += 1;
+        self.epoch += 1;
+        addr
+    }
+
+    /// Reserves storage in the shards that will receive the next
+    /// `extra` nodes, so bulk builds grow each shard's arrays once.
+    pub fn reserve_nodes(&mut self, extra: usize) {
+        let mut remaining = extra.min(self.cap - self.n);
+        let mut next = self.n;
+        while remaining > 0 {
+            let sh = next / self.chunk;
+            let room = ((sh + 1) * self.chunk).min(self.cap) - next;
+            let take = room.min(remaining);
+            let s = &mut self.shards[sh];
+            s.nodes.reserve(take);
+            s.rngs.reserve(take);
+            s.fault_rngs.reserve(take);
+            s.seqs.reserve(take);
+            next += take;
+            remaining -= take;
+        }
     }
 
     /// Number of nodes.
@@ -442,6 +576,40 @@ where
         s.nodes.logic(a - s.base)
     }
 
+    /// Mutable access to a node's state (harness-side setup only).
+    pub fn node_mut(&mut self, a: Addr) -> &mut N {
+        let sh = self.shard_of(a);
+        let s = &mut self.shards[sh];
+        s.nodes.logic_mut(a - s.base)
+    }
+
+    /// The topology (proximity oracle).
+    pub fn topology(&self) -> &T {
+        &self.shards[0].topo
+    }
+
+    /// Membership epoch: bumped on every push/kill/revive, mirroring
+    /// the sequential engine's cache-invalidation contract.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Addresses of all live nodes, ascending.
+    pub fn live_addrs(&self) -> Vec<Addr> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.nodes.live_addrs().into_iter().map(|a| a + s.base));
+        }
+        out
+    }
+
+    /// The harness-side RNG (sampling, id generation). Seeded like the
+    /// sequential engine's shared RNG but never touched by node logic,
+    /// whose draws come from per-node streams.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
     /// Per-node traffic counters.
     pub fn node_io(&self, a: Addr) -> NodeIo {
         let s = &self.shards[self.shard_of(a)];
@@ -459,6 +627,7 @@ where
         let sh = self.shard_of(a);
         let s = &mut self.shards[sh];
         s.nodes.set_alive(a - s.base, false);
+        self.epoch += 1;
     }
 
     /// Marks a node live again (between runs).
@@ -466,16 +635,20 @@ where
         let sh = self.shard_of(a);
         let s = &mut self.shards[sh];
         s.nodes.set_alive(a - s.base, true);
+        self.epoch += 1;
     }
 
     /// Enables (or reconfigures) link-fault injection. Every node's
-    /// fault stream is reseeded from `seed` and its address.
+    /// fault stream is reseeded from `seed` and its address; nodes
+    /// pushed later derive their streams from the same seed.
     pub fn set_faults(&mut self, faults: FaultConfig, seed: u64) {
         assert!((0.0..=1.0).contains(&faults.loss), "loss out of [0,1]");
         assert!(
             (0.0..=1.0).contains(&faults.duplicate),
             "duplicate out of [0,1]"
         );
+        self.faults = faults;
+        self.fault_seed = seed;
         for s in self.shards.iter_mut() {
             s.faults = faults;
             for (i, r) in s.fault_rngs.iter_mut().enumerate() {
@@ -483,6 +656,46 @@ where
                 *r = Rng::seed_from_u64(seed ^ mix64(a) ^ 0x5eed_fa17);
             }
         }
+    }
+
+    /// The fault configuration in force.
+    pub fn faults(&self) -> FaultConfig {
+        self.faults
+    }
+
+    /// Selects which trace event classes are recorded, on the harness
+    /// sink and every shard-local sink.
+    pub fn set_tracing(&mut self, cfg: TraceConfig) {
+        self.harness_tracer.configure(cfg);
+        for s in self.shards.iter_mut() {
+            s.tracer.configure(cfg);
+        }
+    }
+
+    /// The harness-side trace sink. Shard-local records (message plane,
+    /// per-hop protocol events) are *not* visible here until
+    /// [`take_tracer`](ShardedEngine::take_tracer) merges them.
+    pub fn tracer(&self) -> &Tracer {
+        &self.harness_tracer
+    }
+
+    /// Mutable harness-side trace sink (op lifecycle records).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.harness_tracer
+    }
+
+    /// Takes the full trace out of the engine: absorbs every shard's
+    /// records and metrics into the harness trace and sorts the result
+    /// canonically, so the merged trace is identical under any shard
+    /// count. Leaves fresh disabled sinks behind.
+    pub fn take_tracer(&mut self) -> Tracer {
+        let mut t = std::mem::replace(&mut self.harness_tracer, Tracer::for_kinds(N::Msg::KINDS));
+        for s in self.shards.iter_mut() {
+            let st = std::mem::replace(&mut s.tracer, Tracer::for_kinds(N::Msg::KINDS));
+            t.absorb(st);
+        }
+        t.sort_canonical();
+        t
     }
 
     /// Injects a message from `from` to `to` (between runs). The fault
@@ -530,13 +743,15 @@ where
         self.shards.iter().map(|s| s.queue.len()).sum()
     }
 
-    /// Merged traffic counters across all shards.
-    pub fn stats(&self) -> NetStats {
-        let mut total = NetStats::for_kinds(N::Msg::KINDS);
+    /// Merged traffic counters across all shards. Adapter loops read
+    /// stats every round, so the merge writes into a reusable cache
+    /// instead of allocating a fresh block per call.
+    pub fn stats(&mut self) -> &NetStats {
+        self.stats_cache.reset();
         for s in &self.shards {
-            total.merge(&s.stats);
+            self.stats_cache.merge(&s.stats);
         }
-        total
+        &self.stats_cache
     }
 
     /// Commutative run fingerprint: a wrapping sum of per-event key
@@ -558,17 +773,38 @@ where
         self.shards.iter().map(|s| s.events).sum()
     }
 
-    /// Drains emissions from all shards, merged in global event-key
-    /// order (deterministic under any shard count).
-    pub fn drain_outputs(&mut self) -> Vec<(SimTime, Addr, N::Out)> {
-        let mut all: Vec<(u64, u128, u32, Addr, N::Out)> = Vec::new();
+    /// Drains emissions from all shards into `out` (cleared first),
+    /// merged in global event-key order (deterministic under any shard
+    /// count). The merge-and-sort staging buffer is engine-owned and
+    /// reused, so a per-round drain allocates nothing once the buffers
+    /// have grown to the working-set size.
+    pub fn drain_outputs_into(&mut self, out: &mut Vec<(SimTime, Addr, N::Out)>) {
+        out.clear();
+        let mut all = std::mem::take(&mut self.out_scratch);
+        debug_assert!(all.is_empty());
         for s in self.shards.iter_mut() {
             all.append(&mut s.outputs);
         }
         all.sort_by_key(|&(t, tie, k, _, _)| (t, tie, k));
-        all.into_iter()
-            .map(|(t, _, _, a, out)| (SimTime::from_micros(t), a, out))
-            .collect()
+        out.reserve(all.len());
+        for (t, _, _, a, o) in all.drain(..) {
+            out.push((SimTime::from_micros(t), a, o));
+        }
+        self.out_scratch = all;
+    }
+
+    /// Drains emissions from all shards, merged in global event-key
+    /// order (deterministic under any shard count).
+    pub fn drain_outputs(&mut self) -> Vec<(SimTime, Addr, N::Out)> {
+        let mut out = Vec::new();
+        self.drain_outputs_into(&mut out);
+        out
+    }
+
+    /// Capacity of the engine-owned output staging buffer (observability
+    /// for the zero-alloc drain contract).
+    pub fn out_scratch_capacity(&self) -> usize {
+        self.out_scratch.capacity()
     }
 
     /// Runs shards in parallel until the whole simulation quiesces or
@@ -614,6 +850,120 @@ where
             sh.now = g;
         }
         shared.total.into_inner()
+    }
+}
+
+impl<N, T> SimBackend<N> for ShardedEngine<N, T>
+where
+    N: NodeLogic + Send,
+    N::Msg: Send,
+    N::Out: Send,
+    T: Topology + Clone + Send,
+{
+    type Topo = T;
+
+    fn len(&self) -> usize {
+        ShardedEngine::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        ShardedEngine::now(self)
+    }
+
+    fn topology(&self) -> &T {
+        ShardedEngine::topology(self)
+    }
+
+    fn node(&self, a: Addr) -> &N {
+        ShardedEngine::node(self, a)
+    }
+
+    fn node_mut(&mut self, a: Addr) -> &mut N {
+        ShardedEngine::node_mut(self, a)
+    }
+
+    fn node_io(&self, a: Addr) -> NodeIo {
+        ShardedEngine::node_io(self, a)
+    }
+
+    fn reserve_nodes(&mut self, extra: usize) {
+        ShardedEngine::reserve_nodes(self, extra)
+    }
+
+    fn push_node(&mut self, node: N) -> Addr {
+        ShardedEngine::push_node(self, node)
+    }
+
+    fn is_alive(&self, a: Addr) -> bool {
+        ShardedEngine::is_alive(self, a)
+    }
+
+    fn kill(&mut self, a: Addr) {
+        ShardedEngine::kill(self, a)
+    }
+
+    fn revive(&mut self, a: Addr) {
+        ShardedEngine::revive(self, a)
+    }
+
+    fn epoch(&self) -> u64 {
+        ShardedEngine::epoch(self)
+    }
+
+    fn live_addrs(&self) -> Vec<Addr> {
+        ShardedEngine::live_addrs(self)
+    }
+
+    fn rng(&mut self) -> &mut Rng {
+        ShardedEngine::rng(self)
+    }
+
+    fn set_faults(&mut self, faults: FaultConfig, seed: u64) {
+        ShardedEngine::set_faults(self, faults, seed)
+    }
+
+    fn faults(&self) -> FaultConfig {
+        ShardedEngine::faults(self)
+    }
+
+    fn set_tracing(&mut self, cfg: TraceConfig) {
+        ShardedEngine::set_tracing(self, cfg)
+    }
+
+    fn tracer(&self) -> &Tracer {
+        ShardedEngine::tracer(self)
+    }
+
+    fn tracer_mut(&mut self) -> &mut Tracer {
+        ShardedEngine::tracer_mut(self)
+    }
+
+    fn take_tracer(&mut self) -> Tracer {
+        ShardedEngine::take_tracer(self)
+    }
+
+    fn inject(&mut self, from: Addr, to: Addr, msg: N::Msg, extra_us: u64) {
+        ShardedEngine::inject(self, from, to, msg, extra_us)
+    }
+
+    fn arm_timer(&mut self, at: Addr, delay_us: u64, kind: u64) {
+        ShardedEngine::arm_timer(self, at, delay_us, kind)
+    }
+
+    fn run_until_quiet(&mut self, max_events: u64) -> u64 {
+        ShardedEngine::run_until_quiet(self, max_events)
+    }
+
+    fn pending(&self) -> usize {
+        ShardedEngine::pending(self)
+    }
+
+    fn drain_outputs(&mut self) -> Vec<(SimTime, Addr, N::Out)> {
+        ShardedEngine::drain_outputs(self)
+    }
+
+    fn stats(&mut self) -> &NetStats {
+        ShardedEngine::stats(self)
     }
 }
 
@@ -853,17 +1203,20 @@ mod tests {
         u64,
         u64,
     ) {
-        let st = e.stats();
+        let (total_msgs, dropped, duplicated, failed_sends) = {
+            let st = e.stats();
+            (st.total_msgs, st.dropped, st.duplicated, st.failed_sends)
+        };
         (
             e.fingerprint(),
-            st.total_msgs,
+            total_msgs,
             e.now(),
             e.drain_outputs(),
             (0..N).map(|a| e.node_io(a)).collect(),
             (0..N).map(|a| e.node(a).heard.clone()).collect(),
-            st.dropped,
-            st.duplicated,
-            st.failed_sends,
+            dropped,
+            duplicated,
+            failed_sends,
         )
     }
 
@@ -1027,11 +1380,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "inter-node delay shorter than the shard window")]
-    fn window_wider_than_min_delay_panics() {
+    fn window_wider_than_min_delay_is_rejected() {
+        // Min delay 2_000 but window 50_000: unsafe, rejected with a
+        // typed error at construction instead of a mid-run panic.
+        let Err(err) = ShardedEngine::<GNode, UniformRandom>::try_new(
+            topo(),
+            1,
+            ShardConfig {
+                shards: 2,
+                window_us: 50_000,
+            },
+        ) else {
+            panic!("too-wide window must be rejected");
+        };
+        assert_eq!(
+            err,
+            WindowTooWide {
+                window_us: 50_000,
+                min_delay_us: 2_000,
+            }
+        );
+        assert!(err.to_string().contains("exceeds the topology's minimum"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the topology's minimum")]
+    fn new_panics_on_too_wide_window() {
         let nodes = (0..N).map(|_| GNode::default()).collect();
-        // Min delay 2_000 but window 50_000: unsafe, must be rejected.
-        let mut e: ShardedEngine<GNode, UniformRandom> = ShardedEngine::new(
+        let _: ShardedEngine<GNode, UniformRandom> = ShardedEngine::new(
             topo(),
             nodes,
             1,
@@ -1040,7 +1416,143 @@ mod tests {
                 window_us: 50_000,
             },
         );
-        e.inject(0, 1, GMsg::Rumor { ttl: 4, tag: 0 }, 0);
+    }
+
+    #[test]
+    fn grown_engine_matches_constructed_engine() {
+        // `push_node` growth must be bit-identical to handing every
+        // node to the constructor, and addresses must be dense, stable
+        // and in push order.
+        let mut e: ShardedEngine<GNode, UniformRandom> = ShardedEngine::try_new(
+            topo(),
+            0xface,
+            ShardConfig {
+                shards: 4,
+                window_us: 2_000,
+            },
+        )
+        .unwrap();
+        e.reserve_nodes(N);
+        for i in 0..N {
+            assert_eq!(e.push_node(GNode::default()), i, "addresses are stable");
+        }
+        for i in 0..8 {
+            e.inject(
+                i * 7,
+                (i * 13 + 1) % N,
+                GMsg::Rumor {
+                    ttl: 12,
+                    tag: i as u32,
+                },
+                0,
+            );
+        }
         e.run_until_quiet(u64::MAX);
+        assert_eq!(snapshot(&mut e), seeded_run(4), "growth diverged");
+    }
+
+    #[test]
+    fn epoch_and_live_addrs_track_membership() {
+        let mut e = engine(4);
+        assert_eq!(e.epoch(), 0, "constructed engines start at epoch 0");
+        assert_eq!(e.live_addrs().len(), N);
+        e.kill(10);
+        e.kill(40);
+        assert_eq!(e.epoch(), 2);
+        let live = e.live_addrs();
+        assert_eq!(live.len(), N - 2);
+        assert!(!live.contains(&10) && !live.contains(&40));
+        assert!(
+            live.windows(2).all(|w| w[0] < w[1]),
+            "ascending across shard boundaries"
+        );
+        e.revive(10);
+        assert_eq!(e.epoch(), 3);
+        assert!(e.live_addrs().contains(&10));
+    }
+
+    #[test]
+    fn per_round_stats_and_drains_reuse_buffers() {
+        let mut e = engine(4);
+        let mut buf = Vec::new();
+        let stir = |e: &mut ShardedEngine<GNode, UniformRandom>, base: u32| {
+            for i in 0..8usize {
+                e.inject(
+                    i * 7,
+                    (i * 13 + 1) % N,
+                    GMsg::Rumor {
+                        ttl: 6,
+                        tag: base + i as u32,
+                    },
+                    0,
+                );
+            }
+            e.run_until_quiet(u64::MAX);
+        };
+        stir(&mut e, 0);
+        let first = {
+            let st = e.stats();
+            (st.total_msgs, st.total_bytes)
+        };
+        let again = {
+            let st = e.stats();
+            (st.total_msgs, st.total_bytes)
+        };
+        assert_eq!(first, again, "stats() must be a pure merge");
+        e.drain_outputs_into(&mut buf);
+        assert!(!buf.is_empty());
+        let drained = buf.len();
+        assert!(
+            e.out_scratch_capacity() >= drained,
+            "staging buffer must be retained for the next round"
+        );
+        e.drain_outputs_into(&mut buf);
+        assert!(buf.is_empty(), "a second drain finds nothing");
+        // Another round reuses both the caller's and the engine's
+        // buffers; the results must match the allocating path.
+        stir(&mut e, 100);
+        e.drain_outputs_into(&mut buf);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn traced_faulty_runs_are_shard_count_independent() {
+        let run = |shards: usize, trace: bool| {
+            let mut e = engine(shards);
+            if trace {
+                e.set_tracing(TraceConfig::full());
+            }
+            e.set_faults(
+                FaultConfig {
+                    loss: 0.15,
+                    duplicate: 0.1,
+                    jitter_us: 900,
+                },
+                4242,
+            );
+            for i in 0..10 {
+                e.inject(
+                    i * 5,
+                    (i * 11 + 3) % N,
+                    GMsg::Rumor {
+                        ttl: 10,
+                        tag: i as u32,
+                    },
+                    0,
+                );
+            }
+            e.run_until_quiet(u64::MAX);
+            let fp = e.take_tracer().fingerprint();
+            (snapshot(&mut e), fp)
+        };
+        let (untraced, _) = run(1, false);
+        let (one, fp1) = run(1, true);
+        assert_eq!(untraced, one, "tracing must not perturb outcomes");
+        assert_ne!(fp1, past_trace::fnv1a(b""), "trace must be non-empty");
+        for shards in [2, 4] {
+            let (s, fps) = run(shards, true);
+            assert_eq!(one, s, "{shards} shards diverged under tracing");
+            assert_eq!(fp1, fps, "{shards}-shard trace fingerprint diverged");
+        }
     }
 }

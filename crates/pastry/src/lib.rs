@@ -38,5 +38,8 @@ pub use leafset::{LeafInsert, LeafSet, Side};
 pub use msg::{PastryMsg, PayloadSize, RouteEnvelope};
 pub use node::{Behavior, PastryNode, RecoveryConfig, APP_TIMER_BASE};
 pub use route::{next_hop, NextHop};
-pub use sim::{random_ids, static_build, DeliveryRecord, NodeSnapshot, OverlaySnapshot, PastrySim};
+pub use sim::{
+    random_ids, static_build, static_build_sharded, DeliveryRecord, NodeSnapshot, OverlaySnapshot,
+    PastrySim, ShardedPastrySim,
+};
 pub use state::PastryState;

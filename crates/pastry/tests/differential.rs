@@ -1,18 +1,25 @@
-//! Differential heap-vs-wheel event-queue test.
+//! Differential equivalence tests.
 //!
-//! The hierarchical timer wheel replaced the binary heap as the
-//! engine's default event queue; the heap survives as a reference
-//! backend (`Engine::use_reference_heap_queue`). This test drives two
-//! identical seeded 512-node lossy-churn runs — one per backend — and
-//! asserts the complete observable outcome is bit-identical: the trace
-//! fingerprint (which hashes every recorded event in order), message /
-//! byte / fault counters, every delivery record, per-node liveness,
-//! and the final simulated time. Any tie-order divergence between the
-//! two queue implementations shows up here as a differing fingerprint.
+//! Two families:
+//!
+//! 1. Heap vs wheel: the hierarchical timer wheel replaced the binary
+//!    heap as the sequential engine's default event queue; the heap
+//!    survives as a reference backend
+//!    (`Engine::use_reference_heap_queue`). A seeded 512-node
+//!    lossy-churn run must be bit-identical under both.
+//! 2. 1 shard vs N shards: the sharded engine's determinism claim is
+//!    shard-count independence. The same 512-node lossy-churn overlay
+//!    run — protocol joins, faulty routes, churn, stabilization — must
+//!    produce identical overlay snapshots, NetStats, trace
+//!    fingerprints, engine fingerprints, deliveries, and clocks at 1
+//!    shard and at 4 shards.
 
 use past_crypto::rng::Rng;
-use past_netsim::{FaultConfig, Sphere, TraceConfig};
-use past_pastry::{random_ids, Config, Id, NullApp, PastrySim};
+use past_netsim::{FaultConfig, ShardConfig, Sphere, TraceConfig};
+use past_pastry::{
+    random_ids, static_build, static_build_sharded, Config, Id, NullApp, PastrySim,
+    ShardedPastrySim,
+};
 
 const N: usize = 512;
 
@@ -87,4 +94,145 @@ fn heap_and_wheel_lossy_churn_runs_are_bit_identical() {
         "the fault layer must actually drop messages for this test to bite"
     );
     assert_eq!(wheel, heap, "heap and wheel runs diverged");
+}
+
+/// The sharded engine needs a delay floor at least as wide as its
+/// window (sealed-batch safety); 2 ms on a [`Sphere`] leaves the
+/// proximity structure intact (points don't move, short links clamp).
+const FLOOR_US: u64 = 2_000;
+
+fn sharded_lossy_churn_run(shards: usize) -> String {
+    let mut rng = Rng::seed_from_u64(9090);
+    let ids = random_ids(N, &mut rng);
+    let mut sim: ShardedPastrySim<NullApp, Sphere> = ShardedPastrySim::new_sharded(
+        Sphere::with_delay_floor(N, 9090, FLOOR_US),
+        Config::default(),
+        9090,
+        ShardConfig {
+            shards,
+            window_us: FLOOR_US,
+        },
+    )
+    .expect("window == delay floor is safe");
+    sim.engine.set_tracing(TraceConfig::full());
+    sim.build_by_joins(&ids, |_| NullApp, 4);
+
+    sim.engine.set_faults(
+        FaultConfig {
+            loss: 0.05,
+            duplicate: 0.01,
+            jitter_us: 20_000,
+        },
+        0xd1ff,
+    );
+    let mut key_rng = Rng::seed_from_u64(4242);
+    let mut deliveries = String::new();
+    let mut route =
+        |sim: &mut ShardedPastrySim<NullApp, Sphere>, out: &mut String, routes: usize| {
+            for _ in 0..routes {
+                let key = Id(key_rng.random());
+                let from = key_rng.random_range(0..N);
+                sim.route(from, key, ());
+                for rec in sim.drain_deliveries() {
+                    out.push_str(&format!(
+                        "{}@{}+{};",
+                        rec.delivered_at,
+                        rec.at.as_micros(),
+                        rec.hops
+                    ));
+                }
+            }
+        };
+    route(&mut sim, &mut deliveries, 300);
+    for i in 0..24 {
+        sim.engine.kill((i * 21 + 5) % N);
+    }
+    sim.stabilize();
+    route(&mut sim, &mut deliveries, 200);
+
+    let alive: Vec<usize> = (0..N).filter(|&a| sim.engine.is_alive(a)).collect();
+    // The overlay snapshot Debug dump covers every leaf set and routing
+    // table; hash it so assertion output stays readable on divergence.
+    let snap_hash = past_trace::fnv1a(format!("{:?}", sim.snapshot_overlay()).as_bytes());
+    let (total_msgs, total_bytes, dropped, duplicated, failed_sends) = {
+        let st = sim.engine.stats();
+        (
+            st.total_msgs,
+            st.total_bytes,
+            st.dropped,
+            st.duplicated,
+            st.failed_sends,
+        )
+    };
+    format!(
+        "trace_fp={} engine_fp={} snapshot={} total_msgs={} total_bytes={} \
+         dropped={} duplicated={} failed_sends={} now_us={} alive={} deliveries={}",
+        sim.engine.take_tracer().fingerprint(),
+        sim.engine.fingerprint(),
+        snap_hash,
+        total_msgs,
+        total_bytes,
+        dropped,
+        duplicated,
+        failed_sends,
+        sim.engine.now().as_micros(),
+        alive.len(),
+        deliveries,
+    )
+}
+
+#[test]
+fn one_shard_and_four_shard_lossy_churn_runs_are_bit_identical() {
+    let one = sharded_lossy_churn_run(1);
+    assert!(
+        !one.contains("dropped=0 "),
+        "the fault layer must actually drop messages for this test to bite"
+    );
+    assert!(
+        one.contains("deliveries=") && one.ends_with(';'),
+        "routes must actually deliver"
+    );
+    let four = sharded_lossy_churn_run(4);
+    assert_eq!(one, four, "1-shard and 4-shard overlay runs diverged");
+}
+
+/// The static builders are harness-side and draw the same RNG sequence
+/// on both backends, so the *constructed* overlay state (before any
+/// events run) must match across the sequential and sharded engines.
+#[test]
+fn static_build_state_is_backend_independent() {
+    let n = 256;
+    let mut rng = Rng::seed_from_u64(2026);
+    let ids = random_ids(n, &mut rng);
+    let seq: PastrySim<NullApp, Sphere> = static_build(
+        Sphere::with_delay_floor(n, 7, FLOOR_US),
+        Config::default(),
+        2026,
+        &ids,
+        |_| NullApp,
+        3,
+    );
+    let sharded: ShardedPastrySim<NullApp, Sphere> = static_build_sharded(
+        Sphere::with_delay_floor(n, 7, FLOOR_US),
+        Config::default(),
+        2026,
+        &ids,
+        |_| NullApp,
+        3,
+        ShardConfig {
+            shards: 4,
+            window_us: FLOOR_US,
+        },
+    )
+    .expect("window == delay floor is safe");
+    assert_eq!(
+        format!("{:?}", seq.snapshot_overlay()),
+        format!("{:?}", sharded.snapshot_overlay()),
+        "built overlay state diverged across backends"
+    );
+    // Addresses are stable and dense across the build on both backends.
+    for a in 0..n {
+        assert_eq!(seq.handle(a).addr, a);
+        assert_eq!(sharded.handle(a).addr, a);
+    }
 }

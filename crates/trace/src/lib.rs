@@ -346,6 +346,22 @@ impl Histogram {
         Some((self.buckets.len() as u64 - 1) * self.width)
     }
 
+    /// Folds another histogram into this one (summing buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different shapes.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.width == other.width && self.buckets.len() == other.buckets.len(),
+            "cannot merge histograms with different shapes"
+        );
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
     fn to_json(&self) -> String {
         let (p50, p95, p99) = (
             self.percentile(50).unwrap_or(0),
@@ -457,6 +473,43 @@ impl Metrics {
     /// Per-node sent/received counters.
     pub fn node_counters(&self) -> impl Iterator<Item = (usize, NodeCounters)> + '_ {
         self.per_node.iter().map(|(&a, &c)| (a, c))
+    }
+
+    /// Folds another registry into this one: counters and histograms
+    /// sum, per-node counters add, gauges take the other's value (last
+    /// write wins, as within one registry). Used to combine per-shard
+    /// registries into a run total; per-node keys are disjoint across
+    /// shards, so the combination is order-independent there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two registries count different kind tables.
+    pub fn merge(&mut self, other: &Metrics) {
+        assert!(
+            self.kinds == other.kinds,
+            "cannot merge metrics over different kind tables"
+        );
+        let sum = |mine: &mut Vec<u64>, theirs: &[u64]| {
+            for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                *m += t;
+            }
+        };
+        sum(&mut self.sent_by_kind, &other.sent_by_kind);
+        sum(&mut self.recv_by_kind, &other.recv_by_kind);
+        sum(&mut self.dropped_by_kind, &other.dropped_by_kind);
+        sum(&mut self.duplicated_by_kind, &other.duplicated_by_kind);
+        sum(&mut self.failed_by_kind, &other.failed_by_kind);
+        for (&node, c) in &other.per_node {
+            let mine = self.per_node.entry(node).or_default();
+            mine.sent += c.sent;
+            mine.recv += c.recv;
+        }
+        for (&key, &v) in &other.gauges {
+            self.gauges.insert(key, v);
+        }
+        self.route_latency_us.merge(&other.route_latency_us);
+        self.hop_count.merge(&other.hop_count);
+        self.retry_count.merge(&other.retry_count);
     }
 
     /// Sets a named per-node gauge to `value` (last write wins).
@@ -804,6 +857,50 @@ impl Tracer {
         }
     }
 
+    /// Folds another tracer's records and metrics into this one. The
+    /// combined record buffer is a concatenation; call
+    /// [`Tracer::sort_canonical`] afterwards if a deterministic order
+    /// is needed (e.g. after merging per-shard tracers).
+    pub fn absorb(&mut self, mut other: Tracer) {
+        self.records.append(&mut other.records);
+        self.metrics.merge(&other.metrics);
+    }
+
+    /// Sorts the record buffer into the canonical order `(t, causal
+    /// rank, serialized line)`. Records with equal time and equal
+    /// content are identical, so this order depends only on the
+    /// *multiset* of records — two runs that produced the same records
+    /// in different interleavings (e.g. one shard vs. many) serialize
+    /// and fingerprint identically after this call.
+    ///
+    /// The causal rank keeps same-microsecond lifecycles analyzable:
+    /// `op_start` sorts before the records it caused and `op_end` after
+    /// them (a lookup satisfied from the local store starts and ends at
+    /// the same `t`; plain lexicographic order would put the end first
+    /// and the analyzer would call the op stuck).
+    pub fn sort_canonical(&mut self) {
+        fn rank(ev: &TraceEvent) -> u8 {
+            match ev {
+                TraceEvent::OpStart { .. } => 0,
+                TraceEvent::OpEnd { .. } => 2,
+                _ => 1,
+            }
+        }
+        let records = std::mem::take(&mut self.records);
+        let mut keyed: Vec<(String, TraceRecord)> = records
+            .into_iter()
+            .map(|r| {
+                let mut line = String::new();
+                self.write_line(&mut line, &r);
+                (line, r)
+            })
+            .collect();
+        keyed.sort_by(|a, b| {
+            (a.1.t, rank(&a.1.ev), a.0.as_str()).cmp(&(b.1.t, rank(&b.1.ev), b.0.as_str()))
+        });
+        self.records = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+
     fn push(&mut self, t: u64, op: OpId, ev: TraceEvent) {
         self.records.push(TraceRecord { t, op, ev });
     }
@@ -1139,6 +1236,110 @@ mod tests {
         t.msg_send(1, OpId::NONE, 0, 1, 0, 64);
         t.metrics.set_gauge("used_bytes", 0, 9);
         json::validate(&t.metrics.to_json()).expect("metrics JSON must validate");
+    }
+
+    // -- merging -------------------------------------------------------
+
+    #[test]
+    fn histogram_merge_sums_buckets_and_count() {
+        let mut a = Histogram::new(10, 4);
+        let mut b = Histogram::new(10, 4);
+        for v in [0, 15, 500] {
+            a.record(v);
+        }
+        for v in [5, 15] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets(), &[2, 2, 0, 1]);
+        assert_eq!(a.count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(10, 4);
+        a.merge(&Histogram::new(5, 4));
+    }
+
+    #[test]
+    fn metrics_merge_combines_all_families() {
+        let mut a = Tracer::for_kinds(KINDS);
+        a.configure(TraceConfig::metrics_only());
+        a.msg_send(1, OpId::NONE, 0, 1, 0, 64);
+        a.route_deliver(2, OpId::NONE, 1, 42, 3, 2_500);
+        a.metrics.set_gauge("used", 0, 10);
+        let mut b = Tracer::for_kinds(KINDS);
+        b.configure(TraceConfig::metrics_only());
+        b.msg_send(3, OpId::NONE, 2, 0, 0, 64);
+        b.msg_send(3, OpId::NONE, 0, 2, 1, 32);
+        b.msg_drop(4, OpId::NONE, 2, 0, 1);
+        b.metrics.set_gauge("used", 2, 7);
+        a.metrics.merge(&b.metrics);
+        let sent: Vec<_> = a.metrics.sent_by_kind().collect();
+        assert_eq!(sent, vec![("ping", 2), ("pong", 1)]);
+        let dropped: u64 = a.metrics.dropped_by_kind().map(|(_, c)| c).sum();
+        assert_eq!(dropped, 1);
+        let nodes: Vec<_> = a.metrics.node_counters().collect();
+        assert_eq!(nodes[0], (0, NodeCounters { sent: 2, recv: 0 }));
+        assert_eq!(nodes[1], (2, NodeCounters { sent: 1, recv: 0 }));
+        assert_eq!(a.metrics.hop_count.count(), 1);
+        assert_eq!(a.metrics.gauge("used", 0), Some(10));
+        assert_eq!(a.metrics.gauge("used", 2), Some(7));
+    }
+
+    /// Splitting one record stream across two tracers, absorbing, and
+    /// canonically sorting must reproduce the single-tracer
+    /// serialization bit for bit — the property the sharded engine's
+    /// per-shard tracers rely on.
+    #[test]
+    fn absorb_plus_canonical_sort_is_partition_independent() {
+        let record = |t: &mut Tracer, which: usize| {
+            if which == 0 {
+                t.msg_send(10, OpId(1), 0, 1, 0, 64);
+                t.route_hop(20, OpId(1), 1, 42, 0, 1);
+                t.op_start(20, OpId(1), 0, "insert", 42, 3);
+            } else {
+                t.msg_send(10, OpId(2), 2, 3, 1, 32);
+                t.msg_recv(20, OpId(2), 2, 3, 1);
+                t.join_phase(30, 3, "start");
+            }
+        };
+        let mut whole = Tracer::for_kinds(KINDS);
+        whole.configure(TraceConfig::full());
+        record(&mut whole, 0);
+        record(&mut whole, 1);
+        whole.sort_canonical();
+        // Partitioned: each half in its own tracer, absorbed in the
+        // opposite order.
+        let mut half_a = Tracer::for_kinds(KINDS);
+        half_a.configure(TraceConfig::full());
+        record(&mut half_a, 1);
+        let mut half_b = Tracer::for_kinds(KINDS);
+        half_b.configure(TraceConfig::full());
+        record(&mut half_b, 0);
+        half_a.absorb(half_b);
+        half_a.sort_canonical();
+        assert_eq!(whole.to_jsonl(), half_a.to_jsonl());
+        assert_eq!(whole.fingerprint(), half_a.fingerprint());
+    }
+
+    /// A same-microsecond lifecycle (op served from the local store)
+    /// must stay `op_start` → work → `op_end` after the canonical sort,
+    /// even though "op_end" < "op_start" lexicographically.
+    #[test]
+    fn canonical_sort_keeps_same_time_lifecycles_causal() {
+        let mut t = Tracer::for_kinds(KINDS);
+        t.configure(TraceConfig::full());
+        t.op_end(50, OpId(1), 0, "lookup", true, 0);
+        t.msg_send(50, OpId(1), 0, 1, 0, 64);
+        t.op_start(50, OpId(1), 0, "lookup", 42, 1);
+        t.sort_canonical();
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().map(|l| l.trim()).collect();
+        assert!(lines[0].contains("op_start"), "got {:?}", lines[0]);
+        assert!(lines[1].contains("send"), "got {:?}", lines[1]);
+        assert!(lines[2].contains("op_end"), "got {:?}", lines[2]);
     }
 
     #[test]

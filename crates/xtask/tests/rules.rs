@@ -297,6 +297,14 @@ fn l1_triggers_on_sharded_engine_and_wheel() {
 }
 
 #[test]
+fn l1_triggers_on_backend_module_path() {
+    let src = "use past_netsim::backend::SimBackend;\n";
+    assert_eq!(rules("crates/pastry/src/x.rs", src), vec!["L1"]);
+    let src = "use netsim::backend::WindowTooWide;\n";
+    assert_eq!(rules("crates/core/src/x.rs", src), vec!["L1"]);
+}
+
+#[test]
 fn l1_passes_vocabulary_types_and_other_crates() {
     // Addr/SimTime/OpId/Message are the sanctioned sans-io surface.
     let src = "use past_netsim::{Addr, Message, OpId, SimTime};\n\
@@ -305,6 +313,18 @@ fn l1_passes_vocabulary_types_and_other_crates() {
     // The same engine-driving code is fine outside the protocol crates.
     let src = "fn step(sim: &mut Harness) { sim.engine.step(); }\n";
     assert_clean("crates/sim/src/x.rs", src);
+}
+
+#[test]
+fn l1_passes_backend_abstraction_reexports() {
+    // Backend-generic protocol code is sanctioned as long as it goes
+    // through the crate-root re-exports, not the backend module path.
+    let src = "use past_netsim::{SimBackend, WindowTooWide};\n\
+               fn f<B: SimBackend<N, Topo = T>>(b: &B) -> usize { b.len() }\n";
+    assert_clean("crates/pastry/src/x.rs", src);
+    let src = "use past_netsim::Backend;\n\
+               fn pick(b: Backend) -> Backend { b }\n";
+    assert_clean("crates/core/src/x.rs", src);
 }
 
 // ------------------------------------------------------------------ M1
