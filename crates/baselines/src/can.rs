@@ -125,9 +125,9 @@ impl Message for CanMsg {
     }
 
     fn wire_size(&self) -> u64 {
-        // One f64 per torus coordinate plus origin/hop/delay header.
-        let CanMsg::Lookup(lk) = self;
-        24 + 8 * lk.target.len() as u64
+        // Exact encoded length from the codec in `crate::wire`.
+        use past_wire::Wire;
+        self.encoded_len()
     }
 }
 

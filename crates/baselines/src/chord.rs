@@ -44,9 +44,9 @@ impl Message for ChordMsg {
     }
 
     fn wire_size(&self) -> u64 {
-        // 16-byte key + origin + hop/delay accounting + header.
-        let ChordMsg::Lookup(_) = self;
-        48
+        // Exact encoded length from the codec in `crate::wire`.
+        use past_wire::Wire;
+        self.encoded_len()
     }
 }
 

@@ -9,6 +9,7 @@
 
 pub mod can;
 pub mod chord;
+pub mod wire;
 
 pub use can::{id_to_point, CanDelivery, CanSim};
 pub use chord::{ChordDelivery, ChordSim};

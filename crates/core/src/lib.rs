@@ -27,6 +27,7 @@ pub mod network;
 pub mod node;
 pub mod smartcard;
 pub mod storage;
+pub mod wire;
 
 pub use broker::Broker;
 pub use cert::{CardCert, FileCertificate, ReclaimCertificate, ReclaimReceipt, StoreReceipt};

@@ -202,31 +202,8 @@ pub enum PastMsg {
 }
 
 impl PayloadSize for PastMsg {
-    fn payload_size(&self) -> u64 {
-        const CERT: u64 = 180;
-        const RECEIPT: u64 = 150;
-        match self {
-            // Content bytes travel with inserts, replications, and replies.
-            PastMsg::Insert { cert, .. } => CERT + cert.size,
-            PastMsg::Replicate { cert, .. } => CERT + cert.size,
-            PastMsg::DivertStore { cert, .. } => CERT + cert.size,
-            PastMsg::FileReply { cert, .. } => CERT + cert.size,
-            PastMsg::CachePush { cert } => CERT + cert.size,
-            PastMsg::Lookup { path, .. } => 40 + 8 * path.len() as u64,
-            PastMsg::LookupHop { path, .. } => 40 + 8 * path.len() as u64,
-            PastMsg::Reclaim { .. } | PastMsg::ReclaimFree { .. } => CERT,
-            PastMsg::StoreAck { .. } | PastMsg::ReclaimAck { .. } => RECEIPT,
-            // Header-sized control frames, named explicitly (rule M1):
-            // a new variant must pick its size here, not inherit one.
-            PastMsg::DivertAck { .. }
-            | PastMsg::DivertNack { .. }
-            | PastMsg::InsertNack { .. }
-            | PastMsg::LookupMiss { .. }
-            | PastMsg::ReclaimDenied { .. }
-            | PastMsg::AuditChallenge { .. }
-            | PastMsg::AuditProof { .. } => 40,
-        }
-    }
+    // payload_size() is the trait default: the exact encoded length from
+    // the codec in `crate::wire` (content bodies included).
 
     fn op_id(&self) -> OpId {
         match self {

@@ -1,0 +1,728 @@
+//! Byte-level codec for the PAST message set (DESIGN.md §13.3).
+//!
+//! Frame layout mirrors the Pastry codec: `[version:1][kind:1]`, then
+//! the variant's fields in declaration order — little-endian integers,
+//! `u32` length-prefixed vectors, canonical big-endian crypto material.
+//! Certificates and receipts are fixed-size structures (a [`CardCert`]
+//! credential is 128 bytes, a [`FileCertificate`] 269, receipts 220/221,
+//! a [`ReclaimCertificate`] 212).
+//!
+//! **Content bodies.** The simulator never materializes file bytes; a
+//! [`ContentRef`] stands in for "the content as transferred". On the
+//! wire that stand-in keeps its transfer cost: a `ContentRef` encodes as
+//! `hash(32) ‖ size(8)` followed by `size` body bytes (zero filler in
+//! the simulator, the actual file in a deployment), and `FileReply` /
+//! `CachePush` — where the certificate "is returned along with the
+//! file" — append a `cert.size` body the same way. Decoding *skips*
+//! bodies without copying, after validating the declared size against
+//! the remaining frame, so a hostile size field is a clean
+//! [`DecodeError::LengthOverflow`], never an allocation or a panic.
+
+use crate::cert::{CardCert, FileCertificate, ReclaimCertificate, ReclaimReceipt, StoreReceipt};
+use crate::fileid::{ContentRef, FileId};
+use crate::msg::{NackReason, PastMsg};
+use past_crypto::{Digest160, Digest256, PublicKey, Signature};
+use past_netsim::OpId;
+use past_wire::{
+    get_bool, get_u64, get_u8, get_vec, put_bool, put_u64, put_u8, put_vec, tail, DecodeError,
+    Wire, WIRE_VERSION,
+};
+
+/// Appends a content body of `size` filler bytes (the simulator's
+/// stand-in for actual file bytes).
+fn put_body(out: &mut Vec<u8>, size: u64) {
+    out.resize(out.len() + size as usize, 0);
+}
+
+/// Skips a content body of declared `size`, validating it against the
+/// remaining frame without copying.
+fn skip_body(buf: &[u8], pos: &mut usize, size: u64) -> Result<(), DecodeError> {
+    let n = usize::try_from(size).map_err(|_| DecodeError::LengthOverflow)?;
+    if n > buf.len().saturating_sub(*pos) {
+        return Err(DecodeError::LengthOverflow);
+    }
+    *pos += n;
+    Ok(())
+}
+
+impl Wire for FileId {
+    const MIN_WIRE_LEN: usize = 20;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(FileId, usize), DecodeError> {
+        let (d, used) = Digest160::decode(buf)?;
+        Ok((FileId(d), used))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        20
+    }
+}
+
+impl Wire for ContentRef {
+    const MIN_WIRE_LEN: usize = 40;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.hash.encode(out);
+        put_u64(out, self.size);
+        put_body(out, self.size);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(ContentRef, usize), DecodeError> {
+        let mut pos = 0;
+        let (hash, used) = Digest256::decode(buf)?;
+        pos += used;
+        let size = get_u64(buf, &mut pos)?;
+        skip_body(buf, &mut pos, size)?;
+        Ok((ContentRef { hash, size }, pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        40 + self.size
+    }
+}
+
+impl Wire for CardCert {
+    const MIN_WIRE_LEN: usize = 128;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.card_key.encode(out);
+        self.broker_key.encode(out);
+        self.broker_sig.encode(out);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(CardCert, usize), DecodeError> {
+        let mut pos = 0;
+        let (card_key, used) = PublicKey::decode(tail(buf, pos))?;
+        pos += used;
+        let (broker_key, used) = PublicKey::decode(tail(buf, pos))?;
+        pos += used;
+        let (broker_sig, used) = Signature::decode(tail(buf, pos))?;
+        pos += used;
+        Ok((
+            CardCert {
+                card_key,
+                broker_key,
+                broker_sig,
+            },
+            pos,
+        ))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        128
+    }
+}
+
+impl Wire for FileCertificate {
+    const MIN_WIRE_LEN: usize = 269;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.file_id.encode(out);
+        self.content_hash.encode(out);
+        put_u64(out, self.size);
+        put_u8(out, self.replication);
+        put_u64(out, self.salt);
+        put_u64(out, self.inserted_at);
+        self.owner.encode(out);
+        self.signature.encode(out);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(FileCertificate, usize), DecodeError> {
+        let mut pos = 0;
+        let (file_id, used) = FileId::decode(tail(buf, pos))?;
+        pos += used;
+        let (content_hash, used) = Digest256::decode(tail(buf, pos))?;
+        pos += used;
+        let size = get_u64(buf, &mut pos)?;
+        let replication = get_u8(buf, &mut pos)?;
+        let salt = get_u64(buf, &mut pos)?;
+        let inserted_at = get_u64(buf, &mut pos)?;
+        let (owner, used) = CardCert::decode(tail(buf, pos))?;
+        pos += used;
+        let (signature, used) = Signature::decode(tail(buf, pos))?;
+        pos += used;
+        Ok((
+            FileCertificate {
+                file_id,
+                content_hash,
+                size,
+                replication,
+                salt,
+                inserted_at,
+                owner,
+                signature,
+            },
+            pos,
+        ))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        269
+    }
+}
+
+impl Wire for StoreReceipt {
+    const MIN_WIRE_LEN: usize = 221;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.file_id.encode(out);
+        put_u64(out, self.stored);
+        put_bool(out, self.diverted);
+        self.storer.encode(out);
+        self.signature.encode(out);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(StoreReceipt, usize), DecodeError> {
+        let mut pos = 0;
+        let (file_id, used) = FileId::decode(tail(buf, pos))?;
+        pos += used;
+        let stored = get_u64(buf, &mut pos)?;
+        let diverted = get_bool(buf, &mut pos)?;
+        let (storer, used) = CardCert::decode(tail(buf, pos))?;
+        pos += used;
+        let (signature, used) = Signature::decode(tail(buf, pos))?;
+        pos += used;
+        Ok((
+            StoreReceipt {
+                file_id,
+                stored,
+                diverted,
+                storer,
+                signature,
+            },
+            pos,
+        ))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        221
+    }
+}
+
+impl Wire for ReclaimCertificate {
+    const MIN_WIRE_LEN: usize = 212;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.file_id.encode(out);
+        self.owner.encode(out);
+        self.signature.encode(out);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(ReclaimCertificate, usize), DecodeError> {
+        let mut pos = 0;
+        let (file_id, used) = FileId::decode(tail(buf, pos))?;
+        pos += used;
+        let (owner, used) = CardCert::decode(tail(buf, pos))?;
+        pos += used;
+        let (signature, used) = Signature::decode(tail(buf, pos))?;
+        pos += used;
+        Ok((
+            ReclaimCertificate {
+                file_id,
+                owner,
+                signature,
+            },
+            pos,
+        ))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        212
+    }
+}
+
+impl Wire for ReclaimReceipt {
+    const MIN_WIRE_LEN: usize = 220;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.file_id.encode(out);
+        put_u64(out, self.freed);
+        self.storer.encode(out);
+        self.signature.encode(out);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(ReclaimReceipt, usize), DecodeError> {
+        let mut pos = 0;
+        let (file_id, used) = FileId::decode(tail(buf, pos))?;
+        pos += used;
+        let freed = get_u64(buf, &mut pos)?;
+        let (storer, used) = CardCert::decode(tail(buf, pos))?;
+        pos += used;
+        let (signature, used) = Signature::decode(tail(buf, pos))?;
+        pos += used;
+        Ok((
+            ReclaimReceipt {
+                file_id,
+                freed,
+                storer,
+                signature,
+            },
+            pos,
+        ))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        220
+    }
+}
+
+impl Wire for NackReason {
+    const MIN_WIRE_LEN: usize = 1;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag = match self {
+            NackReason::BadCertificate => 0,
+            NackReason::StoreRefused => 1,
+            NackReason::TargetDead => 2,
+            NackReason::InsufficientNodes => 3,
+        };
+        put_u8(out, tag);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(NackReason, usize), DecodeError> {
+        let mut pos = 0;
+        let reason = match get_u8(buf, &mut pos)? {
+            0 => NackReason::BadCertificate,
+            1 => NackReason::StoreRefused,
+            2 => NackReason::TargetDead,
+            3 => NackReason::InsufficientNodes,
+            tag => return Err(DecodeError::UnknownKind(tag)),
+        };
+        Ok((reason, pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        1
+    }
+}
+
+impl Wire for PastMsg {
+    const MIN_WIRE_LEN: usize = 2;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u8(out, WIRE_VERSION);
+        match self {
+            PastMsg::Insert {
+                cert,
+                content,
+                client,
+                op,
+            } => {
+                put_u8(out, 0);
+                cert.encode(out);
+                content.encode(out);
+                put_u64(out, *client as u64);
+                op.encode(out);
+            }
+            PastMsg::Lookup {
+                file_id,
+                client,
+                path,
+                redirected,
+                op,
+            } => {
+                put_u8(out, 1);
+                file_id.encode(out);
+                put_u64(out, *client as u64);
+                put_vec(out, path);
+                put_bool(out, *redirected);
+                op.encode(out);
+            }
+            PastMsg::Reclaim { rcert, client, op } => {
+                put_u8(out, 2);
+                rcert.encode(out);
+                put_u64(out, *client as u64);
+                op.encode(out);
+            }
+            PastMsg::Replicate {
+                cert,
+                content,
+                client,
+                op,
+            } => {
+                put_u8(out, 3);
+                cert.encode(out);
+                content.encode(out);
+                client.encode(out);
+                op.encode(out);
+            }
+            PastMsg::DivertStore {
+                cert,
+                content,
+                primary,
+                client,
+                op,
+            } => {
+                put_u8(out, 4);
+                cert.encode(out);
+                content.encode(out);
+                put_u64(out, *primary as u64);
+                put_u64(out, *client as u64);
+                op.encode(out);
+            }
+            PastMsg::DivertAck { file_id, op } => {
+                put_u8(out, 5);
+                file_id.encode(out);
+                op.encode(out);
+            }
+            PastMsg::DivertNack { file_id, op } => {
+                put_u8(out, 6);
+                file_id.encode(out);
+                op.encode(out);
+            }
+            PastMsg::StoreAck { receipt, op } => {
+                put_u8(out, 7);
+                receipt.encode(out);
+                op.encode(out);
+            }
+            PastMsg::InsertNack {
+                file_id,
+                reason,
+                op,
+            } => {
+                put_u8(out, 8);
+                file_id.encode(out);
+                reason.encode(out);
+                op.encode(out);
+            }
+            PastMsg::LookupHop {
+                file_id,
+                client,
+                path,
+                terminal,
+                op,
+            } => {
+                put_u8(out, 9);
+                file_id.encode(out);
+                put_u64(out, *client as u64);
+                put_vec(out, path);
+                put_bool(out, *terminal);
+                op.encode(out);
+            }
+            PastMsg::FileReply {
+                cert,
+                from_cache,
+                op,
+            } => {
+                put_u8(out, 10);
+                cert.encode(out);
+                put_bool(out, *from_cache);
+                op.encode(out);
+                put_body(out, cert.size);
+            }
+            PastMsg::LookupMiss { file_id, op } => {
+                put_u8(out, 11);
+                file_id.encode(out);
+                op.encode(out);
+            }
+            PastMsg::ReclaimFree { rcert, client, op } => {
+                put_u8(out, 12);
+                rcert.encode(out);
+                put_u64(out, *client as u64);
+                op.encode(out);
+            }
+            PastMsg::ReclaimAck { receipt, op } => {
+                put_u8(out, 13);
+                receipt.encode(out);
+                op.encode(out);
+            }
+            PastMsg::ReclaimDenied { file_id, op } => {
+                put_u8(out, 14);
+                file_id.encode(out);
+                op.encode(out);
+            }
+            PastMsg::CachePush { cert } => {
+                put_u8(out, 15);
+                cert.encode(out);
+                put_body(out, cert.size);
+            }
+            PastMsg::AuditChallenge { file_id, nonce } => {
+                put_u8(out, 16);
+                file_id.encode(out);
+                put_u64(out, *nonce);
+            }
+            PastMsg::AuditProof { file_id, proof } => {
+                put_u8(out, 17);
+                file_id.encode(out);
+                proof.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<(PastMsg, usize), DecodeError> {
+        let mut pos = 0;
+        let version = get_u8(buf, &mut pos)?;
+        if version != WIRE_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let kind = get_u8(buf, &mut pos)?;
+        let msg = match kind {
+            0 => {
+                let (cert, used) = FileCertificate::decode(tail(buf, pos))?;
+                pos += used;
+                let (content, used) = ContentRef::decode(tail(buf, pos))?;
+                pos += used;
+                let client = get_u64(buf, &mut pos)? as usize;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::Insert {
+                    cert,
+                    content,
+                    client,
+                    op,
+                }
+            }
+            1 => {
+                let (file_id, used) = FileId::decode(tail(buf, pos))?;
+                pos += used;
+                let client = get_u64(buf, &mut pos)? as usize;
+                let path = get_vec(buf, &mut pos)?;
+                let redirected = get_bool(buf, &mut pos)?;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::Lookup {
+                    file_id,
+                    client,
+                    path,
+                    redirected,
+                    op,
+                }
+            }
+            2 => {
+                let (rcert, used) = ReclaimCertificate::decode(tail(buf, pos))?;
+                pos += used;
+                let client = get_u64(buf, &mut pos)? as usize;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::Reclaim { rcert, client, op }
+            }
+            3 => {
+                let (cert, used) = FileCertificate::decode(tail(buf, pos))?;
+                pos += used;
+                let (content, used) = ContentRef::decode(tail(buf, pos))?;
+                pos += used;
+                let (client, used) = Option::<usize>::decode(tail(buf, pos))?;
+                pos += used;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::Replicate {
+                    cert,
+                    content,
+                    client,
+                    op,
+                }
+            }
+            4 => {
+                let (cert, used) = FileCertificate::decode(tail(buf, pos))?;
+                pos += used;
+                let (content, used) = ContentRef::decode(tail(buf, pos))?;
+                pos += used;
+                let primary = get_u64(buf, &mut pos)? as usize;
+                let client = get_u64(buf, &mut pos)? as usize;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::DivertStore {
+                    cert,
+                    content,
+                    primary,
+                    client,
+                    op,
+                }
+            }
+            5 => {
+                let (file_id, used) = FileId::decode(tail(buf, pos))?;
+                pos += used;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::DivertAck { file_id, op }
+            }
+            6 => {
+                let (file_id, used) = FileId::decode(tail(buf, pos))?;
+                pos += used;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::DivertNack { file_id, op }
+            }
+            7 => {
+                let (receipt, used) = StoreReceipt::decode(tail(buf, pos))?;
+                pos += used;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::StoreAck { receipt, op }
+            }
+            8 => {
+                let (file_id, used) = FileId::decode(tail(buf, pos))?;
+                pos += used;
+                let (reason, used) = NackReason::decode(tail(buf, pos))?;
+                pos += used;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::InsertNack {
+                    file_id,
+                    reason,
+                    op,
+                }
+            }
+            9 => {
+                let (file_id, used) = FileId::decode(tail(buf, pos))?;
+                pos += used;
+                let client = get_u64(buf, &mut pos)? as usize;
+                let path = get_vec(buf, &mut pos)?;
+                let terminal = get_bool(buf, &mut pos)?;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::LookupHop {
+                    file_id,
+                    client,
+                    path,
+                    terminal,
+                    op,
+                }
+            }
+            10 => {
+                let (cert, used) = FileCertificate::decode(tail(buf, pos))?;
+                pos += used;
+                let from_cache = get_bool(buf, &mut pos)?;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                skip_body(buf, &mut pos, cert.size)?;
+                PastMsg::FileReply {
+                    cert,
+                    from_cache,
+                    op,
+                }
+            }
+            11 => {
+                let (file_id, used) = FileId::decode(tail(buf, pos))?;
+                pos += used;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::LookupMiss { file_id, op }
+            }
+            12 => {
+                let (rcert, used) = ReclaimCertificate::decode(tail(buf, pos))?;
+                pos += used;
+                let client = get_u64(buf, &mut pos)? as usize;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::ReclaimFree { rcert, client, op }
+            }
+            13 => {
+                let (receipt, used) = ReclaimReceipt::decode(tail(buf, pos))?;
+                pos += used;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::ReclaimAck { receipt, op }
+            }
+            14 => {
+                let (file_id, used) = FileId::decode(tail(buf, pos))?;
+                pos += used;
+                let (op, used) = OpId::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::ReclaimDenied { file_id, op }
+            }
+            15 => {
+                let (cert, used) = FileCertificate::decode(tail(buf, pos))?;
+                pos += used;
+                skip_body(buf, &mut pos, cert.size)?;
+                PastMsg::CachePush { cert }
+            }
+            16 => {
+                let (file_id, used) = FileId::decode(tail(buf, pos))?;
+                pos += used;
+                let nonce = get_u64(buf, &mut pos)?;
+                PastMsg::AuditChallenge { file_id, nonce }
+            }
+            17 => {
+                let (file_id, used) = FileId::decode(tail(buf, pos))?;
+                pos += used;
+                let (proof, used) = Option::<Digest256>::decode(tail(buf, pos))?;
+                pos += used;
+                PastMsg::AuditProof { file_id, proof }
+            }
+            other => return Err(DecodeError::UnknownKind(other)),
+        };
+        Ok((msg, pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        const HEADER: u64 = 2;
+        const FID: u64 = 20;
+        const CERT: u64 = 269;
+        const RCERT: u64 = 212;
+        const RECEIPT: u64 = 221;
+        const RRECEIPT: u64 = 220;
+        const ADDR: u64 = 8;
+        const OP: u64 = 8;
+        HEADER
+            + match self {
+                // Content bodies travel with inserts, replications,
+                // diversions, replies, and cache pushes.
+                PastMsg::Insert { content, .. } => CERT + 40 + content.size + ADDR + OP,
+                PastMsg::Lookup { path, .. } => FID + ADDR + 4 + 8 * path.len() as u64 + 1 + OP,
+                PastMsg::Reclaim { .. } => RCERT + ADDR + OP,
+                PastMsg::Replicate {
+                    content, client, ..
+                } => CERT + 40 + content.size + client.encoded_len() + OP,
+                PastMsg::DivertStore { content, .. } => CERT + 40 + content.size + 2 * ADDR + OP,
+                PastMsg::DivertAck { .. } => FID + OP,
+                PastMsg::DivertNack { .. } => FID + OP,
+                PastMsg::StoreAck { .. } => RECEIPT + OP,
+                PastMsg::InsertNack { .. } => FID + 1 + OP,
+                PastMsg::LookupHop { path, .. } => FID + ADDR + 4 + 8 * path.len() as u64 + 1 + OP,
+                PastMsg::FileReply { cert, .. } => CERT + 1 + OP + cert.size,
+                PastMsg::LookupMiss { .. } => FID + OP,
+                PastMsg::ReclaimFree { .. } => RCERT + ADDR + OP,
+                PastMsg::ReclaimAck { .. } => RRECEIPT + OP,
+                PastMsg::ReclaimDenied { .. } => FID + OP,
+                PastMsg::CachePush { cert } => CERT + cert.size,
+                PastMsg::AuditChallenge { .. } => FID + 8,
+                PastMsg::AuditProof { proof, .. } => FID + proof.encoded_len(),
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_body_travels_and_is_skipped() {
+        let content = ContentRef::synthetic(1, "f", 100);
+        let bytes = content.to_wire();
+        assert_eq!(bytes.len(), 140);
+        let (back, used) = ContentRef::decode(&bytes).unwrap();
+        assert_eq!(back, content);
+        assert_eq!(used, 140);
+        // A declared size larger than the frame is a typed error.
+        assert_eq!(
+            ContentRef::decode(&bytes[..50]).unwrap_err(),
+            DecodeError::LengthOverflow
+        );
+    }
+
+    #[test]
+    fn nack_reason_rejects_unknown_tags() {
+        for (i, r) in [
+            NackReason::BadCertificate,
+            NackReason::StoreRefused,
+            NackReason::TargetDead,
+            NackReason::InsufficientNodes,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let bytes = r.to_wire();
+            assert_eq!(bytes, vec![i as u8]);
+            assert_eq!(NackReason::decode(&bytes).unwrap(), (r, 1));
+        }
+        assert_eq!(
+            NackReason::decode(&[4]).unwrap_err(),
+            DecodeError::UnknownKind(4)
+        );
+    }
+}

@@ -35,7 +35,10 @@ pub trait Message: Clone {
         Self::KINDS[self.kind_id()]
     }
 
-    /// Approximate wire size in bytes (for bandwidth accounting).
+    /// Wire size in bytes, used for bandwidth accounting and per-send
+    /// trace records. Message types with a codec must answer their exact
+    /// encoded length (`past_wire::Wire::encoded_len`); the default is a
+    /// placeholder for codec-less test messages only.
     fn wire_size(&self) -> u64 {
         64
     }
@@ -186,6 +189,48 @@ impl<M, O> Ctx<'_, M, O> {
     /// Emits an observation for the experiment harness.
     pub fn emit(&mut self, out: O) {
         self.emitted.push(out);
+    }
+}
+
+/// The engine context is the simulator-side implementation of the
+/// sans-io effect sink: protocol state machines written against
+/// `past_wire::Io` run under the engine with no adapter code beyond
+/// this impl.
+impl<M, O> past_wire::Io<M, O> for Ctx<'_, M, O> {
+    fn now_us(&self) -> u64 {
+        self.now.as_micros()
+    }
+
+    fn me(&self) -> Addr {
+        self.me
+    }
+
+    fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+
+    fn tracer(&mut self) -> &mut Tracer {
+        self.tracer
+    }
+
+    fn delay_to(&self, other: Addr) -> u64 {
+        Ctx::delay_to(self, other)
+    }
+
+    fn send(&mut self, to: Addr, msg: M) {
+        Ctx::send(self, to, msg)
+    }
+
+    fn send_after(&mut self, to: Addr, msg: M, extra_us: u64) {
+        Ctx::send_after(self, to, msg, extra_us)
+    }
+
+    fn set_timer(&mut self, delay_us: u64, kind: u64) {
+        Ctx::set_timer(self, delay_us, kind)
+    }
+
+    fn emit(&mut self, out: O) {
+        Ctx::emit(self, out)
     }
 }
 

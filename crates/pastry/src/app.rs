@@ -11,8 +11,7 @@ use crate::handle::NodeHandle;
 use crate::id::Id;
 use crate::msg::{PastryMsg, PayloadSize, RouteEnvelope};
 use crate::state::PastryState;
-use past_crypto::rng::Rng;
-use past_netsim::{Addr, Ctx, Tracer};
+use past_wire::{Addr, Io, Rng, Tracer};
 
 /// Observations surfaced by the overlay (and the app) to the experiment
 /// harness.
@@ -65,36 +64,38 @@ pub struct RouteInfo {
 
 /// The effect context handed to application callbacks.
 ///
-/// Wraps the engine context, translating application actions into Pastry
-/// messages.
+/// Wraps the node's sans-io effect sink ([`Io`]), translating
+/// application actions into Pastry messages. Because it holds the sink
+/// and not the engine, application logic is as engine-free as the node
+/// logic it rides on.
 pub struct AppCtx<'a, 'b, P: Clone + PayloadSize, O> {
-    pub(crate) ctx: &'a mut Ctx<'b, PastryMsg<P>, PastryOut<O>>,
+    pub(crate) io: &'a mut (dyn Io<PastryMsg<P>, PastryOut<O>> + 'b),
 }
 
 impl<P: Clone + PayloadSize, O> AppCtx<'_, '_, P, O> {
     /// This node's address.
     pub fn me(&self) -> Addr {
-        self.ctx.me
+        self.io.me()
     }
 
     /// Current simulated time in microseconds.
     pub fn now_us(&self) -> u64 {
-        self.ctx.now.as_micros()
+        self.io.now_us()
     }
 
     /// The simulation RNG.
     pub fn rng(&mut self) -> &mut Rng {
-        self.ctx.rng
+        self.io.rng()
     }
 
-    /// The engine's trace sink (operation lifecycle records).
+    /// The trace sink (operation lifecycle records).
     pub fn tracer(&mut self) -> &mut Tracer {
-        self.ctx.tracer
+        self.io.tracer()
     }
 
     /// Proximity (one-way delay) to another node.
     pub fn delay_to(&self, other: Addr) -> u64 {
-        self.ctx.delay_to(other)
+        self.io.delay_to(other)
     }
 
     /// Starts routing `payload` toward `key` from this node.
@@ -103,8 +104,8 @@ impl<P: Clone + PayloadSize, O> AppCtx<'_, '_, P, O> {
     /// so delivery/forward hooks run uniformly even if this node is itself
     /// the key's root.
     pub fn route(&mut self, key: Id, payload: P) {
-        let me = self.ctx.me;
-        self.ctx.send(
+        let me = self.io.me();
+        self.io.send(
             me,
             PastryMsg::Route(RouteEnvelope {
                 key,
@@ -118,24 +119,24 @@ impl<P: Clone + PayloadSize, O> AppCtx<'_, '_, P, O> {
 
     /// Sends `payload` directly to a specific node, bypassing routing.
     pub fn send_direct(&mut self, to: Addr, payload: P) {
-        self.ctx.send(to, PastryMsg::AppDirect { payload });
+        self.io.send(to, PastryMsg::AppDirect { payload });
     }
 
     /// Sends `payload` directly with additional local processing delay.
     pub fn send_direct_after(&mut self, to: Addr, payload: P, extra_us: u64) {
-        self.ctx
+        self.io
             .send_after(to, PastryMsg::AppDirect { payload }, extra_us);
     }
 
     /// Arms an application timer (delivered via [`App::on_timer`]).
     pub fn set_app_timer(&mut self, delay_us: u64, kind: u64) {
-        self.ctx
+        self.io
             .set_timer(delay_us, crate::node::APP_TIMER_BASE + kind);
     }
 
     /// Emits an application observation to the harness.
     pub fn emit(&mut self, out: O) {
-        self.ctx.emit(PastryOut::App(out));
+        self.io.emit(PastryOut::App(out));
     }
 }
 

@@ -30,6 +30,7 @@ pub mod route;
 pub mod sim;
 pub mod state;
 pub mod table;
+pub mod wire;
 
 pub use app::{App, AppCtx, NullApp, PastryOut, RouteInfo};
 pub use handle::NodeHandle;
@@ -43,3 +44,6 @@ pub use sim::{
     PastrySim, ShardedPastrySim,
 };
 pub use state::PastryState;
+// The codec and sans-io vocabulary node logic is written against, so
+// dependents name one crate for the protocol surface.
+pub use past_wire::{DecodeError, Effect, Input, Io, Proximity, StepIo, Wire, WIRE_VERSION};

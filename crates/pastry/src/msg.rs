@@ -3,6 +3,7 @@
 use crate::handle::NodeHandle;
 use crate::id::Id;
 use past_netsim::{Addr, Message, OpId};
+use past_wire::Wire;
 
 /// A routed application message in flight.
 #[derive(Clone, Debug)]
@@ -101,8 +102,6 @@ pub enum PastryMsg<P> {
     },
 }
 
-const HANDLE_BYTES: u64 = 24; // 16-byte id + address
-
 impl<P: Clone + PayloadSize> Message for PastryMsg<P> {
     const KINDS: &'static [&'static str] = &[
         "route",
@@ -143,27 +142,11 @@ impl<P: Clone + PayloadSize> Message for PastryMsg<P> {
     }
 
     fn wire_size(&self) -> u64 {
-        match self {
-            PastryMsg::Route(env) => 48 + env.payload.payload_size(),
-            PastryMsg::JoinRequest { rows, .. } => 48 + HANDLE_BYTES * rows.len() as u64,
-            PastryMsg::JoinReply { rows, leaf, .. } => {
-                48 + HANDLE_BYTES * (rows.len() + leaf.len()) as u64
-            }
-            PastryMsg::NeighborhoodReply { members } | PastryMsg::LeafReply { members } => {
-                16 + HANDLE_BYTES * members.len() as u64
-            }
-            PastryMsg::RowReply { entries } => 16 + HANDLE_BYTES * entries.len() as u64,
-            PastryMsg::AppDirect { payload } => 16 + payload.payload_size(),
-            PastryMsg::Announce { .. } => 16 + HANDLE_BYTES,
-            PastryMsg::RepairReply { entry } => 16 + HANDLE_BYTES * entry.is_some() as u64,
-            // Row/slot coordinates ride in the header.
-            PastryMsg::RowRequest { .. } | PastryMsg::RepairRequest { .. } => 24,
-            // Bare request/probe frames: header only.
-            PastryMsg::NeighborhoodRequest
-            | PastryMsg::LeafRequest
-            | PastryMsg::Heartbeat
-            | PastryMsg::HeartbeatAck => 16,
-        }
+        // Not an estimate: the exact length `Wire::encode` produces.
+        // The per-variant arithmetic lives in `encoded_len`
+        // (crate::wire), which the codec round-trip tests pin against
+        // `encode().len()` for every variant.
+        self.encoded_len()
     }
 
     fn op_id(&self) -> OpId {
@@ -191,11 +174,16 @@ impl<P: Clone + PayloadSize> Message for PastryMsg<P> {
     }
 }
 
-/// Wire-size estimation for application payloads.
-pub trait PayloadSize {
-    /// Approximate encoded size in bytes.
+/// Application payload contract: a byte codec plus trace attribution.
+///
+/// `Wire` is a supertrait so that a `PastryMsg<P>` frame (and with it
+/// the engine's bandwidth accounting) always has an exact encoded
+/// length; `payload_size` is that length, kept as a named method for
+/// harness code that reasons about payloads without framing.
+pub trait PayloadSize: Wire {
+    /// Exact encoded size in bytes.
     fn payload_size(&self) -> u64 {
-        32
+        self.encoded_len()
     }
 
     /// The client operation this payload belongs to, for causal trace

@@ -3,6 +3,13 @@
 //! Implements message handling for routing, the join protocol, leaf-set
 //! and routing-table repair, heartbeats, and failure notifications, and
 //! dispatches application callbacks.
+//!
+//! The logic is **sans-io**: [`PastryNode::step`] is a pure transition
+//! function `(state, Input) → effects` whose only coupling to the
+//! outside world is the [`Io`] effect sink it writes through. The
+//! simulator adapts it onto the engine in [`crate::sim`] (the
+//! L1-sanctioned adapter); an engine-free driver (`past_wire::StepIo`)
+//! runs the same machine in pure tests and, later, socket transports.
 
 use crate::app::{App, AppCtx, PastryOut, RouteInfo};
 use crate::handle::NodeHandle;
@@ -10,7 +17,7 @@ use crate::id::Config;
 use crate::msg::{PastryMsg, PayloadSize, RouteEnvelope};
 use crate::route::{next_hop, NextHop};
 use crate::state::PastryState;
-use past_netsim::{Addr, Ctx, NodeLogic};
+use past_wire::{Addr, Input, Io};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Timer id for leaf-set heartbeats.
@@ -78,7 +85,9 @@ pub enum Behavior {
     DropRoutes,
 }
 
-type NodeCtx<'b, A> = Ctx<'b, PastryMsg<<A as App>::Payload>, PastryOut<<A as App>::Out>>;
+/// The effect sink a Pastry node writes through: any [`Io`] over the
+/// Pastry message set and overlay observations.
+pub type PastryIo<'i, A> = dyn Io<PastryMsg<<A as App>::Payload>, PastryOut<<A as App>::Out>> + 'i;
 
 /// A Pastry node: routing state, application, and protocol behavior.
 pub struct PastryNode<A: App> {
@@ -144,30 +153,47 @@ impl<A: App> PastryNode<A> {
         });
     }
 
+    /// Applies one protocol input to this node, writing every resulting
+    /// effect (sends, timers, observations) through `io` in call order.
+    ///
+    /// This is the node's entire interface to the outside world — the
+    /// sans-io transition function. The engine adapter
+    /// (`impl NodeLogic` in [`crate::sim`]) and pure test drivers both
+    /// funnel through here.
+    pub fn step(&mut self, input: Input<PastryMsg<A::Payload>>, io: &mut PastryIo<'_, A>) {
+        match input {
+            Input::Message { from, msg } => self.on_message(from, msg, io),
+            Input::SendFailed { to, msg } => self.on_send_failed(to, msg, io),
+            Input::Timer { kind } => self.on_timer(kind, io),
+        }
+    }
+
     /// Routes or delivers an envelope currently held by this node.
-    fn route_env(&mut self, mut env: RouteEnvelope<A::Payload>, ctx: &mut NodeCtx<'_, A>) {
+    fn route_env(&mut self, mut env: RouteEnvelope<A::Payload>, io: &mut PastryIo<'_, A>) {
         if env.hops > self.state.cfg.max_route_hops {
             // A cycle through inconsistent (failure-damaged) state; drop
             // and let the client retry after repair.
-            ctx.tracer
-                .route_drop(ctx.now.as_micros(), env.payload.op_id(), ctx.me, env.key.0);
-            ctx.emit(PastryOut::RouteDropped {
+            let (now, me) = (io.now_us(), io.me());
+            io.tracer()
+                .route_drop(now, env.payload.op_id(), me, env.key.0);
+            io.emit(PastryOut::RouteDropped {
                 key: env.key,
                 origin: env.origin,
             });
             return;
         }
-        match next_hop(&self.state, &env.key, ctx.rng) {
+        match next_hop(&self.state, &env.key, io.rng()) {
             NextHop::DeliverHere => {
-                ctx.tracer.route_deliver(
-                    ctx.now.as_micros(),
+                let (now, me) = (io.now_us(), io.me());
+                io.tracer().route_deliver(
+                    now,
                     env.payload.op_id(),
-                    ctx.me,
+                    me,
                     env.key.0,
                     env.hops,
                     env.path_us,
                 );
-                ctx.emit(PastryOut::Delivered {
+                io.emit(PastryOut::Delivered {
                     key: env.key,
                     origin: env.origin,
                     hops: env.hops,
@@ -178,61 +204,56 @@ impl<A: App> PastryNode<A> {
                     hops: env.hops,
                     path_us: env.path_us,
                 };
-                let mut cx = AppCtx { ctx };
+                let mut cx = AppCtx { io: &mut *io };
                 self.app
                     .deliver(&self.state, env.key, env.payload, info, &mut cx);
             }
             NextHop::Forward(next) => {
-                let mut cx = AppCtx { ctx };
+                let mut cx = AppCtx { io: &mut *io };
                 if !self.app.forward(&self.state, &mut env, next, &mut cx) {
                     return;
                 }
-                if ctx.tracer.config().routes {
+                if io.tracer().config().routes {
                     // Prefix-match depth: how many digits of the key this
                     // hop already resolves (computed only when recording).
                     let depth = self.state.me.id.prefix_len(&env.key, self.state.cfg.b) as u32;
-                    ctx.tracer.route_hop(
-                        ctx.now.as_micros(),
-                        env.payload.op_id(),
-                        ctx.me,
-                        env.key.0,
-                        env.hops,
-                        depth,
-                    );
+                    let (now, me) = (io.now_us(), io.me());
+                    io.tracer()
+                        .route_hop(now, env.payload.op_id(), me, env.key.0, env.hops, depth);
                 }
                 env.hops += 1;
-                env.path_us += ctx.delay_to(next.addr);
-                ctx.send(next.addr, PastryMsg::Route(env));
+                env.path_us += io.delay_to(next.addr);
+                io.send(next.addr, PastryMsg::Route(env));
             }
         }
     }
 
     /// Adds a node, invoking the leaf-set-change hook if needed.
-    fn learn(&mut self, h: NodeHandle, ctx: &mut NodeCtx<'_, A>) {
+    fn learn(&mut self, h: NodeHandle, io: &mut PastryIo<'_, A>) {
         if self.suspected.contains(&h.addr) {
             return;
         }
-        let prox = ctx.delay_to(h.addr);
+        let prox = io.delay_to(h.addr);
         if self.state.add_node(h, prox) {
-            let mut cx = AppCtx { ctx };
+            let mut cx = AppCtx { io: &mut *io };
             self.app.on_leafset_changed(&self.state, &[h], &[], &mut cx);
         }
     }
 
     /// Adds a batch of nodes, invoking the hook once with all leaf changes.
-    fn learn_batch(&mut self, handles: &[NodeHandle], ctx: &mut NodeCtx<'_, A>) {
+    fn learn_batch(&mut self, handles: &[NodeHandle], io: &mut PastryIo<'_, A>) {
         let mut added = Vec::new();
         for &h in handles {
             if self.suspected.contains(&h.addr) {
                 continue;
             }
-            let prox = ctx.delay_to(h.addr);
+            let prox = io.delay_to(h.addr);
             if self.state.add_node(h, prox) {
                 added.push(h);
             }
         }
         if !added.is_empty() {
-            let mut cx = AppCtx { ctx };
+            let mut cx = AppCtx { io: &mut *io };
             self.app
                 .on_leafset_changed(&self.state, &added, &[], &mut cx);
         }
@@ -244,32 +265,27 @@ impl<A: App> PastryNode<A> {
     /// they update their leaf sets" — here, the detecting node asks the
     /// farthest live member on the failed side for its leaf set. Routing
     /// table slots are repaired by asking a same-row peer for its entry.
-    fn handle_peer_failure(&mut self, dead: Addr, ctx: &mut NodeCtx<'_, A>) {
+    fn handle_peer_failure(&mut self, dead: Addr, io: &mut PastryIo<'_, A>) {
         self.suspected.insert(dead);
         let removal = self.state.remove_addr(dead);
         if let Some(side) = removal.leaf_side {
             if let Some(ex) = self.state.leaf.extreme(side) {
-                ctx.send(ex.addr, PastryMsg::LeafRequest);
+                io.send(ex.addr, PastryMsg::LeafRequest);
             }
             if let Some(h) = removal.leaf_handle {
-                let mut cx = AppCtx { ctx };
+                let mut cx = AppCtx { io: &mut *io };
                 self.app.on_leafset_changed(&self.state, &[], &[h], &mut cx);
             }
         }
         for (row, col) in removal.table_slots {
             // Ask any live same-row peer for a replacement entry.
             if let Some(peer) = self.state.table.row_entries(row).first() {
-                ctx.send(peer.addr, PastryMsg::RepairRequest { row, col });
+                io.send(peer.addr, PastryMsg::RepairRequest { row, col });
             }
         }
     }
-}
 
-impl<A: App> NodeLogic for PastryNode<A> {
-    type Msg = PastryMsg<A::Payload>;
-    type Out = PastryOut<A::Out>;
-
-    fn on_message(&mut self, from: Addr, msg: Self::Msg, ctx: &mut NodeCtx<'_, A>) {
+    fn on_message(&mut self, from: Addr, msg: PastryMsg<A::Payload>, io: &mut PastryIo<'_, A>) {
         // Hearing from a peer proves it alive: drop any suspicion, settle
         // the current heartbeat round, and reset its missed-ack count.
         self.suspected.remove(&from);
@@ -277,10 +293,10 @@ impl<A: App> NodeLogic for PastryNode<A> {
         self.missed_acks.remove(&from);
         match msg {
             PastryMsg::Route(env) => {
-                if self.behavior == Behavior::DropRoutes && env.origin != ctx.me {
+                if self.behavior == Behavior::DropRoutes && env.origin != io.me() {
                     return;
                 }
-                self.route_env(env, ctx);
+                self.route_env(env, io);
             }
             PastryMsg::JoinRequest {
                 joiner,
@@ -303,12 +319,12 @@ impl<A: App> NodeLogic for PastryNode<A> {
                 let decision = if hops > self.state.cfg.max_route_hops {
                     NextHop::DeliverHere
                 } else {
-                    next_hop(&self.state, &joiner.id, ctx.rng)
+                    next_hop(&self.state, &joiner.id, io.rng())
                 };
                 match decision {
                     NextHop::DeliverHere => {
                         let leaf: Vec<NodeHandle> = self.state.leaf.members().copied().collect();
-                        ctx.send(
+                        io.send(
                             joiner.addr,
                             PastryMsg::JoinReply {
                                 z: self.state.me,
@@ -319,7 +335,7 @@ impl<A: App> NodeLogic for PastryNode<A> {
                         );
                     }
                     NextHop::Forward(next) => {
-                        ctx.send(
+                        io.send(
                             next.addr,
                             PastryMsg::JoinRequest {
                                 joiner,
@@ -330,7 +346,7 @@ impl<A: App> NodeLogic for PastryNode<A> {
                         );
                     }
                 }
-                self.learn(joiner, ctx);
+                self.learn(joiner, io);
             }
             PastryMsg::JoinReply {
                 z,
@@ -341,7 +357,7 @@ impl<A: App> NodeLogic for PastryNode<A> {
                 let mut all = rows;
                 all.extend(leaf);
                 all.push(z);
-                self.learn_batch(&all, ctx);
+                self.learn_batch(&all, io);
                 if self.joined {
                     // A duplicate or late reply from a retried (or
                     // duplicated) join: the state merge above is all it
@@ -351,74 +367,74 @@ impl<A: App> NodeLogic for PastryNode<A> {
                 self.joined = true;
                 self.join_hops = Some(hops);
                 self.pending_join = None;
-                ctx.tracer
-                    .join_phase(ctx.now.as_micros(), ctx.me, "complete");
+                let (now, me) = (io.now_us(), io.me());
+                io.tracer().join_phase(now, me, "complete");
                 // "Notify interested nodes that need to know of its
                 // arrival, thereby restoring all of Pastry's invariants."
                 let me = self.state.me;
                 for h in self.state.known_nodes() {
-                    ctx.send(h.addr, PastryMsg::Announce { from: me });
+                    io.send(h.addr, PastryMsg::Announce { from: me });
                 }
-                ctx.emit(PastryOut::JoinComplete { hops });
+                io.emit(PastryOut::JoinComplete { hops });
             }
             PastryMsg::NeighborhoodRequest => {
                 let mut members: Vec<NodeHandle> =
                     self.state.neighborhood.members().copied().collect();
                 members.push(self.state.me);
-                ctx.send(from, PastryMsg::NeighborhoodReply { members });
+                io.send(from, PastryMsg::NeighborhoodReply { members });
             }
             PastryMsg::NeighborhoodReply { members } => {
-                self.learn_batch(&members, ctx);
+                self.learn_batch(&members, io);
             }
             PastryMsg::Announce { from: h } => {
-                self.learn(h, ctx);
+                self.learn(h, io);
             }
             PastryMsg::LeafRequest => {
                 let mut members: Vec<NodeHandle> = self.state.leaf.members().copied().collect();
                 members.push(self.state.me);
-                ctx.send(from, PastryMsg::LeafReply { members });
+                io.send(from, PastryMsg::LeafReply { members });
             }
             PastryMsg::LeafReply { members } => {
-                self.learn_batch(&members, ctx);
+                self.learn_batch(&members, io);
             }
             PastryMsg::RowRequest { row } => {
                 let entries = self.state.table.row_entries(row);
-                ctx.send(from, PastryMsg::RowReply { entries });
+                io.send(from, PastryMsg::RowReply { entries });
             }
             PastryMsg::RowReply { entries } => {
-                self.learn_batch(&entries, ctx);
+                self.learn_batch(&entries, io);
             }
             PastryMsg::RepairRequest { row, col } => {
                 let entry = self.state.table.get(row, col);
-                ctx.send(from, PastryMsg::RepairReply { entry });
+                io.send(from, PastryMsg::RepairReply { entry });
             }
             PastryMsg::RepairReply { entry } => {
                 if let Some(h) = entry {
-                    self.learn(h, ctx);
+                    self.learn(h, io);
                 }
             }
             PastryMsg::Heartbeat => {
-                ctx.send(from, PastryMsg::HeartbeatAck);
+                io.send(from, PastryMsg::HeartbeatAck);
             }
             // The proof-of-life prelude above already settled the round
             // and cleared the sender's missed-ack count.
             PastryMsg::HeartbeatAck => {}
             PastryMsg::AppDirect { payload } => {
-                let mut cx = AppCtx { ctx };
+                let mut cx = AppCtx { io: &mut *io };
                 self.app.on_direct(&self.state, from, payload, &mut cx);
             }
         }
     }
 
-    fn on_send_failed(&mut self, to: Addr, msg: Self::Msg, ctx: &mut NodeCtx<'_, A>) {
+    fn on_send_failed(&mut self, to: Addr, msg: PastryMsg<A::Payload>, io: &mut PastryIo<'_, A>) {
         // The peer is presumed failed: purge it and repair, then retry
         // whatever the message was trying to do.
-        self.handle_peer_failure(to, ctx);
+        self.handle_peer_failure(to, io);
         match msg {
             PastryMsg::Route(env) => {
                 // "Automatically resolves node failures": re-route around
                 // the dead node (it is no longer in our state).
-                self.route_env(env, ctx);
+                self.route_env(env, io);
             }
             PastryMsg::JoinRequest {
                 joiner,
@@ -427,10 +443,10 @@ impl<A: App> NodeLogic for PastryNode<A> {
                 hops,
             } => {
                 // Re-route the join with our updated state.
-                match next_hop(&self.state, &joiner.id, ctx.rng) {
+                match next_hop(&self.state, &joiner.id, io.rng()) {
                     NextHop::DeliverHere => {
                         let leaf: Vec<NodeHandle> = self.state.leaf.members().copied().collect();
-                        ctx.send(
+                        io.send(
                             joiner.addr,
                             PastryMsg::JoinReply {
                                 z: self.state.me,
@@ -441,7 +457,7 @@ impl<A: App> NodeLogic for PastryNode<A> {
                         );
                     }
                     NextHop::Forward(next) => {
-                        ctx.send(
+                        io.send(
                             next.addr,
                             PastryMsg::JoinRequest {
                                 joiner,
@@ -454,16 +470,16 @@ impl<A: App> NodeLogic for PastryNode<A> {
                 }
             }
             PastryMsg::AppDirect { payload } => {
-                let mut cx = AppCtx { ctx };
+                let mut cx = AppCtx { io: &mut *io };
                 self.app.on_direct_failed(&self.state, to, payload, &mut cx);
             }
             _ => {}
         }
     }
 
-    fn on_timer(&mut self, kind: u64, ctx: &mut NodeCtx<'_, A>) {
+    fn on_timer(&mut self, kind: u64, io: &mut PastryIo<'_, A>) {
         if kind >= APP_TIMER_BASE {
-            let mut cx = AppCtx { ctx };
+            let mut cx = AppCtx { io: &mut *io };
             self.app
                 .on_timer(&self.state, kind - APP_TIMER_BASE, &mut cx);
             return;
@@ -480,21 +496,21 @@ impl<A: App> NodeLogic for PastryNode<A> {
                     self.awaiting_ack.clear();
                     let me = self.state.me;
                     for &addr in &members {
-                        ctx.send(addr, PastryMsg::Heartbeat);
-                        ctx.send(addr, PastryMsg::Announce { from: me });
-                        ctx.send(addr, PastryMsg::LeafRequest);
+                        io.send(addr, PastryMsg::Heartbeat);
+                        io.send(addr, PastryMsg::Announce { from: me });
+                        io.send(addr, PastryMsg::LeafRequest);
                         self.awaiting_ack.insert(addr);
                     }
                     if !members.is_empty() {
-                        ctx.set_timer(rc.heartbeat_timeout_us, TIMER_HEARTBEAT_CHECK);
+                        io.set_timer(rc.heartbeat_timeout_us, TIMER_HEARTBEAT_CHECK);
                     }
                 } else {
                     for addr in members {
-                        ctx.send(addr, PastryMsg::Heartbeat);
+                        io.send(addr, PastryMsg::Heartbeat);
                     }
                 }
                 if let Some(period) = self.heartbeat_interval_us {
-                    ctx.set_timer(period, TIMER_HEARTBEAT);
+                    io.set_timer(period, TIMER_HEARTBEAT);
                 }
             }
             TIMER_HEARTBEAT_CHECK => {
@@ -508,9 +524,9 @@ impl<A: App> NodeLogic for PastryNode<A> {
                     if *missed >= rc.missed_ack_limit {
                         let rounds = *missed;
                         self.missed_acks.remove(&addr);
-                        ctx.tracer
-                            .suspect(ctx.now.as_micros(), ctx.me, addr, rounds);
-                        self.handle_peer_failure(addr, ctx);
+                        let (now, me) = (io.now_us(), io.me());
+                        io.tracer().suspect(now, me, addr, rounds);
+                        self.handle_peer_failure(addr, io);
                     }
                 }
             }
@@ -526,17 +542,19 @@ impl<A: App> NodeLogic for PastryNode<A> {
                 if pj.attempts >= rc.join_attempts {
                     let attempts = pj.attempts;
                     self.pending_join = None;
-                    ctx.tracer.join_phase(ctx.now.as_micros(), ctx.me, "failed");
-                    ctx.emit(PastryOut::JoinFailed { attempts });
+                    let (now, me) = (io.now_us(), io.me());
+                    io.tracer().join_phase(now, me, "failed");
+                    io.emit(PastryOut::JoinFailed { attempts });
                     return;
                 }
                 pj.attempts += 1;
                 let phase = if pj.attempts == 1 { "start" } else { "retry" };
-                ctx.tracer.join_phase(ctx.now.as_micros(), ctx.me, phase);
+                let (now, me) = (io.now_us(), io.me());
+                io.tracer().join_phase(now, me, phase);
                 let contact = pj.contact;
                 let joiner = self.state.me;
-                ctx.send(contact, PastryMsg::NeighborhoodRequest);
-                ctx.send(
+                io.send(contact, PastryMsg::NeighborhoodRequest);
+                io.send(
                     contact,
                     PastryMsg::JoinRequest {
                         joiner,
@@ -545,7 +563,7 @@ impl<A: App> NodeLogic for PastryNode<A> {
                         hops: 0,
                     },
                 );
-                ctx.set_timer(rc.join_timeout_us, TIMER_JOIN_RETRY);
+                io.set_timer(rc.join_timeout_us, TIMER_JOIN_RETRY);
             }
             _ => {}
         }

@@ -13,14 +13,43 @@ use crate::msg::{PastryMsg, RouteEnvelope};
 use crate::node::{PastryNode, RecoveryConfig, TIMER_HEARTBEAT, TIMER_JOIN_RETRY};
 use past_crypto::rng::Rng;
 use past_netsim::{
-    Addr, Engine, NodeLogic, ShardConfig, ShardedEngine, SimBackend, SimTime, Topology,
+    Addr, Ctx, Engine, NodeLogic, ShardConfig, ShardedEngine, SimBackend, SimTime, Topology,
     WindowTooWide,
 };
+use past_wire::Input;
 use std::cell::RefCell;
 use std::marker::PhantomData;
 
 /// Default cap on events per quiet-run (guards against runaway loops).
 const QUIET_BUDGET: u64 = 50_000_000;
+
+/// The engine-side adapter for the sans-io node logic: every engine
+/// callback becomes a [`past_wire::Input`] applied through
+/// [`PastryNode::step`], with the engine's `Ctx` (an
+/// [`past_wire::Io`] implementor) as the effect sink. This impl —
+/// not the node — is what couples Pastry to the simulator, which is
+/// why it lives in the sanctioned adapter module.
+impl<A: App> NodeLogic for PastryNode<A> {
+    type Msg = PastryMsg<A::Payload>;
+    type Out = PastryOut<A::Out>;
+
+    fn on_message(&mut self, from: Addr, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg, Self::Out>) {
+        self.step(Input::Message { from, msg }, ctx);
+    }
+
+    fn on_send_failed(
+        &mut self,
+        to: Addr,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Out>,
+    ) {
+        self.step(Input::SendFailed { to, msg }, ctx);
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Ctx<'_, Self::Msg, Self::Out>) {
+        self.step(Input::Timer { kind }, ctx);
+    }
+}
 
 /// A record of one completed route, as observed by the harness.
 #[derive(Clone, Copy, Debug)]

@@ -12,6 +12,10 @@
 //! If a deliberate semantic change (new message, different wire sizes,
 //! different maintenance fan-out) moves the numbers, regenerate the
 //! constants by running the tests and copying the reported fingerprints.
+//! Byte counters were last regenerated when `wire_size()` switched from
+//! hand-maintained estimates to the exact codec length (DESIGN.md §13):
+//! the estimates overstated routed `()` frames at 80 bytes vs the real
+//! 38, so `total_bytes` dropped ~52% with identical message counts.
 
 use past_crypto::rng::Rng;
 use past_netsim::{FaultConfig, Sphere, TraceConfig};
@@ -65,7 +69,7 @@ fn golden_static_build() {
     assert_eq!(
         fingerprint(&mut sim, 77),
         "build_msgs=0 build_bytes=0 delivered=1000 hist=[2, 78, 655, 265] \
-         total_msgs=3183 total_bytes=254640 now_us=106351091"
+         total_msgs=3183 total_bytes=120954 now_us=106351091"
     );
 }
 
@@ -87,7 +91,7 @@ fn golden_static_build_with_zero_fault_config() {
     assert_eq!(
         fingerprint(&mut sim, 77),
         "build_msgs=0 build_bytes=0 delivered=1000 hist=[2, 78, 655, 265] \
-         total_msgs=3183 total_bytes=254640 now_us=106351091"
+         total_msgs=3183 total_bytes=120954 now_us=106351091"
     );
 }
 
@@ -117,14 +121,14 @@ fn golden_static_build_with_full_tracing() {
     assert_eq!(
         overlay,
         "build_msgs=0 build_bytes=0 delivered=1000 hist=[2, 78, 655, 265] \
-         total_msgs=3183 total_bytes=254640 now_us=106351091",
+         total_msgs=3183 total_bytes=120954 now_us=106351091",
         "tracing must not perturb the simulation"
     );
     let (overlay2, trace2) = run();
     assert_eq!(overlay, overlay2);
     assert_eq!(trace, trace2, "same seed must yield the same trace");
     assert_eq!(
-        trace, 10825256129696016690,
+        trace, 12498307569152895729,
         "golden trace fingerprint moved"
     );
 }
@@ -142,7 +146,7 @@ fn golden_static_build_randomized_routing() {
         fingerprint(&mut sim, 78),
         "build_msgs=0 build_bytes=0 delivered=1000 \
          hist=[5, 60, 466, 306, 126, 28, 5, 3, 1] \
-         total_msgs=3613 total_bytes=289040 now_us=127710951"
+         total_msgs=3613 total_bytes=137294 now_us=127710951"
     );
 }
 
@@ -157,8 +161,8 @@ fn golden_protocol_joins() {
     }
     assert_eq!(
         fingerprint(&mut sim, 79),
-        "build_msgs=20618 build_bytes=1998936 delivered=1000 \
+        "build_msgs=20618 build_bytes=1717332 delivered=1000 \
          hist=[2, 68, 629, 301] \
-         total_msgs=23847 total_bytes=2257256 now_us=256385578"
+         total_msgs=23847 total_bytes=1840034 now_us=256385578"
     );
 }

@@ -1,0 +1,547 @@
+//! Byte-level codec primitives (DESIGN.md §13).
+//!
+//! Conventions, normative for every message codec in the workspace:
+//!
+//! - all integers are **little-endian**, fixed width;
+//! - vectors are prefixed by their element count as a `u32`;
+//! - `Option<T>` is a one-byte presence tag (`0` absent, `1` present)
+//!   followed by the payload when present;
+//! - every **top-level** message enum leads with `[version][kind]`, one
+//!   byte each ([`WIRE_VERSION`] and the enum's `kind_id`); nested
+//!   structs are encoded inline with no version or kind byte;
+//! - cryptographic digests, keys, and signatures are their canonical
+//!   big-endian byte arrays (matching the signed-message encodings).
+//!
+//! Decoding is total: every helper returns a typed [`DecodeError`]
+//! instead of panicking, and length prefixes are validated against the
+//! remaining input *before* any allocation, so hostile frames cannot
+//! drive memory use past the size of the frame itself.
+
+use past_crypto::u256::U256;
+use past_crypto::{Digest160, Digest256, PublicKey, Signature};
+use past_trace::OpId;
+
+/// Version byte leading every top-level message frame. Bump on any
+/// incompatible layout change; decoders reject other versions with
+/// [`DecodeError::BadVersion`] (evolution rules in DESIGN.md §13.4).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Why a frame failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the frame did.
+    Truncated,
+    /// The leading version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// A length prefix (or declared content size) exceeds the remaining
+    /// input — the frame lies about its own extent.
+    LengthOverflow,
+    /// An unknown message kind or enum tag byte.
+    UnknownKind(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame truncated"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::LengthOverflow => write!(f, "length prefix exceeds frame"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown kind/tag byte {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A value with a byte-level encoding.
+///
+/// `decode` returns the value and the number of bytes consumed; trailing
+/// bytes are the caller's concern (composition consumes sub-frames in
+/// field order). Implementations must never panic on any input.
+pub trait Wire: Sized {
+    /// Minimum encoded size in bytes, used to bound vector length
+    /// prefixes before allocating.
+    const MIN_WIRE_LEN: usize;
+
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `buf`.
+    fn decode(buf: &[u8]) -> Result<(Self, usize), DecodeError>;
+
+    /// Exact encoded size in bytes: `self.encoded_len() as usize` always
+    /// equals the length `encode` appends.
+    fn encoded_len(&self) -> u64;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+// ---------------- put/get primitives --------------------------------
+
+/// Appends one byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a `u16`, little-endian.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u128`, little-endian.
+pub fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a bool as one byte (`0` or `1`).
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+/// Appends raw bytes (no length prefix).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(bytes);
+}
+
+/// The unread remainder of `buf`; empty if `pos` ran past the end.
+pub fn tail(buf: &[u8], pos: usize) -> &[u8] {
+    buf.get(pos..).unwrap_or(&[])
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], DecodeError> {
+    let s = buf
+        .get(*pos..)
+        .and_then(|rest| rest.get(..n))
+        .ok_or(DecodeError::Truncated)?;
+    *pos += n;
+    Ok(s)
+}
+
+/// Reads one byte.
+pub fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8, DecodeError> {
+    Ok(take(buf, pos, 1)?[0])
+}
+
+/// Reads a little-endian `u16`.
+pub fn get_u16(buf: &[u8], pos: &mut usize) -> Result<u16, DecodeError> {
+    let s = take(buf, pos, 2)?;
+    Ok(u16::from_le_bytes([s[0], s[1]]))
+}
+
+/// Reads a little-endian `u32`.
+pub fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
+    let s = take(buf, pos, 4)?;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+/// Reads a little-endian `u64`.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(take(buf, pos, 8)?);
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads a little-endian `u128`.
+pub fn get_u128(buf: &[u8], pos: &mut usize) -> Result<u128, DecodeError> {
+    let mut b = [0u8; 16];
+    b.copy_from_slice(take(buf, pos, 16)?);
+    Ok(u128::from_le_bytes(b))
+}
+
+/// Reads a bool byte (any non-zero is `true`).
+pub fn get_bool(buf: &[u8], pos: &mut usize) -> Result<bool, DecodeError> {
+    Ok(get_u8(buf, pos)? != 0)
+}
+
+/// Reads `n` raw bytes.
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], DecodeError> {
+    take(buf, pos, n)
+}
+
+fn get_array<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N], DecodeError> {
+    let mut b = [0u8; N];
+    b.copy_from_slice(take(buf, pos, N)?);
+    Ok(b)
+}
+
+/// Reads a vector length prefix and validates it against the remaining
+/// input assuming each element occupies at least `min_elem` bytes, so a
+/// hostile prefix cannot force an allocation larger than the frame.
+pub fn get_len(buf: &[u8], pos: &mut usize, min_elem: usize) -> Result<usize, DecodeError> {
+    let n = get_u32(buf, pos)? as usize;
+    let remaining = buf.len().saturating_sub(*pos);
+    let need = n.checked_mul(min_elem.max(1));
+    if need.map_or(true, |need| need > remaining) {
+        return Err(DecodeError::LengthOverflow);
+    }
+    Ok(n)
+}
+
+/// Appends a `u32` length prefix followed by each element in order.
+pub fn put_vec<T: Wire>(out: &mut Vec<u8>, items: &[T]) {
+    debug_assert!(items.len() <= u32::MAX as usize);
+    put_u32(out, items.len() as u32);
+    for item in items {
+        item.encode(out);
+    }
+}
+
+/// Reads a length-prefixed vector of `T`.
+pub fn get_vec<T: Wire>(buf: &[u8], pos: &mut usize) -> Result<Vec<T>, DecodeError> {
+    let n = get_len(buf, pos, T::MIN_WIRE_LEN)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (item, used) = T::decode(tail(buf, *pos))?;
+        *pos += used;
+        v.push(item);
+    }
+    Ok(v)
+}
+
+// ---------------- Wire impls for primitives -------------------------
+
+impl Wire for () {
+    const MIN_WIRE_LEN: usize = 0;
+
+    fn encode(&self, _out: &mut Vec<u8>) {}
+
+    fn decode(_buf: &[u8]) -> Result<((), usize), DecodeError> {
+        Ok(((), 0))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        0
+    }
+}
+
+impl Wire for u32 {
+    const MIN_WIRE_LEN: usize = 4;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, *self);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(u32, usize), DecodeError> {
+        let mut pos = 0;
+        Ok((get_u32(buf, &mut pos)?, pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        4
+    }
+}
+
+impl Wire for u64 {
+    const MIN_WIRE_LEN: usize = 8;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(u64, usize), DecodeError> {
+        let mut pos = 0;
+        Ok((get_u64(buf, &mut pos)?, pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+}
+
+// Addresses (`usize` in the simulator) travel as `u64`.
+impl Wire for usize {
+    const MIN_WIRE_LEN: usize = 8;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self as u64);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(usize, usize), DecodeError> {
+        let mut pos = 0;
+        let v = get_u64(buf, &mut pos)?;
+        usize::try_from(v)
+            .map(|v| (v, pos))
+            .map_err(|_| DecodeError::LengthOverflow)
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+}
+
+// Torus coordinates (CAN) travel as their IEEE-754 bit pattern.
+impl Wire for f64 {
+    const MIN_WIRE_LEN: usize = 8;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.to_bits());
+    }
+
+    fn decode(buf: &[u8]) -> Result<(f64, usize), DecodeError> {
+        let mut pos = 0;
+        Ok((f64::from_bits(get_u64(buf, &mut pos)?), pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    const MIN_WIRE_LEN: usize = 1;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => put_u8(out, 0),
+            Some(v) => {
+                put_u8(out, 1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Option<T>, usize), DecodeError> {
+        let mut pos = 0;
+        match get_u8(buf, &mut pos)? {
+            0 => Ok((None, pos)),
+            1 => {
+                let (v, used) = T::decode(tail(buf, pos))?;
+                Ok((Some(v), pos + used))
+            }
+            tag => Err(DecodeError::UnknownKind(tag)),
+        }
+    }
+
+    fn encoded_len(&self) -> u64 {
+        match self {
+            None => 1,
+            Some(v) => 1 + v.encoded_len(),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    const MIN_WIRE_LEN: usize = 4;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_vec(out, self);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Vec<T>, usize), DecodeError> {
+        let mut pos = 0;
+        let v = get_vec(buf, &mut pos)?;
+        Ok((v, pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        4 + self.iter().map(Wire::encoded_len).sum::<u64>()
+    }
+}
+
+// ---------------- Wire impls for crypto/trace handles ---------------
+
+impl Wire for Digest256 {
+    const MIN_WIRE_LEN: usize = 32;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_bytes(out, &self.0);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Digest256, usize), DecodeError> {
+        let mut pos = 0;
+        Ok((Digest256(get_array::<32>(buf, &mut pos)?), pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        32
+    }
+}
+
+impl Wire for Digest160 {
+    const MIN_WIRE_LEN: usize = 20;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_bytes(out, &self.0);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Digest160, usize), DecodeError> {
+        let mut pos = 0;
+        Ok((Digest160(get_array::<20>(buf, &mut pos)?), pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        20
+    }
+}
+
+impl Wire for U256 {
+    const MIN_WIRE_LEN: usize = 32;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_bytes(out, &self.to_be_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Result<(U256, usize), DecodeError> {
+        let mut pos = 0;
+        Ok((U256::from_be_bytes(&get_array::<32>(buf, &mut pos)?), pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        32
+    }
+}
+
+impl Wire for PublicKey {
+    const MIN_WIRE_LEN: usize = 32;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(PublicKey, usize), DecodeError> {
+        let (v, used) = U256::decode(buf)?;
+        Ok((PublicKey(v), used))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        32
+    }
+}
+
+impl Wire for Signature {
+    const MIN_WIRE_LEN: usize = 64;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.commitment.encode(out);
+        self.response.encode(out);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Signature, usize), DecodeError> {
+        let mut pos = 0;
+        let (commitment, used) = U256::decode(tail(buf, pos))?;
+        pos += used;
+        let (response, used) = U256::decode(tail(buf, pos))?;
+        pos += used;
+        Ok((
+            Signature {
+                commitment,
+                response,
+            },
+            pos,
+        ))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        64
+    }
+}
+
+impl Wire for OpId {
+    const MIN_WIRE_LEN: usize = 8;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.0);
+    }
+
+    fn decode(buf: &[u8]) -> Result<(OpId, usize), DecodeError> {
+        let mut pos = 0;
+        Ok((OpId(get_u64(buf, &mut pos)?), pos))
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 0xab);
+        put_u16(&mut out, 0x1234);
+        put_u32(&mut out, 0xdead_beef);
+        put_u64(&mut out, 0x0123_4567_89ab_cdef);
+        put_u128(&mut out, u128::MAX - 7);
+        put_bool(&mut out, true);
+        let mut pos = 0;
+        assert_eq!(get_u8(&out, &mut pos), Ok(0xab));
+        assert_eq!(get_u16(&out, &mut pos), Ok(0x1234));
+        assert_eq!(get_u32(&out, &mut pos), Ok(0xdead_beef));
+        assert_eq!(get_u64(&out, &mut pos), Ok(0x0123_4567_89ab_cdef));
+        assert_eq!(get_u128(&out, &mut pos), Ok(u128::MAX - 7));
+        assert_eq!(get_bool(&out, &mut pos), Ok(true));
+        assert_eq!(pos, out.len());
+        assert_eq!(get_u8(&out, &mut pos), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn little_endian_on_the_wire() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 0x0403_0201);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn length_prefix_is_validated_before_allocation() {
+        // Prefix claims 2^32-1 8-byte elements in a 12-byte buffer.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        put_u64(&mut buf, 0);
+        let mut pos = 0;
+        assert_eq!(get_len(&buf, &mut pos, 8), Err(DecodeError::LengthOverflow));
+    }
+
+    #[test]
+    fn vec_and_option_round_trip() {
+        let v: Vec<u64> = vec![1, u64::MAX, 42];
+        let (back, used) = Vec::<u64>::decode(&v.to_wire()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(used as u64, v.encoded_len());
+
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::decode(&some.to_wire()).unwrap().0, some);
+        assert_eq!(Option::<u32>::decode(&none.to_wire()).unwrap().0, none);
+        assert_eq!(
+            Option::<u32>::decode(&[9u8]),
+            Err(DecodeError::UnknownKind(9))
+        );
+    }
+
+    #[test]
+    fn crypto_handles_round_trip() {
+        let d = Digest256([7u8; 32]);
+        assert_eq!(Digest256::decode(&d.to_wire()).unwrap(), (d, 32));
+        let d = Digest160([9u8; 20]);
+        assert_eq!(Digest160::decode(&d.to_wire()).unwrap(), (d, 20));
+        let sig = Signature {
+            commitment: U256([1, 2, 3, 4]),
+            response: U256([5, 6, 7, 8]),
+        };
+        let (back, used) = Signature::decode(&sig.to_wire()).unwrap();
+        assert_eq!(
+            (back.commitment, back.response, used),
+            (sig.commitment, sig.response, 64)
+        );
+        let op = OpId(77);
+        assert_eq!(OpId::decode(&op.to_wire()).unwrap(), (op, 8));
+    }
+}

@@ -1,0 +1,35 @@
+//! The wire layer: a versioned byte-level codec plus the sans-io
+//! protocol substrate.
+//!
+//! Two halves, deliberately small and dependency-free (hermeticity rule
+//! H1):
+//!
+//! - [`codec`]: the [`Wire`] trait — explicit field order, little-endian
+//!   integers, `u32` length-prefixed vectors, a leading version byte on
+//!   every top-level message — and the typed [`DecodeError`] that makes
+//!   malformed input a value, never a panic. DESIGN.md §13 is the
+//!   normative spec.
+//! - [`sansio`]: the [`Io`] effect sink and [`Input`] event type that
+//!   protocol state machines are written against, so the same
+//!   `(state, input) → effects` transition functions run under the
+//!   deterministic simulator today and real sockets later. [`StepIo`]
+//!   is the engine-free driver used by pure tests.
+
+pub mod codec;
+pub mod sansio;
+
+pub use codec::{
+    get_bool, get_bytes, get_len, get_u128, get_u16, get_u32, get_u64, get_u8, get_vec, put_bool,
+    put_bytes, put_u128, put_u16, put_u32, put_u64, put_u8, put_vec, tail, DecodeError, Wire,
+    WIRE_VERSION,
+};
+pub use sansio::{Effect, Input, Io, Proximity, StepIo};
+
+// The handles node logic needs, re-exported so a sans-io protocol crate
+// can name them without depending on the simulator.
+pub use past_crypto::rng::Rng;
+pub use past_trace::{OpId, TraceConfig, Tracer};
+
+/// A network address. In the simulator this is a topology slot index; a
+/// socket transport would map it to a peer table entry.
+pub type Addr = usize;

@@ -1,0 +1,221 @@
+//! The sans-io protocol substrate.
+//!
+//! Protocol state machines in this workspace are written as transition
+//! functions `(state, Input) → effects`, where every effect — a message
+//! send, a timer, an observation — goes through the [`Io`] sink in call
+//! order. The deterministic simulator's `Ctx` implements [`Io`], so the
+//! same state machine runs unmodified under the engine; [`StepIo`]
+//! collects effects into a plain vector for engine-free unit tests and,
+//! later, socket transports.
+
+use crate::Addr;
+use past_crypto::rng::Rng;
+use past_trace::Tracer;
+
+/// One protocol event delivered to a node.
+#[derive(Clone, Debug)]
+pub enum Input<M> {
+    /// A message arrived from `from`.
+    Message {
+        /// The sending node.
+        from: Addr,
+        /// The message.
+        msg: M,
+    },
+    /// A previously sent message could not be delivered (dead peer).
+    SendFailed {
+        /// The unreachable peer.
+        to: Addr,
+        /// The undeliverable message.
+        msg: M,
+    },
+    /// A timer armed by this node fired.
+    Timer {
+        /// The timer kind.
+        kind: u64,
+    },
+}
+
+/// The effect sink a transition function writes through.
+///
+/// Implemented by the simulator's `Ctx` (effects enter the event queue)
+/// and by [`StepIo`] (effects collect into a vector). Environment
+/// queries (`now_us`, `me`, `rng`, `tracer`, `delay_to`) live here too:
+/// they are the full set of facts a node may observe about the outside
+/// world, which is what keeps runs deterministic and replayable.
+pub trait Io<M, O> {
+    /// Current time in microseconds.
+    fn now_us(&self) -> u64;
+
+    /// This node's address.
+    fn me(&self) -> Addr;
+
+    /// The seeded RNG.
+    fn rng(&mut self) -> &mut Rng;
+
+    /// The trace sink (no-op unless tracing is enabled).
+    fn tracer(&mut self) -> &mut Tracer;
+
+    /// One-way delay to another node (the proximity metric). A real
+    /// transport answers from probe measurements.
+    fn delay_to(&self, other: Addr) -> u64;
+
+    /// Sends `msg` to `to`.
+    fn send(&mut self, to: Addr, msg: M);
+
+    /// Sends `msg` to `to` with additional local processing delay.
+    fn send_after(&mut self, to: Addr, msg: M, extra_us: u64);
+
+    /// Arms a timer that fires back into this node after `delay_us`.
+    fn set_timer(&mut self, delay_us: u64, kind: u64);
+
+    /// Emits an observation to the harness.
+    fn emit(&mut self, out: O);
+}
+
+/// One collected effect of a pure transition step.
+#[derive(Clone, Debug)]
+pub enum Effect<M, O> {
+    /// Send `msg` to `to` after `extra_us` of local delay.
+    Send {
+        /// Destination node.
+        to: Addr,
+        /// The message.
+        msg: M,
+        /// Additional local processing delay.
+        extra_us: u64,
+    },
+    /// Arm a timer on the stepped node.
+    Timer {
+        /// Delay before firing.
+        delay_us: u64,
+        /// Timer kind.
+        kind: u64,
+    },
+    /// An observation for the harness.
+    Out(O),
+}
+
+/// A proximity oracle: pairwise one-way delay in microseconds.
+pub trait Proximity {
+    /// One-way delay from `a` to `b`.
+    fn delay_us(&self, a: Addr, b: Addr) -> u64;
+}
+
+impl<F: Fn(Addr, Addr) -> u64> Proximity for F {
+    fn delay_us(&self, a: Addr, b: Addr) -> u64 {
+        self(a, b)
+    }
+}
+
+/// An engine-free [`Io`]: effects append to a caller-owned vector in the
+/// exact order the transition function produced them.
+pub struct StepIo<'a, M, O> {
+    /// Current time in microseconds.
+    pub now_us: u64,
+    /// The stepped node's address.
+    pub me: Addr,
+    /// The seeded RNG.
+    pub rng: &'a mut Rng,
+    /// The trace sink.
+    pub tracer: &'a mut Tracer,
+    /// The proximity oracle.
+    pub proximity: &'a dyn Proximity,
+    /// Collected effects, in call order.
+    pub effects: &'a mut Vec<Effect<M, O>>,
+}
+
+impl<M, O> Io<M, O> for StepIo<'_, M, O> {
+    fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    fn me(&self) -> Addr {
+        self.me
+    }
+
+    fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+
+    fn tracer(&mut self) -> &mut Tracer {
+        self.tracer
+    }
+
+    fn delay_to(&self, other: Addr) -> u64 {
+        self.proximity.delay_us(self.me, other)
+    }
+
+    fn send(&mut self, to: Addr, msg: M) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            extra_us: 0,
+        });
+    }
+
+    fn send_after(&mut self, to: Addr, msg: M, extra_us: u64) {
+        self.effects.push(Effect::Send { to, msg, extra_us });
+    }
+
+    fn set_timer(&mut self, delay_us: u64, kind: u64) {
+        self.effects.push(Effect::Timer { delay_us, kind });
+    }
+
+    fn emit(&mut self, out: O) {
+        self.effects.push(Effect::Out(out));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use past_trace::Tracer;
+
+    #[test]
+    fn step_io_collects_effects_in_order() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut tracer = Tracer::default();
+        let mut effects: Vec<Effect<u32, &'static str>> = Vec::new();
+        let prox = |a: Addr, b: Addr| (a + b) as u64;
+        let mut io = StepIo {
+            now_us: 5,
+            me: 2,
+            rng: &mut rng,
+            tracer: &mut tracer,
+            proximity: &prox,
+            effects: &mut effects,
+        };
+        assert_eq!(io.now_us(), 5);
+        assert_eq!(io.me(), 2);
+        assert_eq!(io.delay_to(3), 5);
+        io.send(7, 10);
+        io.set_timer(99, 1);
+        io.emit("done");
+        io.send_after(8, 11, 4);
+        assert!(matches!(
+            effects[0],
+            Effect::Send {
+                to: 7,
+                msg: 10,
+                extra_us: 0
+            }
+        ));
+        assert!(matches!(
+            effects[1],
+            Effect::Timer {
+                delay_us: 99,
+                kind: 1
+            }
+        ));
+        assert!(matches!(effects[2], Effect::Out("done")));
+        assert!(matches!(
+            effects[3],
+            Effect::Send {
+                to: 8,
+                msg: 11,
+                extra_us: 4
+            }
+        ));
+    }
+}

@@ -330,15 +330,23 @@ fn l1_passes_backend_abstraction_reexports() {
 // ------------------------------------------------------------------ M1
 
 /// A complete, hygienic message enum: every variant named in every
-/// covering fn, KINDS arity matches.
+/// covering fn (the codec triple plus `kind_id`), KINDS arity matches.
 const M1_CLEAN: &str = "pub enum ChordMsg { Lookup(Q), Probe }\n\
     impl Message for ChordMsg {\n\
         const KINDS: &'static [&'static str] = &[\"lookup\", \"probe\"];\n\
         fn kind_id(&self) -> usize {\n\
             match self { ChordMsg::Lookup(_) => 0, ChordMsg::Probe => 1 }\n\
         }\n\
-        fn wire_size(&self) -> u64 {\n\
-            match self { ChordMsg::Lookup(_) => 48, ChordMsg::Probe => 16 }\n\
+    }\n\
+    impl Wire for ChordMsg {\n\
+        fn encode(&self, out: &mut Vec<u8>) {\n\
+            match self { ChordMsg::Lookup(_) => out.push(0), ChordMsg::Probe => out.push(1) }\n\
+        }\n\
+        fn decode(buf: &[u8]) -> Result<(ChordMsg, usize), DecodeError> {\n\
+            match buf[1] { 0 => Ok((ChordMsg::Lookup(q()), 2)), _ => Ok((ChordMsg::Probe, 2)) }\n\
+        }\n\
+        fn encoded_len(&self) -> u64 {\n\
+            match self { ChordMsg::Lookup(_) => 39, ChordMsg::Probe => 2 }\n\
         }\n\
     }\n";
 
@@ -349,48 +357,51 @@ fn m1_passes_full_coverage() {
 
 #[test]
 fn m1_triggers_on_wildcard_hidden_variant() {
-    let src = "pub enum ChordMsg { Lookup(Q), Probe }\n\
-        impl Message for ChordMsg {\n\
-            const KINDS: &'static [&'static str] = &[\"lookup\", \"probe\"];\n\
-            fn kind_id(&self) -> usize {\n\
-                match self { ChordMsg::Lookup(_) => 0, _ => 1 }\n\
-            }\n\
-            fn wire_size(&self) -> u64 {\n\
-                match self { ChordMsg::Lookup(_) => 48, ChordMsg::Probe => 16 }\n\
-            }\n\
-        }\n";
-    let d = diags("crates/baselines/src/x.rs", src);
-    assert_eq!(d.len(), 1);
+    // Wildcard hides `Probe` from `kind_id`; everything else is covered.
+    let src = M1_CLEAN.replace(
+        "ChordMsg::Lookup(_) => 0, ChordMsg::Probe => 1",
+        "ChordMsg::Lookup(_) => 0, _ => 1",
+    );
+    let d = diags("crates/baselines/src/x.rs", &src);
+    assert_eq!(d.len(), 1, "{d:?}");
     assert_eq!(d[0].rule, "M1");
     assert!(d[0].msg.contains("ChordMsg::Probe"), "{}", d[0].msg);
     assert!(d[0].msg.contains("kind_id"), "{}", d[0].msg);
 }
 
 #[test]
+fn m1_triggers_on_variant_missing_from_codec_fn() {
+    // A decode that never constructs `Probe` (e.g. maps its tag onto
+    // `Lookup`) is exactly the drift the codec obligation exists to
+    // catch: the variant would encode but silently stop decoding.
+    let src = M1_CLEAN.replace(
+        "_ => Ok((ChordMsg::Probe, 2))",
+        "_ => Ok((ChordMsg::Lookup(q()), 2))",
+    );
+    let d = diags("crates/baselines/src/x.rs", &src);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, "M1");
+    assert!(d[0].msg.contains("ChordMsg::Probe"), "{}", d[0].msg);
+    assert!(d[0].msg.contains("decode"), "{}", d[0].msg);
+}
+
+#[test]
 fn m1_triggers_on_missing_covering_fn() {
-    let src = "pub enum ChordMsg { Lookup(Q) }\n\
-        impl Message for ChordMsg {\n\
-            const KINDS: &'static [&'static str] = &[\"lookup\"];\n\
-            fn kind_id(&self) -> usize { let ChordMsg::Lookup(_) = self; 0 }\n\
-        }\n";
+    // Strip the whole `impl Wire` block: all three codec obligations
+    // (`encode`, `decode`, `encoded_len`) are reported missing.
+    let src = &M1_CLEAN[..M1_CLEAN.find("impl Wire").unwrap()];
     let d = diags("crates/baselines/src/x.rs", src);
-    assert_eq!(d.len(), 1);
-    assert!(d[0].msg.contains("wire_size"), "{}", d[0].msg);
+    assert_eq!(d.len(), 3, "{d:?}");
+    for (x, fname) in d.iter().zip(["encode", "decode", "encoded_len"]) {
+        assert_eq!(x.rule, "M1");
+        assert!(x.msg.contains(fname), "{}", x.msg);
+    }
 }
 
 #[test]
 fn m1_triggers_on_kinds_arity_mismatch() {
-    let src = "pub enum ChordMsg { Lookup(Q), Probe }\n\
-        impl Message for ChordMsg {\n\
-            const KINDS: &'static [&'static str] = &[\"lookup\"];\n\
-            fn kind_id(&self) -> usize {\n\
-                match self { ChordMsg::Lookup(_) => 0, ChordMsg::Probe => 1 }\n\
-            }\n\
-            fn wire_size(&self) -> u64 {\n\
-                match self { ChordMsg::Lookup(_) => 48, ChordMsg::Probe => 16 }\n\
-            }\n\
-        }\n";
-    let d = diags("crates/baselines/src/x.rs", src);
+    let src = M1_CLEAN.replace("&[\"lookup\", \"probe\"]", "&[\"lookup\"]");
+    let d = diags("crates/baselines/src/x.rs", &src);
     assert_eq!(d.len(), 1);
     assert!(d[0].msg.contains("1 labels"), "{}", d[0].msg);
     assert!(d[0].msg.contains("2 variants"), "{}", d[0].msg);
@@ -406,8 +417,16 @@ fn m1_is_cross_file_and_accepts_self_paths() {
         fn kind_id(&self) -> usize {\n\
             match self { Self::Lookup(_) => 0, Self::Probe => 1 }\n\
         }\n\
-        fn wire_size(&self) -> u64 {\n\
-            match self { Self::Lookup(_) => 48, Self::Probe => 16 }\n\
+    }\n\
+    impl Wire for ChordMsg {\n\
+        fn encode(&self, out: &mut Vec<u8>) {\n\
+            match self { Self::Lookup(_) => out.push(0), Self::Probe => out.push(1) }\n\
+        }\n\
+        fn decode(buf: &[u8]) -> Result<(ChordMsg, usize), DecodeError> {\n\
+            match buf[1] { 0 => Ok((Self::Lookup(q()), 2)), _ => Ok((Self::Probe, 2)) }\n\
+        }\n\
+        fn encoded_len(&self) -> u64 {\n\
+            match self { Self::Lookup(_) => 39, Self::Probe => 2 }\n\
         }\n\
     }\n";
     let d = analyze_sources(

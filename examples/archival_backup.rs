@@ -75,7 +75,7 @@ fn main() {
     assert_eq!(chunk_fids.len(), chunks);
 
     // Kill 10 random nodes (12.5% of the network) without warning.
-    let mut killed = std::collections::HashSet::new();
+    let mut killed = std::collections::BTreeSet::new();
     while killed.len() < 10 {
         let v = rng.random_range(1..n);
         if killed.insert(v) {

@@ -35,6 +35,9 @@ cargo build --offline --release --workspace
 echo "== cargo test -q"
 cargo test --offline -q --workspace
 
+echo "== codec fuzz smoke (wire decode must be total on mutated frames)"
+cargo test --offline -q -p past --test wire decode_never_panics_on_mutated_frames
+
 echo "== bench smoke (binaries run and emit valid BENCH_*.json)"
 ./target/release/bench_micro --smoke --out target/BENCH_micro.smoke.json
 ./target/release/bench_macro --smoke --out target/BENCH_macro.smoke.json

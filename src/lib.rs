@@ -51,4 +51,5 @@ pub use past_crypto as crypto;
 pub use past_netsim as netsim;
 pub use past_pastry as pastry;
 pub use past_sim as sim;
+pub use past_wire as wire;
 pub use past_workload as workload;
