@@ -20,7 +20,7 @@
 use past_bench::json;
 use past_core::{BuildMode, ContentRef, PastApp, PastConfig, PastNetwork, PastOut};
 use past_crypto::rng::Rng;
-use past_netsim::{FaultConfig, ShardConfig, SimBackend, Sphere, TraceConfig};
+use past_netsim::{FaultConfig, SeriesConfig, ShardConfig, SimBackend, Sphere, TraceConfig};
 use past_pastry::{random_ids, Config as PastryConfig, PastryNode, RecoveryConfig};
 use std::time::Instant;
 
@@ -31,6 +31,10 @@ const SEED: u64 = 2026;
 /// `bench_macro` for the rationale. Sequential runs keep the un-floored
 /// sphere so historical numbers stay comparable.
 const SHARD_FLOOR_US: u64 = 5_000;
+
+/// Flight-recorder window for the per-level drop/duplicate series: one
+/// simulated second.
+const SERIES_WINDOW_US: u64 = 1_000_000;
 
 struct Level {
     loss: f64,
@@ -49,6 +53,10 @@ struct Level {
     dropped_by_kind: Vec<(&'static str, u64)>,
     /// Fault-injected duplicates per message kind (non-zero entries only).
     duplicated_by_kind: Vec<(&'static str, u64)>,
+    /// Per-window `(window_start_us, drops)` pairs (non-zero windows only).
+    drop_series: Vec<(u64, u64)>,
+    /// Per-window `(window_start_us, duplicates)` pairs (non-zero windows only).
+    dup_series: Vec<(u64, u64)>,
 }
 
 fn pastry_cfg() -> PastryConfig {
@@ -120,6 +128,11 @@ where
     // Metrics only: per-kind drop/duplicate attribution without paying
     // for event records.
     net.sim.engine.set_tracing(TraceConfig::metrics_only());
+    // The flight recorder attributes the same drops/duplicates to sim-time
+    // windows; sampling is observation only and perturbs no counter.
+    net.sim
+        .engine
+        .set_series(SeriesConfig::new(SERIES_WINDOW_US));
     net.sim.engine.set_faults(
         FaultConfig {
             loss,
@@ -144,6 +157,8 @@ where
         wall_ms: 0.0,
         dropped_by_kind: Vec::new(),
         duplicated_by_kind: Vec::new(),
+        drop_series: Vec::new(),
+        dup_series: Vec::new(),
     };
     let mut events = Vec::new();
     for i in 0..files {
@@ -195,7 +210,23 @@ where
         .duplicated_by_kind()
         .filter(|(_, c)| *c > 0)
         .collect();
+    if let Some(series) = tracer.series() {
+        for (start, w) in series.windows() {
+            let (drops, dups) = (w.counter("dropped"), w.counter("duplicated"));
+            if drops > 0 {
+                lvl.drop_series.push((start, drops));
+            }
+            if dups > 0 {
+                lvl.dup_series.push((start, dups));
+            }
+        }
+    }
     lvl
+}
+
+/// Renders `(window_start, count)` pairs as a JSON array of pairs.
+fn pair_array(pairs: &[(u64, u64)]) -> String {
+    json::array(pairs.iter().map(|(t, c)| format!("[{t}, {c}]")))
 }
 
 /// Renders `(kind, count)` pairs as a JSON object.
@@ -256,6 +287,8 @@ fn main() {
                     .num("wall_ms", l.wall_ms)
                     .raw("dropped_by_kind", &kind_obj(&l.dropped_by_kind))
                     .raw("duplicated_by_kind", &kind_obj(&l.duplicated_by_kind))
+                    .raw("drop_series", &pair_array(&l.drop_series))
+                    .raw("dup_series", &pair_array(&l.dup_series))
                     .build()
             })),
         )

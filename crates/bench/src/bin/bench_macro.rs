@@ -23,7 +23,7 @@
 
 use past_bench::json;
 use past_crypto::rng::Rng;
-use past_netsim::{ShardConfig, SimBackend, Sphere};
+use past_netsim::{SeriesConfig, ShardConfig, SimBackend, Sphere};
 use past_pastry::{
     random_ids, static_build, static_build_sharded, Config, Id, NullApp, PastryNode, PastrySim,
 };
@@ -35,6 +35,9 @@ use std::time::Instant;
 /// runs keep the un-floored sphere so historical numbers stay
 /// comparable.
 const SHARD_FLOOR_US: u64 = 5_000;
+
+/// Flight-recorder window for `--series` runs: one simulated second.
+const SERIES_WINDOW_US: u64 = 1_000_000;
 
 struct Phase {
     name: &'static str,
@@ -116,8 +119,17 @@ where
     }
 }
 
-/// One full run (build, routes, churn) on the sharded backend.
-fn sharded_run(n: usize, routes: usize, kills: usize, shards: usize) -> (Vec<Phase>, Counters) {
+/// One full run (build, routes, churn) on the sharded backend. With
+/// `series` the flight recorder samples the run (observation only:
+/// counters are unaffected) and its `past-series/v1` document is
+/// returned.
+fn sharded_run(
+    n: usize,
+    routes: usize,
+    kills: usize,
+    shards: usize,
+    series: bool,
+) -> (Vec<Phase>, Counters, Option<String>) {
     let mut rng = Rng::seed_from_u64(2001);
     let ids = random_ids(n, &mut rng);
     let mut phases = Vec::new();
@@ -139,14 +151,23 @@ fn sharded_run(n: usize, routes: usize, kills: usize, shards: usize) -> (Vec<Pha
         name: "static_build",
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
     });
+    if series {
+        sim.engine.set_series(SeriesConfig::new(SERIES_WINDOW_US));
+    }
     let counters = routes_and_churn(&mut sim, n, routes, kills, &mut phases);
-    (phases, counters)
+    let series_doc = if series {
+        sim.engine.take_tracer().series().map(|s| s.to_json())
+    } else {
+        None
+    };
+    (phases, counters, series_doc)
 }
 
 fn main() {
     let mut smoke = false;
     let mut nodes: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut series: Option<String> = None;
     let mut out = format!("{}/../../BENCH_macro.json", env!("CARGO_MANIFEST_DIR"));
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -161,9 +182,11 @@ fn main() {
                 shards = Some(v.parse().expect("--shards must be an integer"));
             }
             "--out" => out = args.next().expect("--out needs a path"),
+            "--series" => series = Some(args.next().expect("--series needs a path")),
             other => {
                 panic!(
-                    "unknown flag {other}; supported: --smoke, --nodes N, --shards K, --out PATH"
+                    "unknown flag {other}; supported: --smoke, --nodes N, --shards K, \
+                     --out PATH, --series PATH"
                 )
             }
         }
@@ -180,6 +203,7 @@ fn main() {
 
     let mut phases: Vec<Phase>;
     let counters: Counters;
+    let series_doc: Option<String>;
     let mut ref_churn_ms: Option<f64> = None;
     match shards {
         None => {
@@ -201,18 +225,30 @@ fn main() {
                 name: "static_build",
                 wall_ms: t.elapsed().as_secs_f64() * 1e3,
             });
+            if series.is_some() {
+                sim.engine.set_series(SeriesConfig::new(SERIES_WINDOW_US));
+            }
             counters = routes_and_churn(&mut sim, n, routes, kills, &mut phases);
+            series_doc = if series.is_some() {
+                sim.engine.take_tracer().series().map(|s| s.to_json())
+            } else {
+                None
+            };
         }
         Some(k) => {
-            let (p, c) = sharded_run(n, routes, kills, k);
+            let (p, c, sd) = sharded_run(n, routes, kills, k, series.is_some());
             phases = p;
             counters = c;
+            series_doc = sd;
             if k > 1 {
                 // In-process 1-shard reference: same topology, same
-                // seeds, one worker. Its counters must be bit-identical
-                // (shard-count independence); its churn wall time is the
-                // speedup baseline.
-                let (ref_phases, ref_counters) = sharded_run(n, routes, kills, 1);
+                // seeds, one worker (no series: sampling is observation
+                // only, so the counter comparison also checks that an
+                // instrumented run equals an uninstrumented one). Its
+                // counters must be bit-identical (shard-count
+                // independence); its churn wall time is the speedup
+                // baseline.
+                let (ref_phases, ref_counters, _) = sharded_run(n, routes, kills, 1, false);
                 assert_eq!(
                     counters, ref_counters,
                     "{k}-shard and 1-shard runs must produce identical counters"
@@ -270,6 +306,12 @@ fn main() {
     let doc = doc.build();
     json::validate(&doc).expect("bench output must be valid JSON");
     std::fs::write(&out, format!("{doc}\n")).expect("write bench output");
+    if let Some(series_path) = &series {
+        let sdoc = series_doc.expect("series was enabled, so the tracer must carry one");
+        json::validate(&sdoc).expect("series output must be valid JSON");
+        std::fs::write(series_path, format!("{sdoc}\n")).expect("write series output");
+        println!("wrote {series_path}");
+    }
     for p in &phases {
         println!("{:<16} {:10.1} ms", p.name, p.wall_ms);
     }

@@ -369,7 +369,56 @@ where
     /// Runs the network to quiescence and returns application events.
     pub fn run(&mut self) -> Vec<PastEvent> {
         self.sim.engine.run_until_quiet(50_000_000);
-        self.sim.drain_app_outputs()
+        let events = self.sim.drain_app_outputs();
+        self.sample_series(&events);
+        events
+    }
+
+    /// Flight-recorder storage samplers: operation outcomes counted at
+    /// each event's own simulated time, plus store / cache / quota
+    /// gauges at the quiesced clock. Everything derives from drained
+    /// events and end-of-run state, both shard-count invariant, so the
+    /// sampled series is too. No-op without an attached series.
+    fn sample_series(&mut self, events: &[PastEvent]) {
+        if !self.sim.engine.tracer().series_enabled() {
+            return;
+        }
+        let (used, cap, _) = self.utilization();
+        let mut cache_used = 0u64;
+        for a in self.sim.engine.live_addrs() {
+            cache_used += self.sim.engine.node(a).app.store.cache.used();
+        }
+        let mut headroom = 0u64;
+        for a in 0..self.sim.engine.len() {
+            headroom += self.sim.engine.node(a).app.card.quota_remaining();
+        }
+        let now = self.sim.engine.now().as_micros();
+        let Some(s) = self.sim.engine.tracer_mut().series_mut() else {
+            return;
+        };
+        for (t, _, out) in events {
+            let t = t.as_micros();
+            match out {
+                PastOut::InsertOk { .. } => s.bump(t, "insert_ok", 1),
+                PastOut::InsertFailed { .. } => s.bump(t, "insert_failed", 1),
+                PastOut::LookupOk { from_cache, .. } => {
+                    s.bump(t, "lookup_ok", 1);
+                    if *from_cache {
+                        s.bump(t, "cache_hits", 1);
+                    }
+                }
+                PastOut::LookupFailed { .. } => s.bump(t, "lookup_failed", 1),
+                PastOut::ReclaimCredited { .. } => s.bump(t, "reclaim_ok", 1),
+                PastOut::ReclaimDenied { .. } | PastOut::ReclaimFailed { .. } => {
+                    s.bump(t, "reclaim_failed", 1)
+                }
+                _ => {}
+            }
+        }
+        s.gauge(now, "store_used", used);
+        s.gauge(now, "store_capacity", cap);
+        s.gauge(now, "cache_used", cache_used);
+        s.gauge(now, "quota_headroom", headroom);
     }
 
     /// Global storage accounting: `(used, capacity, utilization)` over

@@ -6,17 +6,38 @@
 //! operation-lifecycle trace classes enabled and its trace is written to
 //! `PATH` as JSONL, ready for `tracecheck --require-clean`.
 //! `--emit-trace-sharded PATH` does the same for the lossy-churn
-//! scenario on the sharded backend.
+//! scenario on the sharded backend. `--emit-series PATH` /
+//! `--emit-series-sharded PATH` additionally write the flight-recorder
+//! series of those traced runs as JSONL, ready for
+//! `obsreport --require-slo`.
 
 use past_invariants::scenarios::{
     bulk_join, churn, lossy_churn, lossy_churn_sharded, lossy_churn_sharded_traced,
     lossy_churn_traced, quota_reclaim, wheel_horizon,
 };
-use past_netsim::TraceConfig;
+use past_netsim::{TraceConfig, Tracer};
+
+/// Writes the tracer's flight-recorder series to `path` as JSONL.
+fn write_series(tracer: &Tracer, path: &str) {
+    let Some(series) = tracer.series() else {
+        eprintln!("invariants: traced run produced no series for {path}");
+        std::process::exit(2);
+    };
+    if let Err(e) = std::fs::write(path, series.to_jsonl()) {
+        eprintln!("invariants: cannot write series to {path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "invariants: wrote {} series window(s) to {path}",
+        series.len()
+    );
+}
 
 fn main() {
     let mut emit_trace: Option<String> = None;
     let mut emit_trace_sharded: Option<String> = None;
+    let mut emit_series: Option<String> = None;
+    let mut emit_series_sharded: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -34,6 +55,20 @@ fn main() {
                 };
                 emit_trace_sharded = Some(path);
             }
+            "--emit-series" => {
+                let Some(path) = args.next() else {
+                    eprintln!("invariants: --emit-series needs a path");
+                    std::process::exit(2);
+                };
+                emit_series = Some(path);
+            }
+            "--emit-series-sharded" => {
+                let Some(path) = args.next() else {
+                    eprintln!("invariants: --emit-series-sharded needs a path");
+                    std::process::exit(2);
+                };
+                emit_series_sharded = Some(path);
+            }
             other => {
                 eprintln!("invariants: unknown argument {other:?}");
                 std::process::exit(2);
@@ -46,31 +81,41 @@ fn main() {
         ("churn", churn(2)),
         ("quota-reclaim", quota_reclaim(3)),
     ];
-    if let Some(path) = &emit_trace {
+    if emit_trace.is_some() || emit_series.is_some() {
         let (violations, tracer) = lossy_churn_traced(4, TraceConfig::lifecycle());
-        if let Err(e) = std::fs::write(path, tracer.to_jsonl()) {
-            eprintln!("invariants: cannot write trace to {path}: {e}");
-            std::process::exit(2);
+        if let Some(path) = &emit_trace {
+            if let Err(e) = std::fs::write(path, tracer.to_jsonl()) {
+                eprintln!("invariants: cannot write trace to {path}: {e}");
+                std::process::exit(2);
+            }
+            println!(
+                "invariants: wrote {} trace record(s) to {path}",
+                tracer.records().len()
+            );
         }
-        println!(
-            "invariants: wrote {} trace record(s) to {path}",
-            tracer.records().len()
-        );
+        if let Some(path) = &emit_series {
+            write_series(&tracer, path);
+        }
         results.push(("lossy-churn", violations));
     } else {
         results.push(("lossy-churn", lossy_churn(4)));
     }
     results.push(("wheel-horizon", wheel_horizon(5)));
-    if let Some(path) = &emit_trace_sharded {
+    if emit_trace_sharded.is_some() || emit_series_sharded.is_some() {
         let (violations, tracer) = lossy_churn_sharded_traced(6, TraceConfig::lifecycle());
-        if let Err(e) = std::fs::write(path, tracer.to_jsonl()) {
-            eprintln!("invariants: cannot write trace to {path}: {e}");
-            std::process::exit(2);
+        if let Some(path) = &emit_trace_sharded {
+            if let Err(e) = std::fs::write(path, tracer.to_jsonl()) {
+                eprintln!("invariants: cannot write trace to {path}: {e}");
+                std::process::exit(2);
+            }
+            println!(
+                "invariants: wrote {} trace record(s) to {path}",
+                tracer.records().len()
+            );
         }
-        println!(
-            "invariants: wrote {} trace record(s) to {path}",
-            tracer.records().len()
-        );
+        if let Some(path) = &emit_series_sharded {
+            write_series(&tracer, path);
+        }
         results.push(("lossy-churn-sharded", violations));
     } else {
         results.push(("lossy-churn-sharded", lossy_churn_sharded(6)));

@@ -10,7 +10,9 @@ use past_core::{
     BuildMode, ContentRef, PastApp, PastConfig, PastNetwork, PastOut, ShardedPastNetwork,
 };
 use past_crypto::rng::Rng;
-use past_netsim::{FaultConfig, ShardConfig, SimBackend, SimTime, Sphere, TraceConfig, Tracer};
+use past_netsim::{
+    FaultConfig, SeriesConfig, ShardConfig, SimBackend, SimTime, Sphere, TraceConfig, Tracer,
+};
 use past_pastry::{random_ids, Config as PastryConfig, Id, PastryNode, RecoveryConfig};
 use std::collections::BTreeSet;
 
@@ -285,6 +287,11 @@ where
     // Ample disks and quotas (set by the builders): this scenario
     // stresses message loss, not storage pressure.
     net.sim.engine.set_tracing(trace);
+    if trace.any() {
+        // Traced runs also carry the flight recorder so `obsreport` can
+        // gate the scenario's health series in CI.
+        net.sim.engine.set_series(SeriesConfig::new(1_000_000));
+    }
     net.run();
 
     // Switch the overlay into loss-recovery mode, then turn the faults on.

@@ -22,7 +22,7 @@ use crate::soa::NodeIo;
 use crate::time::SimTime;
 use crate::topology::{Addr, Topology};
 use past_crypto::rng::Rng;
-use past_trace::{TraceConfig, Tracer};
+use past_trace::{SeriesConfig, TraceConfig, Tracer};
 
 /// Which engine a simulation adapter drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -136,6 +136,12 @@ pub trait SimBackend<N: NodeLogic> {
     /// Selects which trace event classes are recorded.
     fn set_tracing(&mut self, cfg: TraceConfig);
 
+    /// Attaches a flight recorder (sim-time windowed series) to the
+    /// backend's trace sinks. Sampling is observation only — no
+    /// randomness, no event-order changes — and the merged series a
+    /// sharded backend produces is shard-count invariant.
+    fn set_series(&mut self, cfg: SeriesConfig);
+
     /// The harness-side trace sink.
     fn tracer(&self) -> &Tracer;
 
@@ -237,6 +243,10 @@ impl<N: NodeLogic, T: Topology> SimBackend<N> for Engine<N, T> {
 
     fn set_tracing(&mut self, cfg: TraceConfig) {
         Engine::set_tracing(self, cfg)
+    }
+
+    fn set_series(&mut self, cfg: SeriesConfig) {
+        Engine::set_series(self, cfg)
     }
 
     fn tracer(&self) -> &Tracer {

@@ -15,7 +15,7 @@ use crate::soa::{NodeIo, NodeSlots};
 use crate::time::SimTime;
 use crate::topology::{Addr, Topology};
 use past_crypto::rng::Rng;
-use past_trace::{OpId, TraceConfig, Tracer};
+use past_trace::{OpId, SeriesConfig, TraceConfig, Tracer};
 
 /// A simulated wire message.
 pub trait Message: Clone {
@@ -508,6 +508,14 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
         self.tracer.configure(cfg);
     }
 
+    /// Attaches a flight recorder (sim-time windowed series) to the
+    /// trace sink. Like tracing, sampling is observation only: it
+    /// draws no randomness and never perturbs event order, so golden
+    /// fingerprints stay bit-identical with a series attached.
+    pub fn set_series(&mut self, cfg: SeriesConfig) {
+        self.tracer.set_series(cfg);
+    }
+
     /// The trace sink (records + metrics registry).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
@@ -611,6 +619,19 @@ impl<N: NodeLogic, T: Topology> Engine<N, T> {
         };
         debug_assert!(time >= self.now, "time must be monotone");
         self.now = time;
+        // Flight-recorder engine gauges: one sample per series window,
+        // taken at the window's first event so the sample time is a
+        // deterministic function of the event stream alone.
+        if self.tracer.series_enabled() {
+            let (q, a) = (self.queue.len(), self.arena.len());
+            let t = time.as_micros();
+            if let Some(s) = self.tracer.series_mut() {
+                if s.note_event(t) {
+                    s.gauge(t, "queue_depth", q as u64);
+                    s.gauge(t, "in_flight_msgs", a as u64);
+                }
+            }
+        }
         match ev {
             EventRec::Deliver { from, to, msg } => {
                 let (from, to) = (from as Addr, to as Addr);

@@ -35,4 +35,4 @@ pub use topology::{Addr, Plane, Sphere, Topology, TransitStub, UniformRandom};
 // against this engine can name them without a separate dependency.
 // (`past_trace::Histogram` is *not* re-exported: `stats::Histogram`
 // already owns that name here.)
-pub use past_trace::{OpId, TraceConfig, Tracer};
+pub use past_trace::{OpId, SeriesConfig, TimeSeries, TraceConfig, Tracer};

@@ -41,7 +41,7 @@ use crate::time::SimTime;
 use crate::topology::{mix64, Addr, Topology};
 use crate::wheel::TimerWheel;
 use past_crypto::rng::Rng;
-use past_trace::{TraceConfig, Tracer};
+use past_trace::{SeriesConfig, TraceConfig, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -307,6 +307,12 @@ impl<N: NodeLogic, T: Topology> Shard<N, T> {
             self.now = t;
             self.events += 1;
             count += 1;
+            // Flight-recorder progress counter, keyed on event time:
+            // the merged per-window totals depend only on the event
+            // multiset, never on the shard layout.
+            if let Some(s) = self.tracer.series_mut() {
+                s.note_event(t);
+            }
             match ev {
                 ShardEvent::Deliver { from, to, msg } => {
                     self.fp = self.fp.wrapping_add(digest(t, tie, 1));
@@ -672,6 +678,18 @@ where
         }
     }
 
+    /// Attaches a flight recorder to the harness sink and every
+    /// shard-local sink. Shard series merge into the harness series in
+    /// [`take_tracer`](ShardedEngine::take_tracer); the merged series
+    /// is identical under any shard count (pinned by the differential
+    /// tests).
+    pub fn set_series(&mut self, cfg: SeriesConfig) {
+        self.harness_tracer.set_series(cfg);
+        for s in self.shards.iter_mut() {
+            s.tracer.set_series(cfg);
+        }
+    }
+
     /// The harness-side trace sink. Shard-local records (message plane,
     /// per-hop protocol events) are *not* visible here until
     /// [`take_tracer`](ShardedEngine::take_tracer) merges them.
@@ -930,6 +948,10 @@ where
         ShardedEngine::set_tracing(self, cfg)
     }
 
+    fn set_series(&mut self, cfg: SeriesConfig) {
+        ShardedEngine::set_series(self, cfg)
+    }
+
     fn tracer(&self) -> &Tracer {
         ShardedEngine::tracer(self)
     }
@@ -1035,6 +1057,20 @@ fn worker<N, T>(
         if gmin == u64::MAX || total >= max_events || poisoned {
             break;
         }
+        // Flight-recorder engine gauges, sampled by *every* shard at
+        // the global minimum `gmin` — the same instant under any shard
+        // count. Mailboxes were absorbed above, so the shard queues
+        // and arenas partition the global pending set: equal-time
+        // samples sum on merge into the global queue depth and
+        // in-flight count, bit-identical from 1 shard to N.
+        if shard.tracer.series_enabled() {
+            let (q, a) = (shard.queue.len() as u64, shard.arena.len() as u64);
+            if let Some(srs) = shard.tracer.series_mut() {
+                srs.gauge(gmin, "queue_depth", q);
+                srs.gauge(gmin, "in_flight_msgs", a);
+                srs.shard_gauge(gmin, me, "queue_depth", q);
+            }
+        }
         // Skip ahead: the window starts at the global minimum, so idle
         // stretches cost one barrier round, not one round per window.
         let window_end = gmin.saturating_add(window_us);
@@ -1045,6 +1081,13 @@ fn worker<N, T>(
         let body = std::panic::AssertUnwindSafe(|| {
             let count = shard.run_window(window_end);
             shared.total.fetch_add(count, Ordering::SeqCst);
+            // Per-shard load diagnostic (fingerprint-excluded: the
+            // split of events over shards depends on the shard count).
+            if count > 0 {
+                if let Some(srs) = shard.tracer.series_mut() {
+                    srs.shard_bump(window_end - 1, me, "events", count);
+                }
+            }
             ship_window(shard, shared, me, chunk, s, window_end);
         });
         if let Err(p) = std::panic::catch_unwind(body) {
@@ -1071,6 +1114,19 @@ fn ship_window<N, T>(
     T: Topology,
 {
     let wires = std::mem::take(&mut shard.wire_buf);
+    // Sealed-batch size and window-completion lag (how far behind the
+    // window edge this shard stopped executing — a barrier-stall
+    // proxy, in simulated microseconds). Both are per-shard
+    // diagnostics, excluded from the series fingerprint.
+    if let Some(srs) = shard.tracer.series_mut() {
+        srs.shard_bump(window_end - 1, me, "batch_msgs", wires.len() as u64);
+        srs.shard_gauge(
+            window_end - 1,
+            me,
+            "stall_us",
+            window_end.saturating_sub(shard.now),
+        );
+    }
     if wires.is_empty() {
         return;
     }
@@ -1521,6 +1577,7 @@ mod tests {
             let mut e = engine(shards);
             if trace {
                 e.set_tracing(TraceConfig::full());
+                e.set_series(SeriesConfig::new(1_000));
             }
             e.set_faults(
                 FaultConfig {
@@ -1542,17 +1599,24 @@ mod tests {
                 );
             }
             e.run_until_quiet(u64::MAX);
-            let fp = e.take_tracer().fingerprint();
-            (snapshot(&mut e), fp)
+            let t = e.take_tracer();
+            let series_fp = t.series().map(|s| s.fingerprint());
+            (snapshot(&mut e), t.fingerprint(), series_fp)
         };
-        let (untraced, _) = run(1, false);
-        let (one, fp1) = run(1, true);
+        let (untraced, _, _) = run(1, false);
+        let (one, fp1, series1) = run(1, true);
         assert_eq!(untraced, one, "tracing must not perturb outcomes");
         assert_ne!(fp1, past_trace::fnv1a(b""), "trace must be non-empty");
+        let series1 = series1.expect("series must survive take_tracer");
         for shards in [2, 4] {
-            let (s, fps) = run(shards, true);
+            let (s, fps, series) = run(shards, true);
             assert_eq!(one, s, "{shards} shards diverged under tracing");
             assert_eq!(fp1, fps, "{shards}-shard trace fingerprint diverged");
+            assert_eq!(
+                Some(series1),
+                series,
+                "{shards}-shard series fingerprint diverged"
+            );
         }
     }
 }

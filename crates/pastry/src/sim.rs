@@ -404,6 +404,17 @@ where
             self.engine.arm_timer(addr, 0, TIMER_HEARTBEAT);
         }
         self.engine.run_until_quiet(QUIET_BUDGET);
+        // Flight-recorder overlay gauge: live membership after the
+        // round, stamped with the (shard-count invariant) quiesced
+        // clock. Suspicions and repair traffic are already counted by
+        // the tracer hooks.
+        if self.engine.tracer().series_enabled() {
+            let live = self.engine.live_addrs().len() as u64;
+            let t = self.engine.now().as_micros();
+            if let Some(s) = self.engine.tracer_mut().series_mut() {
+                s.gauge(t, "live_nodes", live);
+            }
+        }
     }
 
     /// One routing-table improvement round: every node asks one random

@@ -15,7 +15,7 @@
 //!    shard and at 4 shards.
 
 use past_crypto::rng::Rng;
-use past_netsim::{FaultConfig, ShardConfig, Sphere, TraceConfig};
+use past_netsim::{FaultConfig, SeriesConfig, ShardConfig, Sphere, TraceConfig};
 use past_pastry::{
     random_ids, static_build, static_build_sharded, Config, Id, NullApp, PastrySim,
     ShardedPastrySim,
@@ -101,7 +101,10 @@ fn heap_and_wheel_lossy_churn_runs_are_bit_identical() {
 /// proximity structure intact (points don't move, short links clamp).
 const FLOOR_US: u64 = 2_000;
 
-fn sharded_lossy_churn_run(shards: usize) -> String {
+/// Runs the 512-node lossy-churn workload at `shards` workers and
+/// returns the engine/overlay summary string plus the flight-recorder
+/// series in its canonical (shard-diagnostic-free) serialization.
+fn sharded_lossy_churn_run(shards: usize) -> (String, String) {
     let mut rng = Rng::seed_from_u64(9090);
     let ids = random_ids(N, &mut rng);
     let mut sim: ShardedPastrySim<NullApp, Sphere> = ShardedPastrySim::new_sharded(
@@ -115,6 +118,7 @@ fn sharded_lossy_churn_run(shards: usize) -> String {
     )
     .expect("window == delay floor is safe");
     sim.engine.set_tracing(TraceConfig::full());
+    sim.engine.set_series(SeriesConfig::new(1_000_000));
     sim.build_by_joins(&ids, |_| NullApp, 4);
 
     sim.engine.set_faults(
@@ -164,10 +168,13 @@ fn sharded_lossy_churn_run(shards: usize) -> String {
             st.failed_sends,
         )
     };
-    format!(
-        "trace_fp={} engine_fp={} snapshot={} total_msgs={} total_bytes={} \
+    let tracer = sim.engine.take_tracer();
+    let series = tracer.series().expect("series sampling was enabled");
+    let summary = format!(
+        "trace_fp={} series_fp={} engine_fp={} snapshot={} total_msgs={} total_bytes={} \
          dropped={} duplicated={} failed_sends={} now_us={} alive={} deliveries={}",
-        sim.engine.take_tracer().fingerprint(),
+        tracer.fingerprint(),
+        series.fingerprint(),
         sim.engine.fingerprint(),
         snap_hash,
         total_msgs,
@@ -178,12 +185,13 @@ fn sharded_lossy_churn_run(shards: usize) -> String {
         sim.engine.now().as_micros(),
         alive.len(),
         deliveries,
-    )
+    );
+    (summary, series.canonical_lines())
 }
 
 #[test]
 fn one_shard_and_four_shard_lossy_churn_runs_are_bit_identical() {
-    let one = sharded_lossy_churn_run(1);
+    let (one, one_series) = sharded_lossy_churn_run(1);
     assert!(
         !one.contains("dropped=0 "),
         "the fault layer must actually drop messages for this test to bite"
@@ -192,8 +200,21 @@ fn one_shard_and_four_shard_lossy_churn_runs_are_bit_identical() {
         one.contains("deliveries=") && one.ends_with(';'),
         "routes must actually deliver"
     );
-    let four = sharded_lossy_churn_run(4);
+    let (four, four_series) = sharded_lossy_churn_run(4);
     assert_eq!(one, four, "1-shard and 4-shard overlay runs diverged");
+    // The flight-recorder series must also be bit-identical window by
+    // window: counters land at event times, engine gauges are sampled
+    // at the global window minimum, so shard count must not leak into
+    // a single canonical line (per-shard diagnostics are excluded by
+    // construction).
+    assert!(
+        one_series.lines().count() > 10,
+        "series must actually cover the run, got:\n{one_series}"
+    );
+    assert_eq!(
+        one_series, four_series,
+        "1-shard and 4-shard flight-recorder series diverged"
+    );
 }
 
 /// The static builders are harness-side and draw the same RNG sequence

@@ -28,8 +28,11 @@
 
 pub mod analyze;
 pub mod json;
+pub mod timeseries;
 
 use std::collections::BTreeMap;
+
+pub use timeseries::{SeriesConfig, TimeSeries};
 
 /// A causal operation identifier threaded through message envelopes.
 ///
@@ -348,18 +351,22 @@ impl Histogram {
 
     /// Folds another histogram into this one (summing buckets).
     ///
-    /// # Panics
-    ///
-    /// Panics if the two histograms have different shapes.
-    pub fn merge(&mut self, other: &Histogram) {
-        assert!(
-            self.width == other.width && self.buckets.len() == other.buckets.len(),
-            "cannot merge histograms with different shapes"
-        );
+    /// Shape mismatches (different bucket width or count) are a
+    /// caller bug — mixing scales would silently corrupt every
+    /// percentile — so they surface as a typed [`ShapeMismatch`]
+    /// error instead of blending; `self` is left untouched on error.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), ShapeMismatch> {
+        if self.width != other.width || self.buckets.len() != other.buckets.len() {
+            return Err(ShapeMismatch {
+                expected: (self.width, self.buckets.len()),
+                got: (other.width, other.buckets.len()),
+            });
+        }
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine += theirs;
         }
         self.count += other.count;
+        Ok(())
     }
 
     fn to_json(&self) -> String {
@@ -385,6 +392,29 @@ impl Histogram {
             .build()
     }
 }
+
+/// Two histograms with different bucket geometry were asked to merge
+/// (see [`Histogram::merge`]). Shapes are `(bucket_width, buckets)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// Shape of the receiving histogram.
+    pub expected: (u64, usize),
+    /// Shape of the histogram being merged in.
+    pub got: (u64, usize),
+}
+
+impl std::fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot merge histograms with different shapes: \
+             width {} x {} buckets vs width {} x {} buckets",
+            self.expected.0, self.expected.1, self.got.0, self.got.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
 
 /// Per-node traffic counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -476,10 +506,14 @@ impl Metrics {
     }
 
     /// Folds another registry into this one: counters and histograms
-    /// sum, per-node counters add, gauges take the other's value (last
-    /// write wins, as within one registry). Used to combine per-shard
-    /// registries into a run total; per-node keys are disjoint across
-    /// shards, so the combination is order-independent there.
+    /// sum, per-node counters add, and gauges combine under an explicit
+    /// **monotonic max** policy — the merged gauge is the maximum of
+    /// the two values. "Other wins" would make a merged gauge depend on
+    /// shard merge order; max is commutative and associative, so any
+    /// merge order yields the same registry. (Within one registry,
+    /// [`Metrics::set_gauge`] stays last-write-wins.) Per-node counter
+    /// keys are disjoint across shards, so the combination is
+    /// order-independent there too.
     ///
     /// # Panics
     ///
@@ -505,11 +539,20 @@ impl Metrics {
             mine.recv += c.recv;
         }
         for (&key, &v) in &other.gauges {
-            self.gauges.insert(key, v);
+            let mine = self.gauges.entry(key).or_insert(0);
+            *mine = (*mine).max(v);
         }
-        self.route_latency_us.merge(&other.route_latency_us);
-        self.hop_count.merge(&other.hop_count);
-        self.retry_count.merge(&other.retry_count);
+        // The registry constructs every histogram with a fixed shape,
+        // so a mismatch here is unreachable.
+        self.route_latency_us
+            .merge(&other.route_latency_us)
+            .expect("registry histograms share shape by construction");
+        self.hop_count
+            .merge(&other.hop_count)
+            .expect("registry histograms share shape by construction");
+        self.retry_count
+            .merge(&other.retry_count)
+            .expect("registry histograms share shape by construction");
     }
 
     /// Sets a named per-node gauge to `value` (last write wins).
@@ -588,12 +631,20 @@ pub struct Tracer {
     records: Vec<TraceRecord>,
     /// The metrics registry (read directly by harnesses).
     pub metrics: Metrics,
+    /// The flight recorder, when sampling is enabled. Fed by the same
+    /// hooks as the record buffer, but gated only on its own presence
+    /// — a series can run with every trace class off.
+    series: Option<TimeSeries>,
+    /// Per-kind mask: true for repair-plane message kinds (kind name
+    /// contains `repair`), so the series can count repair traffic
+    /// without string-matching on the hot path.
+    series_repair: Vec<bool>,
 }
 
 /// Formats into the output string. `fmt::Write` for `String` is
 /// infallible, so this swallows no real error — it exists so the
 /// serializer never discards a `Result` with `let _ =` (rule E1).
-fn wfmt(out: &mut String, args: std::fmt::Arguments<'_>) {
+pub(crate) fn wfmt(out: &mut String, args: std::fmt::Arguments<'_>) {
     use std::fmt::Write as _;
     out.write_fmt(args)
         .expect("formatting into a String cannot fail");
@@ -607,6 +658,8 @@ impl Tracer {
             kinds,
             records: Vec::new(),
             metrics: Metrics::for_kinds(kinds),
+            series: None,
+            series_repair: Vec::new(),
         }
     }
 
@@ -621,9 +674,35 @@ impl Tracer {
         self.cfg
     }
 
-    /// True if any event class is enabled.
+    /// True if any event class is enabled or a series is attached —
+    /// engines use this to gate their instrumentation hook calls, so
+    /// a series-only tracer (all classes off) must still count as
+    /// enabled or the flight recorder would see no message plane.
     pub fn enabled(&self) -> bool {
-        self.cfg.any()
+        self.cfg.any() || self.series.is_some()
+    }
+
+    /// Attaches a flight recorder with the given window. An existing
+    /// series (and its windows) is replaced.
+    pub fn set_series(&mut self, cfg: SeriesConfig) {
+        self.series = Some(TimeSeries::new(cfg));
+        self.series_repair = self.kinds.iter().map(|k| k.contains("repair")).collect();
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn series(&self) -> Option<&TimeSeries> {
+        self.series.as_ref()
+    }
+
+    /// Mutable access to the flight recorder (harness-side samplers
+    /// record store/overlay gauges through this).
+    pub fn series_mut(&mut self) -> Option<&mut TimeSeries> {
+        self.series.as_mut()
+    }
+
+    /// True if a flight recorder is attached.
+    pub fn series_enabled(&self) -> bool {
+        self.series.is_some()
     }
 
     /// All records so far.
@@ -631,10 +710,14 @@ impl Tracer {
         &self.records
     }
 
-    /// Drops all records and resets the metrics registry.
+    /// Drops all records, resets the metrics registry, and empties the
+    /// series windows (keeping the series configuration).
     pub fn clear(&mut self) {
         self.records.clear();
         self.metrics = Metrics::for_kinds(self.kinds);
+        if let Some(s) = &mut self.series {
+            s.clear();
+        }
     }
 
     // -- message plane -------------------------------------------------
@@ -645,6 +728,14 @@ impl Tracer {
         if self.cfg.metrics {
             Metrics::bump(&mut self.metrics.sent_by_kind, kind);
             self.metrics.per_node.entry(from).or_default().sent += 1;
+        }
+        if let Some(s) = &mut self.series {
+            s.bump(t, "sent", 1);
+            s.bump(t, "sent_bytes", bytes);
+            if self.series_repair.get(kind).copied().unwrap_or(false) {
+                s.bump(t, "repair_msgs", 1);
+                s.bump(t, "repair_bytes", bytes);
+            }
         }
         if self.cfg.messages {
             self.push(
@@ -667,6 +758,9 @@ impl Tracer {
             Metrics::bump(&mut self.metrics.recv_by_kind, kind);
             self.metrics.per_node.entry(to).or_default().recv += 1;
         }
+        if let Some(s) = &mut self.series {
+            s.bump(t, "recv", 1);
+        }
         if self.cfg.messages {
             self.push(t, op, TraceEvent::MsgRecv { from, to, kind });
         }
@@ -677,6 +771,9 @@ impl Tracer {
     pub fn msg_drop(&mut self, t: u64, op: OpId, from: usize, to: usize, kind: usize) {
         if self.cfg.metrics {
             Metrics::bump(&mut self.metrics.dropped_by_kind, kind);
+        }
+        if let Some(s) = &mut self.series {
+            s.bump(t, "dropped", 1);
         }
         if self.cfg.messages {
             self.push(t, op, TraceEvent::MsgDrop { from, to, kind });
@@ -689,6 +786,9 @@ impl Tracer {
         if self.cfg.metrics {
             Metrics::bump(&mut self.metrics.duplicated_by_kind, kind);
         }
+        if let Some(s) = &mut self.series {
+            s.bump(t, "duplicated", 1);
+        }
         if self.cfg.messages {
             self.push(t, op, TraceEvent::MsgDup { from, to, kind });
         }
@@ -699,6 +799,9 @@ impl Tracer {
     pub fn msg_fail(&mut self, t: u64, op: OpId, from: usize, to: usize, kind: usize) {
         if self.cfg.metrics {
             Metrics::bump(&mut self.metrics.failed_by_kind, kind);
+        }
+        if let Some(s) = &mut self.series {
+            s.bump(t, "failed_sends", 1);
         }
         if self.cfg.messages {
             self.push(t, op, TraceEvent::MsgFail { from, to, kind });
@@ -739,6 +842,10 @@ impl Tracer {
             self.metrics.hop_count.record(u64::from(hops));
             self.metrics.route_latency_us.record(lat_us);
         }
+        if let Some(s) = &mut self.series {
+            s.bump(t, "delivered", 1);
+            s.hist(t, "route_latency_us", lat_us);
+        }
         if self.cfg.routes {
             self.push(
                 t,
@@ -774,6 +881,9 @@ impl Tracer {
     /// A peer was declared failed after missed heartbeat acks.
     #[inline]
     pub fn suspect(&mut self, t: u64, node: usize, peer: usize, missed: u32) {
+        if let Some(s) = &mut self.series {
+            s.bump(t, "suspicions", 1);
+        }
         if self.cfg.overlay {
             self.push(t, OpId::NONE, TraceEvent::Suspect { node, peer, missed });
         }
@@ -802,6 +912,9 @@ impl Tracer {
     pub fn op_retry(&mut self, t: u64, op: OpId, node: usize, kind: &'static str, attempt: u32) {
         if self.cfg.metrics {
             self.metrics.retry_count.record(u64::from(attempt));
+        }
+        if let Some(s) = &mut self.series {
+            s.bump(t, "retries", 1);
         }
         if self.cfg.ops && !op.is_none() {
             self.push(
@@ -844,6 +957,12 @@ impl Tracer {
     /// A node stored a replica on behalf of an insert.
     #[inline]
     pub fn replica_stored(&mut self, t: u64, op: OpId, node: usize, key: u128, diverted: bool) {
+        if let Some(s) = &mut self.series {
+            s.bump(t, "replicas_stored", 1);
+            if diverted {
+                s.bump(t, "diversions", 1);
+            }
+        }
         if self.cfg.ops && !op.is_none() {
             self.push(
                 t,
@@ -864,6 +983,15 @@ impl Tracer {
     pub fn absorb(&mut self, mut other: Tracer) {
         self.records.append(&mut other.records);
         self.metrics.merge(&other.metrics);
+        if let Some(theirs) = other.series.take() {
+            match &mut self.series {
+                Some(mine) => mine.merge(&theirs),
+                None => {
+                    self.series = Some(theirs);
+                    self.series_repair = std::mem::take(&mut other.series_repair);
+                }
+            }
+        }
     }
 
     /// Sorts the record buffer into the canonical order `(t, causal
@@ -1250,16 +1378,50 @@ mod tests {
         for v in [5, 15] {
             b.record(v);
         }
-        a.merge(&b);
+        a.merge(&b).expect("same-shape merge must succeed");
         assert_eq!(a.buckets(), &[2, 2, 0, 1]);
         assert_eq!(a.count(), 5);
     }
 
     #[test]
-    #[should_panic(expected = "different shapes")]
     fn histogram_merge_rejects_shape_mismatch() {
         let mut a = Histogram::new(10, 4);
-        a.merge(&Histogram::new(5, 4));
+        a.record(7);
+        let err = a
+            .merge(&Histogram::new(5, 4))
+            .expect_err("width mismatch must be rejected");
+        assert_eq!(err.expected, (10, 4));
+        assert_eq!(err.got, (5, 4));
+        assert!(err.to_string().contains("different shapes"));
+        let err = a
+            .merge(&Histogram::new(10, 8))
+            .expect_err("bucket-count mismatch must be rejected");
+        assert_eq!(err.got, (10, 8));
+        // The receiver is untouched on error.
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.buckets(), &[1, 0, 0, 0]);
+    }
+
+    /// Merged gauges follow the max policy, so shard merge order
+    /// cannot change the combined registry.
+    #[test]
+    fn metrics_gauge_merge_is_order_independent() {
+        let mk = |v0: u64, v2: u64| {
+            let mut m = Metrics::for_kinds(KINDS);
+            m.set_gauge("used", 0, v0);
+            m.set_gauge("used", 2, v2);
+            m
+        };
+        let (a, b) = (mk(10, 3), mk(4, 90));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for m in [&ab, &ba] {
+            assert_eq!(m.gauge("used", 0), Some(10));
+            assert_eq!(m.gauge("used", 2), Some(90));
+        }
+        assert_eq!(ab.to_json(), ba.to_json());
     }
 
     #[test]
@@ -1340,6 +1502,41 @@ mod tests {
         assert!(lines[0].contains("op_start"), "got {:?}", lines[0]);
         assert!(lines[1].contains("send"), "got {:?}", lines[1]);
         assert!(lines[2].contains("op_end"), "got {:?}", lines[2]);
+    }
+
+    /// A series-only tracer (all trace classes off) still reports
+    /// enabled, collects windowed counters from the hooks, and merges
+    /// across tracers in `absorb` — the sharded-engine path.
+    #[test]
+    fn series_flows_through_hooks_and_absorb() {
+        let mk = || {
+            let mut t = Tracer::for_kinds(KINDS);
+            t.set_series(SeriesConfig::new(1_000));
+            t
+        };
+        let mut a = mk();
+        assert!(a.enabled(), "series-only tracer must count as enabled");
+        assert!(!a.config().any());
+        a.msg_send(10, OpId(1), 0, 1, 0, 64);
+        a.route_deliver(30, OpId(1), 2, 42, 1, 12_345);
+        let mut b = mk();
+        b.msg_send(1_500, OpId(2), 2, 3, 1, 32);
+        b.msg_drop(1_600, OpId(2), 2, 3, 1);
+        a.absorb(b);
+        assert!(a.records().is_empty(), "no classes on, no records");
+        let s = a.series().expect("series survives absorb");
+        let w: Vec<(u64, u64, u64, u64)> = s
+            .windows()
+            .map(|(t, w)| {
+                (
+                    t,
+                    w.counter("sent"),
+                    w.counter("dropped"),
+                    w.counter("delivered"),
+                )
+            })
+            .collect();
+        assert_eq!(w, vec![(0, 1, 0, 1), (1_000, 1, 1, 0)]);
     }
 
     #[test]

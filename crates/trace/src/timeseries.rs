@@ -1,0 +1,571 @@
+//! The flight recorder: sim-time windowed counters, gauges and
+//! histogram snapshots.
+//!
+//! A [`TimeSeries`] buckets every observation into fixed windows of
+//! [`SeriesConfig::window_us`] simulated microseconds. Producers feed
+//! it from instrumentation hooks (the [`Tracer`](crate::Tracer)
+//! message/route/op hooks, engine samplers, harness samplers); every
+//! record call takes the simulated time explicitly, so the series can
+//! never observe a wall clock and is bit-reproducible across runs.
+//!
+//! Series merge across shards: counters sum, gauges follow a
+//! latest-sample-wins-or-sum rule (see [`TimeSeries::merge`]), and
+//! histograms sum buckets. The merge is commutative and associative,
+//! so the combined series is identical under any shard count or merge
+//! order. Per-shard diagnostics (`shard_bump`/`shard_gauge`) are kept
+//! separately and are *excluded* from the [`fingerprint`]: they
+//! legitimately differ between a 1-shard and an N-shard run of the
+//! same simulation, while everything fingerprinted must not.
+//!
+//! [`fingerprint`]: TimeSeries::fingerprint
+
+use std::collections::BTreeMap;
+
+use crate::{fnv1a, json, wfmt, Histogram};
+
+/// Flight-recorder configuration: the sampling window, in simulated
+/// microseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesConfig {
+    /// Window width in simulated microseconds (must be positive).
+    pub window_us: u64,
+}
+
+impl SeriesConfig {
+    /// A config with the given window width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_us` is zero.
+    pub fn new(window_us: u64) -> SeriesConfig {
+        assert!(window_us > 0, "series window must be positive");
+        SeriesConfig { window_us }
+    }
+}
+
+/// A gauge sample: the newest observation wins, carrying the time it
+/// was taken so merges across series can arbitrate (see
+/// [`TimeSeries::merge`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct GaugeCell {
+    /// Simulated time of the newest sample.
+    t: u64,
+    /// Sampled value.
+    v: u64,
+}
+
+/// Histogram shape registry: series histograms must agree on shape
+/// across shards so windows merge; shapes are fixed by name here.
+/// `route_latency_us` mirrors the `Metrics` registry histogram (1 ms
+/// buckets up to 512 ms); everything else gets width-1 with 64
+/// buckets.
+fn hist_shape(name: &str) -> (u64, usize) {
+    match name {
+        "route_latency_us" => (1_000, 512),
+        _ => (1, 64),
+    }
+}
+
+/// One sampling window: counters, gauges and histograms keyed by
+/// static names, plus per-shard diagnostics keyed by `(shard, name)`.
+#[derive(Clone, Debug, Default)]
+pub struct Window {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, GaugeCell>,
+    hists: BTreeMap<&'static str, Histogram>,
+    shard_counters: BTreeMap<(usize, &'static str), u64>,
+    shard_gauges: BTreeMap<(usize, &'static str), GaugeCell>,
+}
+
+impl Window {
+    /// Reads a counter (0 if never bumped in this window).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge's newest sampled value in this window.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).map(|c| c.v)
+    }
+
+    /// Reads a histogram recorded in this window.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// All counters in this window, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Reads a per-shard diagnostic counter.
+    pub fn shard_counter(&self, shard: usize, name: &str) -> u64 {
+        self.shard_counters
+            .get(&(shard, name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Per-shard diagnostic counters, in `(shard, name)` order.
+    pub fn shard_counters(&self) -> impl Iterator<Item = (usize, &'static str, u64)> + '_ {
+        self.shard_counters.iter().map(|(&(s, k), &v)| (s, k, v))
+    }
+}
+
+/// Records one gauge sample locally: the latest sample wins, and a
+/// re-sample of the same instant *overwrites* (a producer taking two
+/// looks at the same simulated time reports one value, not a sum).
+fn record_gauge<K: Ord>(map: &mut BTreeMap<K, GaugeCell>, key: K, cell: GaugeCell) {
+    match map.entry(key) {
+        std::collections::btree_map::Entry::Vacant(e) => {
+            e.insert(cell);
+        }
+        std::collections::btree_map::Entry::Occupied(mut e) => {
+            if cell.t >= e.get().t {
+                *e.get_mut() = cell;
+            }
+        }
+    }
+}
+
+/// Merges one gauge sample into a cell map under merge semantics:
+/// the newer sample wins outright; *equal-time* samples sum, because
+/// shards sampling the same global instant each contribute a partial
+/// value (queue depth, arena occupancy) whose total is the global one.
+/// This rule is commutative and associative, so shard merge order
+/// cannot change the result.
+fn merge_gauge<K: Ord>(map: &mut BTreeMap<K, GaugeCell>, key: K, cell: GaugeCell) {
+    match map.entry(key) {
+        std::collections::btree_map::Entry::Vacant(e) => {
+            e.insert(cell);
+        }
+        std::collections::btree_map::Entry::Occupied(mut e) => {
+            let cur = e.get_mut();
+            match cell.t.cmp(&cur.t) {
+                std::cmp::Ordering::Greater => *cur = cell,
+                std::cmp::Ordering::Equal => cur.v += cell.v,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+    }
+}
+
+/// The windowed time series. See the module docs for semantics.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    window_us: u64,
+    windows: BTreeMap<u64, Window>,
+}
+
+impl TimeSeries {
+    /// An empty series with the given window width.
+    pub fn new(cfg: SeriesConfig) -> TimeSeries {
+        assert!(cfg.window_us > 0, "series window must be positive");
+        TimeSeries {
+            window_us: cfg.window_us,
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// Window width in simulated microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// Drops all windows, keeping the configuration.
+    pub fn clear(&mut self) {
+        self.windows.clear();
+    }
+
+    /// Number of populated windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True if no window has any data.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Windows in time order, as `(window_start_us, window)`.
+    pub fn windows(&self) -> impl Iterator<Item = (u64, &Window)> + '_ {
+        self.windows.iter().map(|(&t, w)| (t, w))
+    }
+
+    fn window_mut(&mut self, t: u64) -> &mut Window {
+        let start = t - t % self.window_us;
+        self.windows.entry(start).or_default()
+    }
+
+    /// Adds `by` to a named counter in the window containing `t`.
+    pub fn bump(&mut self, t: u64, name: &'static str, by: u64) {
+        *self.window_mut(t).counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Bumps the `events` progress counter; returns `true` if this was
+    /// the first event in its window (producers use this to take one
+    /// gauge sample per window without tracking window edges
+    /// themselves).
+    pub fn note_event(&mut self, t: u64) -> bool {
+        let c = self.window_mut(t).counters.entry("events").or_insert(0);
+        *c += 1;
+        *c == 1
+    }
+
+    /// Records a gauge sample at time `t`. Within one series the
+    /// *latest* sample wins (ties overwrite: re-sampling the same
+    /// instant replaces, never double-counts).
+    pub fn gauge(&mut self, t: u64, name: &'static str, v: u64) {
+        record_gauge(&mut self.window_mut(t).gauges, name, GaugeCell { t, v });
+    }
+
+    /// Records one histogram sample (shape fixed per name by the
+    /// series shape registry).
+    pub fn hist(&mut self, t: u64, name: &'static str, sample: u64) {
+        let h = self.window_mut(t).hists.entry(name).or_insert_with(|| {
+            let (w, n) = hist_shape(name);
+            Histogram::new(w, n)
+        });
+        h.record(sample);
+    }
+
+    /// Adds `by` to a per-shard diagnostic counter (excluded from the
+    /// fingerprint).
+    pub fn shard_bump(&mut self, t: u64, shard: usize, name: &'static str, by: u64) {
+        *self
+            .window_mut(t)
+            .shard_counters
+            .entry((shard, name))
+            .or_insert(0) += by;
+    }
+
+    /// Records a per-shard diagnostic gauge sample (excluded from the
+    /// fingerprint). Latest sample wins, as with [`TimeSeries::gauge`].
+    pub fn shard_gauge(&mut self, t: u64, shard: usize, name: &'static str, v: u64) {
+        record_gauge(
+            &mut self.window_mut(t).shard_gauges,
+            (shard, name),
+            GaugeCell { t, v },
+        );
+    }
+
+    /// Folds another series into this one: counters and histograms
+    /// sum, gauges take the newest sample — with *equal-time* samples
+    /// summing, so shards that sampled partial values (their share of
+    /// queue depth or in-flight messages) at the same global instant
+    /// combine into the global value. Both rules are commutative and
+    /// associative: any merge order yields the same series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two series have different window widths.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert!(
+            self.window_us == other.window_us,
+            "cannot merge series with different windows"
+        );
+        for (&start, w) in &other.windows {
+            let mine = self.windows.entry(start).or_default();
+            for (&k, &v) in &w.counters {
+                *mine.counters.entry(k).or_insert(0) += v;
+            }
+            for (&k, &cell) in &w.gauges {
+                merge_gauge(&mut mine.gauges, k, cell);
+            }
+            for (&k, h) in &w.hists {
+                mine.hists
+                    .entry(k)
+                    .or_insert_with(|| {
+                        let (wd, n) = hist_shape(k);
+                        Histogram::new(wd, n)
+                    })
+                    .merge(h)
+                    .expect("series histograms share shape by the name registry");
+            }
+            for (&k, &v) in &w.shard_counters {
+                *mine.shard_counters.entry(k).or_insert(0) += v;
+            }
+            for (&k, &cell) in &w.shard_gauges {
+                merge_gauge(&mut mine.shard_gauges, k, cell);
+            }
+        }
+    }
+
+    /// Writes one window as a flat JSONL object (the format
+    /// [`analyze::parse_line`](crate::analyze::parse_line) reads:
+    /// no spaces, no escapes). `shards` controls whether per-shard
+    /// diagnostic fields are included — the fingerprint hashes the
+    /// line *without* them.
+    fn write_window_line(&self, out: &mut String, start: u64, w: &Window, shards: bool) {
+        wfmt(
+            out,
+            format_args!("{{\"t\":{start},\"op\":0,\"ev\":\"window\""),
+        );
+        for (&k, &v) in &w.counters {
+            wfmt(out, format_args!(",\"{k}\":{v}"));
+        }
+        for (&k, cell) in &w.gauges {
+            wfmt(out, format_args!(",\"{k}\":{}", cell.v));
+        }
+        for (&k, h) in &w.hists {
+            wfmt(
+                out,
+                format_args!(
+                    ",\"{k}_count\":{},\"{k}_p50\":{},\"{k}_p95\":{},\"{k}_p99\":{}",
+                    h.count(),
+                    h.percentile(50).unwrap_or(0),
+                    h.percentile(95).unwrap_or(0),
+                    h.percentile(99).unwrap_or(0),
+                ),
+            );
+        }
+        if shards {
+            for (&(s, k), &v) in &w.shard_counters {
+                wfmt(out, format_args!(",\"shard{s}.{k}\":{v}"));
+            }
+            for (&(s, k), cell) in &w.shard_gauges {
+                wfmt(out, format_args!(",\"shard{s}.{k}\":{}", cell.v));
+            }
+        }
+        out.push('}');
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the series content that must be
+    /// shard-count invariant: window width plus every window line
+    /// *without* the per-shard diagnostic fields. Two runs whose
+    /// fingerprints match produced identical windowed counters,
+    /// gauges and histogram summaries.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.canonical_lines().as_bytes())
+    }
+
+    /// The exact byte stream the [`fingerprint`](Self::fingerprint)
+    /// hashes: the window width plus one line per window *without*
+    /// per-shard diagnostics. Differential tests compare this across
+    /// shard counts — unlike the bare fingerprint, a mismatch shows
+    /// *which* window diverged.
+    pub fn canonical_lines(&self) -> String {
+        let mut buf = String::new();
+        wfmt(&mut buf, format_args!("window_us={}\n", self.window_us));
+        for (&start, w) in &self.windows {
+            self.write_window_line(&mut buf, start, w, false);
+            buf.push('\n');
+        }
+        buf
+    }
+
+    /// Serializes the series as JSONL: one `ev:"series"` header line
+    /// (window width, window count, fingerprint), then one flat
+    /// `ev:"window"` line per window including per-shard diagnostics.
+    /// Parses back through
+    /// [`analyze::parse_jsonl`](crate::analyze::parse_jsonl).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        wfmt(
+            &mut out,
+            format_args!(
+                "{{\"t\":0,\"op\":0,\"ev\":\"series\",\"window_us\":{},\"windows\":{},\"fp\":{}}}\n",
+                self.window_us,
+                self.windows.len(),
+                self.fingerprint(),
+            ),
+        );
+        for (&start, w) in &self.windows {
+            self.write_window_line(&mut out, start, w, true);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the series as one `past-series/v1` JSON document
+    /// (for `BENCH_series.json`-style archives).
+    pub fn to_json(&self) -> String {
+        let windows = json::array(self.windows.iter().map(|(&start, w)| {
+            let mut o = json::Obj::new().int("t", start);
+            for (&k, &v) in &w.counters {
+                o = o.int(k, v);
+            }
+            for (&k, cell) in &w.gauges {
+                o = o.int(k, cell.v);
+            }
+            for (&k, h) in &w.hists {
+                o = o
+                    .int(&format!("{k}_count"), h.count())
+                    .int(&format!("{k}_p50"), h.percentile(50).unwrap_or(0))
+                    .int(&format!("{k}_p95"), h.percentile(95).unwrap_or(0))
+                    .int(&format!("{k}_p99"), h.percentile(99).unwrap_or(0));
+            }
+            for (&(s, k), &v) in &w.shard_counters {
+                o = o.int(&format!("shard{s}.{k}"), v);
+            }
+            for (&(s, k), cell) in &w.shard_gauges {
+                o = o.int(&format!("shard{s}.{k}"), cell.v);
+            }
+            o.build()
+        }));
+        json::Obj::new()
+            .str("schema", "past-series/v1")
+            .int("window_us", self.window_us)
+            .int("fp", self.fingerprint())
+            .raw("windows", &windows)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+
+    fn cfg() -> SeriesConfig {
+        SeriesConfig::new(1_000)
+    }
+
+    #[test]
+    fn counters_land_in_their_windows() {
+        let mut s = TimeSeries::new(cfg());
+        s.bump(10, "sent", 1);
+        s.bump(999, "sent", 2);
+        s.bump(1_000, "sent", 5);
+        let w: Vec<(u64, u64)> = s.windows().map(|(t, w)| (t, w.counter("sent"))).collect();
+        assert_eq!(w, vec![(0, 3), (1_000, 5)]);
+    }
+
+    #[test]
+    fn gauge_latest_sample_wins_and_resample_overwrites() {
+        let mut s = TimeSeries::new(cfg());
+        s.gauge(100, "depth", 7);
+        s.gauge(500, "depth", 3);
+        assert_eq!(s.windows().next().unwrap().1.gauge("depth"), Some(3));
+        // Re-sampling the same instant replaces, never double-counts.
+        s.gauge(500, "depth", 9);
+        assert_eq!(s.windows().next().unwrap().1.gauge("depth"), Some(9));
+        // An older sample arriving late is ignored.
+        s.gauge(200, "depth", 1);
+        assert_eq!(s.windows().next().unwrap().1.gauge("depth"), Some(9));
+    }
+
+    #[test]
+    fn windowed_histograms_snapshot_and_merge() {
+        let mut a = TimeSeries::new(cfg());
+        for v in [100, 200, 5_000] {
+            a.hist(10, "route_latency_us", v);
+        }
+        let mut b = TimeSeries::new(cfg());
+        b.hist(20, "route_latency_us", 300_000);
+        a.merge(&b);
+        let (_, w) = a.windows().next().unwrap();
+        let h = w.hist("route_latency_us").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.percentile(50).unwrap(), 0);
+        assert_eq!(h.percentile(99).unwrap(), 300_000);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let build = |order: &[usize]| {
+            let mk = |i: usize| {
+                let mut s = TimeSeries::new(cfg());
+                s.bump(i as u64 * 10, "events", i as u64 + 1);
+                // Same-instant partial gauges must sum; an older sample
+                // must lose regardless of merge order.
+                s.gauge(500, "depth", (i as u64 + 1) * 100);
+                s.gauge(400 + i as u64 * 50, "stale", i as u64);
+                s.hist(100, "lat", i as u64);
+                s.shard_bump(100, i, "batch", 1);
+                s
+            };
+            let mut acc = mk(order[0]);
+            for &i in &order[1..] {
+                acc.merge(&mk(i));
+            }
+            acc.to_jsonl()
+        };
+        let a = build(&[0, 1, 2]);
+        let b = build(&[2, 0, 1]);
+        let c = build(&[1, 2, 0]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // Equal-time partials summed: 100 + 200 + 300.
+        assert!(a.contains("\"depth\":600"), "{a}");
+        // Newest sample won: shard 2 sampled "stale" at t=500.
+        assert!(a.contains("\"stale\":2"), "{a}");
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_ignores_shard_diagnostics() {
+        let mk = |shard_noise: bool| {
+            let mut s = TimeSeries::new(cfg());
+            s.bump(10, "sent", 4);
+            s.gauge(700, "depth", 11);
+            s.hist(10, "route_latency_us", 2_500);
+            if shard_noise {
+                s.shard_bump(10, 0, "events", 3);
+                s.shard_bump(10, 1, "events", 1);
+                s.shard_gauge(700, 1, "stall_us", 40);
+            }
+            s
+        };
+        assert_eq!(mk(false).fingerprint(), mk(false).fingerprint());
+        assert_eq!(
+            mk(false).fingerprint(),
+            mk(true).fingerprint(),
+            "per-shard diagnostics must not affect the series fingerprint"
+        );
+        let mut other = mk(false);
+        other.bump(10, "sent", 1);
+        assert_ne!(mk(false).fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_analyzer() {
+        let mut s = TimeSeries::new(cfg());
+        s.bump(10, "sent", 4);
+        s.note_event(10);
+        s.gauge(700, "queue_depth", 11);
+        s.hist(10, "route_latency_us", 2_500);
+        s.shard_bump(10, 0, "batch_msgs", 3);
+        let recs = analyze::parse_jsonl(&s.to_jsonl()).expect("series JSONL must parse");
+        assert_eq!(recs[0].ev, "series");
+        assert_eq!(recs[0].u("window_us"), Some(1_000));
+        assert_eq!(recs[0].u("windows"), Some(1));
+        assert_eq!(recs[0].u("fp"), Some(s.fingerprint()));
+        assert_eq!(recs[1].ev, "window");
+        assert_eq!(recs[1].t, 0);
+        assert_eq!(recs[1].u("sent"), Some(4));
+        assert_eq!(recs[1].u("events"), Some(1));
+        assert_eq!(recs[1].u("queue_depth"), Some(11));
+        assert_eq!(recs[1].u("route_latency_us_count"), Some(1));
+        assert_eq!(recs[1].u("route_latency_us_p99"), Some(2_000));
+        assert_eq!(recs[1].u("shard0.batch_msgs"), Some(3));
+    }
+
+    #[test]
+    fn note_event_reports_first_event_per_window() {
+        let mut s = TimeSeries::new(cfg());
+        assert!(s.note_event(10));
+        assert!(!s.note_event(999));
+        assert!(s.note_event(1_000));
+        assert_eq!(s.windows().next().unwrap().1.counter("events"), 2);
+    }
+
+    #[test]
+    fn json_document_validates() {
+        let mut s = TimeSeries::new(cfg());
+        s.bump(10, "sent", 4);
+        s.gauge(700, "depth", 11);
+        s.hist(10, "lat", 3);
+        s.shard_gauge(700, 2, "stall_us", 5);
+        let doc = s.to_json();
+        json::validate(&doc).expect("series JSON must validate");
+        assert!(doc.contains("\"schema\": \"past-series/v1\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "different windows")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = TimeSeries::new(SeriesConfig::new(1_000));
+        let b = TimeSeries::new(SeriesConfig::new(2_000));
+        a.merge(&b);
+    }
+}

@@ -23,11 +23,17 @@ echo "== invariant gate (I1-I5 over bulk-join / churn / quota-reclaim / lossy-ch
 mkdir -p target
 cargo run --offline -q -p past-invariants --bin invariants -- \
   --emit-trace target/trace_lossy.jsonl \
-  --emit-trace-sharded target/trace_lossy_sharded.jsonl
+  --emit-trace-sharded target/trace_lossy_sharded.jsonl \
+  --emit-series target/series_lossy.jsonl \
+  --emit-series-sharded target/series_lossy_sharded.jsonl
 
 echo "== tracecheck (no stuck ops, insert fan-out == k, hops vs log2^b N)"
 cargo run --offline -q -p past-trace --bin tracecheck -- --require-clean target/trace_lossy.jsonl
 cargo run --offline -q -p past-trace --bin tracecheck -- --require-clean target/trace_lossy_sharded.jsonl
+
+echo "== obsreport (flight-recorder SLO gate: no stalled windows, rejection/utilization in bounds)"
+cargo run --offline -q -p past-trace --bin obsreport -- --require-slo target/series_lossy.jsonl
+cargo run --offline -q -p past-trace --bin obsreport -- --require-slo target/series_lossy_sharded.jsonl
 
 echo "== cargo build --release"
 cargo build --offline --release --workspace
@@ -40,11 +46,13 @@ cargo test --offline -q -p past --test wire decode_never_panics_on_mutated_frame
 
 echo "== bench smoke (binaries run and emit valid BENCH_*.json)"
 ./target/release/bench_micro --smoke --out target/BENCH_micro.smoke.json
-./target/release/bench_macro --smoke --out target/BENCH_macro.smoke.json
+./target/release/bench_macro --smoke --out target/BENCH_macro.smoke.json \
+  --series target/BENCH_series.json
 ./target/release/bench_loss --smoke --out target/BENCH_loss.smoke.json
 grep -q '"schema": "past-bench/v1"' target/BENCH_micro.smoke.json
 grep -q '"schema": "past-bench/v1"' target/BENCH_macro.smoke.json
 grep -q '"schema": "past-bench/v1"' target/BENCH_loss.smoke.json
+grep -q '"schema": "past-series/v1"' target/BENCH_series.json
 
 # Scale gate: a 100k-node overlay must build, route, and survive churn
 # on the sharded backend inside the wall-clock budget (the budget only
